@@ -1,0 +1,60 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment (one file per paper figure/claim, see DESIGN.md §3)
+prints the series the paper reports; run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables.  Results are also attached to
+the pytest-benchmark ``extra_info`` so they land in the JSON output.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.buffer import GovernorConfig
+from repro.common import MiB
+
+
+def make_server(pool_pages=2048, mpl=4, total_memory=256 * MiB,
+                upper_bound=128 * MiB, start_governor=False, **kwargs):
+    config = ServerConfig(
+        start_buffer_governor=start_governor,
+        initial_pool_pages=pool_pages,
+        multiprogramming_level=mpl,
+        total_memory=total_memory,
+        governor=GovernorConfig(upper_bound_bytes=upper_bound),
+        **kwargs,
+    )
+    return Server(config)
+
+
+def print_table(title, headers, rows):
+    """Render one experiment table to stdout."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    widths = [
+        max(len(str(header)), max((len(_fmt(row[i])) for row in rows), default=0))
+        for i, header in enumerate(headers)
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.3g" % value
+    return str(value)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment body exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

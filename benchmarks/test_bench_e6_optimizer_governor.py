@@ -1,0 +1,161 @@
+"""E6: branch-and-bound enumeration and the optimizer governor
+(Section 4.1).
+
+Reproduced claims:
+
+* pruning: the searched node count is a vanishing fraction of the full
+  left-deep space;
+* Cartesian-product deferral: the *first* complete strategy is already
+  "reasonable" relative to the final best;
+* the governor's uneven quota distribution finds plans at least as good
+  as plain early-halting (FIFO quota) at the same budget;
+* unused quota returns on prunes, and redistribution events fire when a
+  new plan improves the incumbent by >= 20%.
+"""
+
+import math
+
+from repro.optimizer import Optimizer
+from repro.sql import Binder, parse_statement
+
+from conftest import make_server, print_table
+
+#: Mixed table sizes plus a join cycle make order genuinely matter.
+TABLE_SIZES = [4000, 12, 1500, 60, 900, 25, 2500, 120]
+
+
+def build_schema(server):
+    conn = server.connect()
+    for index, size in enumerate(TABLE_SIZES):
+        conn.execute(
+            "CREATE TABLE t%d (id INT PRIMARY KEY, next_id INT, v INT)"
+            % index
+        )
+        server.load_table(
+            "t%d" % index,
+            [
+                (row, row % max(1, TABLE_SIZES[min(index + 1,
+                                                   len(TABLE_SIZES) - 1)]),
+                 row % 10)
+                for row in range(size)
+            ],
+        )
+    tables = ", ".join("t%d" % i for i in range(len(TABLE_SIZES)))
+    chain = " AND ".join(
+        "t%d.next_id = t%d.id" % (i, i + 1)
+        for i in range(len(TABLE_SIZES) - 1)
+    )
+    # A cycle edge and two filters roughen the search space.
+    extras = " AND t0.v = t4.v AND t2.v < 7 AND t6.v = 3"
+    return conn, "SELECT COUNT(*) FROM %s WHERE %s%s" % (tables, chain, extras)
+
+
+def optimize_with(server, sql, quota, mode):
+    binder = Binder(server.catalog)
+    block = binder.bind(parse_statement(sql))
+    optimizer = Optimizer(
+        server.catalog,
+        server._make_estimator(),
+        server.make_optimizer().cost_context,
+        quota=quota,
+        governor_mode=mode,
+    )
+    result = optimizer.optimize_select(block)
+    stats = result.stats
+    join_best = stats.best_cost_trace[-1][1] if stats.best_cost_trace else 0.0
+    return join_best, stats
+
+
+def run_experiment():
+    server = make_server(pool_pages=4096)
+    __, sql = build_schema(server)
+    configurations = [
+        ("exhaustive", 10**9, "governor"),
+        ("governor q=2000", 2000, "governor"),
+        ("fifo q=2000", 2000, "fifo"),
+        ("governor q=200", 200, "governor"),
+        ("fifo q=200", 200, "fifo"),
+    ]
+    rows = []
+    for label, quota, mode in configurations:
+        cost, stats = optimize_with(server, sql, quota, mode)
+        rows.append((
+            label,
+            stats.nodes_visited,
+            stats.plans_completed,
+            stats.prunes,
+            stats.improvements,
+            stats.first_plan_cost / 1000.0,
+            cost / 1000.0,
+        ))
+    return rows
+
+
+def test_e6_optimizer_governor(once):
+    rows = once(run_experiment)
+    print_table(
+        "E6: branch-and-bound + governor (8-way join with cycle, mixed sizes)",
+        ["search", "nodes", "plans", "prunes", "improv>=20%",
+         "first join plan (ms)", "best join plan (ms)"],
+        rows,
+    )
+    by_label = {row[0]: row for row in rows}
+    exhaustive = by_label["exhaustive"]
+    n = len(TABLE_SIZES)
+    # Pruning: the exhaustive run visits a vanishing fraction of the n!
+    # left-deep orders (each with several access/join-method variants).
+    assert exhaustive[1] < math.factorial(n) / 100
+    # Quotas are respected (up to the one-dive floor).
+    assert by_label["governor q=200"][1] <= 200 + n
+    assert by_label["governor q=2000"][1] <= 2000 + n
+    # Cartesian deferral: every search's first complete plan is within a
+    # modest factor of the exhaustive best.
+    for row in rows:
+        assert row[5] <= exhaustive[6] * 50
+    # At equal budgets the governor's answer is never worse than plain
+    # early halting, and both are near the exhaustive optimum.
+    for quota in (200, 2000):
+        governor_cost = by_label["governor q=%d" % quota][6]
+        fifo_cost = by_label["fifo q=%d" % quota][6]
+        assert governor_cost <= fifo_cost * 1.001
+        assert governor_cost <= exhaustive[6] * 2.0
+
+
+def run_improvement_experiment():
+    """Disconnected join components: the greedy first dive starts in the
+    wrong component, and a later strategy improves the incumbent by more
+    than 20% — firing the governor's quota redistribution."""
+    server = make_server(pool_pages=4096)
+    conn = server.connect()
+    conn.execute("CREATE TABLE a1 (id INT PRIMARY KEY, x INT)")
+    conn.execute("CREATE TABLE a2 (id INT PRIMARY KEY, x INT)")
+    conn.execute("CREATE TABLE b1 (id INT PRIMARY KEY, y INT)")
+    conn.execute("CREATE TABLE b2 (id INT PRIMARY KEY, y INT)")
+    server.load_table("a1", [(i, i % 10) for i in range(10)])
+    server.load_table("a2", [(i, i % 10) for i in range(10000)])
+    server.load_table("b1", [(i, i % 50) for i in range(100)])
+    server.load_table("b2", [(i, i % 50) for i in range(100)])
+    sql = ("SELECT COUNT(*) FROM a1, a2, b1, b2 "
+           "WHERE a1.x = a2.x AND b1.y = b2.y")
+    cost, stats = optimize_with(server, sql, quota=10**9, mode="governor")
+    return [(
+        stats.nodes_visited,
+        stats.plans_completed,
+        stats.improvements,
+        stats.first_plan_cost / 1000.0,
+        cost / 1000.0,
+    )]
+
+
+def test_e6b_improvement_redistribution(once):
+    rows = once(run_improvement_experiment)
+    print_table(
+        "E6b: >=20% improvement fires quota redistribution "
+        "(disconnected join components)",
+        ["nodes", "plans", "improv>=20%", "first plan (ms)", "best plan (ms)"],
+        rows,
+    )
+    nodes, plans, improvements, first, best = rows[0]
+    assert improvements >= 1          # the redistribution event fired
+    assert best <= first * 0.8        # the improvement really was >= 20%
+    assert plans >= 2

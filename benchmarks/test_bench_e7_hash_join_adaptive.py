@@ -1,0 +1,129 @@
+"""E7: hash-join adaptivity (Section 4.3).
+
+Two reproduced claims:
+
+1. **Alternate-strategy switch**: the optimizer favours a hash join from
+   an (over)estimated build cardinality; at run time the operator counts
+   the true build rows and switches to the annotated index-nested-loops
+   alternate when that is cheaper — the probe side is then never scanned.
+2. **Graceful degradation**: as the memory quota shrinks, the hash join
+   evicts its largest partitions to the temporary file and run time
+   degrades smoothly instead of falling off a cliff.
+"""
+
+from conftest import make_server, print_table
+
+
+def load_tables(server, n_customers=20000, n_orders=50000, needle=True):
+    conn = server.connect()
+    conn.execute(
+        "CREATE TABLE customer (id INT PRIMARY KEY, region VARCHAR(10))"
+    )
+    conn.execute("CREATE TABLE orders (id INT, cust_id INT, amount INT)")
+    server.load_table(
+        "customer", [(i, "region%d" % (i % 5)) for i in range(n_customers)]
+    )
+    rows = [(i, i % n_customers, i % 3) for i in range(n_orders)]
+    if needle:
+        rows.append((n_orders + 1, 7, 999))
+    server.load_table("orders", rows)
+    return conn
+
+
+JOIN_SQL = (
+    "SELECT c.region FROM customer c JOIN orders o "
+    "ON o.cust_id = c.id WHERE o.amount = ?"
+)
+
+
+def run_switch_experiment():
+    rows = []
+    # Adaptive run: the switch is enabled.
+    server = make_server(pool_pages=2048)
+    conn = load_tables(server)
+    start = server.clock.now
+    result = conn.execute(JOIN_SQL, params=[999])
+    adaptive_us = server.clock.now - start
+    switched = result.notes.get("hash_join_switched", 0)
+    rows.append(("adaptive (switch enabled)", adaptive_us / 1000.0,
+                 switched, len(result)))
+    # Control run: same plan, alternate stripped -> full hash join.
+    server2 = make_server(pool_pages=2048)
+    conn2 = load_tables(server2)
+    from repro.sql import Binder, parse_statement
+
+    binder = Binder(server2.catalog)
+    block = binder.bind(parse_statement(JOIN_SQL))
+    optimizer = server2.make_optimizer()
+    plan_result = optimizer.optimize_select(block)
+    for node in plan_result.plan.walk():
+        if hasattr(node, "alternate"):
+            node.alternate = None
+    from repro.exec import ExecutionContext, Executor
+
+    task = server2.memory_governor.begin_task()
+    ctx = ExecutionContext(
+        server2.pool, server2.temp_file, server2.stats, server2.clock, task,
+        [999],
+    )
+    executor = Executor(
+        plan_block_fn=optimizer.optimize_select,
+        bind_recursive_arm_fn=binder.bind_recursive_arm,
+    )
+    start = server2.clock.now
+    output = list(executor.run(plan_result, ctx))
+    server2.memory_governor.end_task(task)
+    rows.append(("hash join forced (no switch)",
+                 (server2.clock.now - start) / 1000.0, 0, len(output)))
+    return rows
+
+
+def run_degradation_experiment():
+    """Join time vs shrinking soft memory limit."""
+    rows = []
+    for mpl in (1, 4, 16, 32, 64, 256):
+        server = make_server(pool_pages=1024, mpl=mpl)
+        conn = load_tables(server, n_customers=2000, n_orders=12000,
+                           needle=False)
+        sql = (
+            "SELECT COUNT(*) FROM customer c JOIN orders o "
+            "ON o.cust_id = c.id"
+        )
+        start = server.clock.now
+        result = conn.execute(sql)
+        elapsed_ms = (server.clock.now - start) / 1000.0
+        soft_pages = server.memory_governor.soft_limit_pages()
+        rows.append((soft_pages, elapsed_ms, result.rows[0][0]))
+    return rows
+
+
+def test_e7a_alternate_switch(once):
+    rows = once(run_switch_experiment)
+    print_table(
+        "E7a: hash join switches to index-NL after seeing the build input",
+        ["strategy", "exec ms (sim)", "switched", "rows"],
+        rows,
+    )
+    adaptive, forced = rows
+    assert adaptive[2] == 1          # the switch fired
+    assert adaptive[3] == forced[3] == 1  # same answer either way
+    # Switching avoids the probe-side scan: clearly faster.
+    assert adaptive[1] < forced[1] * 0.7
+
+
+def test_e7b_graceful_degradation(once):
+    rows = once(run_degradation_experiment)
+    print_table(
+        "E7b: hash join under shrinking memory quota "
+        "(largest-partition eviction)",
+        ["soft limit (pages)", "exec ms (sim)", "rows"],
+        rows,
+    )
+    times = [row[1] for row in rows]
+    # Everybody gets the right answer.
+    assert all(row[2] == 12000 for row in rows)
+    # Less memory never helps, and the starved run pays for its spills.
+    assert times[-1] >= times[0]
+    # Degradation, not a cliff: each memory step costs at most ~8x.
+    for before, after in zip(times, times[1:]):
+        assert after <= before * 8 + 1

@@ -1,0 +1,54 @@
+"""E2 / Figure 2(a): the default (generic) DTT model.
+
+Prints the four curves of the paper's figure — Read 4K, Read 8K, Write 4K,
+Write 8K — over the band-size axis, and checks the figure's shape: costs
+grow with band size, writes fall below reads at large bands, 8 K pages
+cost more than 4 K pages, and sequential I/O (band 1) is the cheapest.
+"""
+
+from repro.common import KiB
+from repro.dtt import default_dtt_model
+
+from conftest import print_table
+
+BANDS = [1, 10, 50, 200, 500, 1000, 2000, 3500]
+
+
+def run_experiment():
+    model = default_dtt_model()
+    rows = []
+    for band in BANDS:
+        rows.append((
+            band,
+            model.cost_us("read", 4 * KiB, band),
+            model.cost_us("read", 8 * KiB, band),
+            model.cost_us("write", 4 * KiB, band),
+            model.cost_us("write", 8 * KiB, band),
+        ))
+    return rows
+
+
+def test_fig2a_default_dtt(once):
+    rows = once(run_experiment)
+    print_table(
+        "Figure 2(a) (E2): default DTT model (microseconds per page)",
+        ["band", "Read 4K", "Read 8K", "Write 4K", "Write 8K"],
+        rows,
+    )
+    read4 = [row[1] for row in rows]
+    read8 = [row[2] for row in rows]
+    write4 = [row[3] for row in rows]
+    write8 = [row[4] for row in rows]
+    # Monotone growth with band size.
+    for curve in (read4, read8, write4, write8):
+        assert curve == sorted(curve)
+        assert curve[0] < 200  # sequential is near-free
+    # Writes are cheaper than reads at larger band sizes (asynchronous,
+    # schedulable writes vs synchronous reads).
+    for i, band in enumerate(BANDS):
+        if band >= 50:
+            assert write4[i] < read4[i]
+            assert write8[i] < read8[i]
+    # Larger pages cost more.
+    assert all(r8 > r4 for r8, r4 in zip(read8, read4))
+    assert all(w8 > w4 for w8, w4 in zip(write8, write4))

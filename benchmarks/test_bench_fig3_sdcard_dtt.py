@@ -1,0 +1,47 @@
+"""E4 / Figure 3: DTT of an SD storage card.
+
+"Figure 3 illustrates the DTT curve of a 512 MB SD card on a Pocket PC
+2003 handheld device — note the uniform random access times."  The flash
+device is calibrated the same way the rotational disk is; the resulting
+read/write curves must be flat across band sizes, with writes costlier
+than reads (erase-before-write).
+"""
+
+from repro.common import KiB, SimClock
+from repro.dtt import approximate_write_curve, calibrate_read_curve
+from repro.storage import FlashDisk
+
+from conftest import print_table
+
+#: The paper's x-axis sample points for the SD card figure.
+BANDS = [1, 200, 800, 1237, 1674, 2548, 4296]
+
+
+def run_experiment():
+    # A 512 MB card at 4 KiB pages = 131072 pages.
+    disk = FlashDisk(SimClock(), 131_072, read_us=390, write_us=1180)
+    read_curve = calibrate_read_curve(
+        disk, bands=BANDS, samples_per_band=32
+    )
+    rows = []
+    for band in BANDS:
+        measured_read = read_curve.cost_us(band)
+        measured_write = disk.write_page(band % disk.size_pages)
+        rows.append((band, measured_read, measured_write))
+    return rows
+
+
+def test_fig3_sdcard_dtt(once):
+    rows = once(run_experiment)
+    print_table(
+        "Figure 3 (E4): DTT for a 512 MB SD card (uniform access times)",
+        ["band", "Read 4K (us)", "Write 4K (us)"],
+        rows,
+    )
+    reads = [row[1] for row in rows]
+    writes = [row[2] for row in rows]
+    # Uniform random access: the curve is flat across all band sizes.
+    assert max(reads) <= min(reads) * 1.05
+    assert max(writes) <= min(writes) * 1.05
+    # Flash writes cost more than reads.
+    assert min(writes) > max(reads)

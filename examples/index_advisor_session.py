@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""An Application Profiling session (Section 5).
+
+Traces a deliberately sloppy application, runs the design-flaw analyzer
+(which catches the client-side join), asks the Index Consultant for
+recommendations via virtual indexes, applies the top pick, and shows the
+speedup — the full advisory loop the paper describes, up to the final
+step the paper leaves to the DBA: "the DBA is only required to approve or
+disapprove of a recommendation."
+
+Run:  python examples/index_advisor_session.py
+"""
+
+from repro import Server, ServerConfig
+from repro.profiling import FlawAnalyzer, IndexConsultant, Tracer
+
+
+def run_application(conn):
+    """A naive app: per-id lookups in a loop plus reporting queries."""
+    for order_id in range(25):
+        conn.execute("SELECT total FROM orders WHERE id = %d" % order_id)
+    for __ in range(3):
+        conn.execute("SELECT COUNT(*) FROM orders WHERE status = 3")
+        conn.execute(
+            "SELECT SUM(total) FROM orders WHERE status = 1 AND total > 900"
+        )
+
+
+def main():
+    server = Server(ServerConfig(initial_pool_pages=256))
+    conn = server.connect()
+    conn.execute(
+        "CREATE TABLE orders (id INT PRIMARY KEY, status INT, total DOUBLE)"
+    )
+    rows = sorted(
+        ((i, i % 7, float(i % 1000)) for i in range(25_000)),
+        key=lambda row: row[1],
+    )
+    server.load_table("orders", rows)
+
+    # 1. Capture a trace while the application runs.
+    server.tracer = Tracer()
+    start = server.clock.now
+    run_application(conn)
+    before_ms = (server.clock.now - start) / 1000.0
+    print("traced %d statements, %.0f ms of simulated time"
+          % (len(server.tracer), before_ms))
+
+    # 2. The design-flaw database.
+    print("\ndesign flaws detected:")
+    for flaw in FlawAnalyzer().analyze(server.tracer, server.catalog):
+        print("  [%s] %s" % (flaw.severity, flaw.summary))
+        print("        -> %s" % (flaw.recommendation,))
+
+    # 3. The Index Consultant with virtual indexes.
+    workload = sorted({
+        event.sql for event in server.tracer.events
+        if event.template.startswith("SELECT")
+        and "WHERE status" in event.sql
+    })
+    consultant = IndexConsultant(server)
+    recommendations = consultant.analyze(workload)
+    print("\nindex recommendations:")
+    for rec in recommendations:
+        print("  %s %s(%s)  est. benefit %.0f ms"
+              % (rec.action, rec.table_name, ", ".join(rec.column_names),
+                 rec.benefit_us / 1000.0))
+
+    # 4. The DBA approves the top recommendation.
+    creates = [r for r in recommendations if r.action == "create"]
+    if creates:
+        top = creates[0]
+        conn.execute(
+            "CREATE INDEX advisor_pick ON %s (%s)"
+            % (top.table_name, ", ".join(top.column_names))
+        )
+        server.tracer = None
+        server.pool.set_capacity(256)
+        start = server.clock.now
+        run_application(conn)
+        after_ms = (server.clock.now - start) / 1000.0
+        print("\napplication time: %.0f ms -> %.0f ms after creating %s(%s)"
+              % (before_ms, after_ms, top.table_name,
+                 ", ".join(top.column_names)))
+    conn.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: the embedded, zero-administration workflow.
+
+The paper's opening example: "a SQL Anywhere database can be started by a
+simple client API call from the application, and can shut down
+automatically when the last connection disconnects."  No tuning knobs are
+set anywhere in this script — the self-managing machinery (buffer
+governor, automatic statistics, adaptive execution) runs underneath.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import connect
+
+
+def main():
+    # One call starts the server (simulated machine included).
+    conn = connect()
+
+    conn.execute(
+        "CREATE TABLE product ("
+        "  id INT PRIMARY KEY,"
+        "  name VARCHAR(40),"
+        "  category VARCHAR(20),"
+        "  price DOUBLE)"
+    )
+    conn.execute(
+        "INSERT INTO product VALUES "
+        "(1, 'anvil', 'hardware', 35.0), "
+        "(2, 'rocket skates', 'transport', 120.0), "
+        "(3, 'dehydrated boulders', 'hardware', 8.5), "
+        "(4, 'tornado seeds', 'garden', 99.0), "
+        "(5, 'earthquake pills', 'pharmacy', 12.0)"
+    )
+
+    print("All products over $10, cheapest first:")
+    result = conn.execute(
+        "SELECT name, price FROM product WHERE price > 10 ORDER BY price"
+    )
+    for name, price in result:
+        print("  %-22s $%7.2f" % (name, price))
+
+    print("\nSpending by category:")
+    result = conn.execute(
+        "SELECT category, COUNT(*), SUM(price) FROM product "
+        "GROUP BY category ORDER BY SUM(price) DESC"
+    )
+    for category, count, total in result:
+        print("  %-10s %d item(s), $%7.2f" % (category, count, total))
+
+    print("\nThe optimizer's plan for a filtered query:")
+    result = conn.execute("SELECT name FROM product WHERE id = 3")
+    print(result.explain())
+
+    # Closing the last connection shuts the server down automatically.
+    server = conn.server
+    conn.close()
+    print("\nserver still running after last disconnect? %s" % server.running)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro: a reproduction of *SQL Anywhere: A Holistic Approach to Database
+Self-management* (Bowman et al., ICDE 2007).
+
+A complete, self-managing relational database engine on a simulated
+machine (virtual clock, DTT-modelled disks, simulated OS memory), built so
+every self-management mechanism of the paper can be exercised and
+measured:
+
+>>> from repro import connect
+>>> conn = connect()
+>>> conn.execute("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20))")
+>>> conn.execute("INSERT INTO t VALUES (1, 'hello')")
+>>> list(conn.execute("SELECT name FROM t WHERE id = 1"))
+[('hello',)]
+
+See :mod:`repro.engine` for the server facade, and DESIGN.md in the
+repository root for the full system inventory.
+"""
+
+from repro.engine import Result, Server, ServerConfig, connect
+
+__version__ = "1.0.0"
+
+__all__ = ["connect", "Server", "ServerConfig", "Result", "__version__"]

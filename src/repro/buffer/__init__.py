@@ -1,0 +1,33 @@
+"""The heterogeneous buffer pool and its self-managing governor (Section 2).
+
+The pool is "a single heterogeneous pool of all types of pages: table
+pages, index pages, undo and redo log pages, bitmaps, free pages, and heap
+pages", with uniform frame sizes.  Replacement is a modified generalized
+clock with eight reference-time segments, exponential score decay, and a
+lookaside queue of immediately reusable (heap/temporary) pages.
+
+Query-processing memory lives in :class:`~repro.buffer.heap.Heap` objects
+whose pages can be *stolen* while the heap is unlocked — swapped to the
+temporary file and swizzled back in on re-lock.
+
+The pool's size is driven by :class:`~repro.buffer.governor.BufferGovernor`,
+the paper's feedback controller over OS working-set size and free memory.
+"""
+
+from repro.buffer.frames import Frame, PageKind
+from repro.buffer.replacement import FIFOPolicy, GClockPolicy, LRUPolicy
+from repro.buffer.pool import BufferPool
+from repro.buffer.heap import Heap
+from repro.buffer.governor import BufferGovernor, GovernorConfig
+
+__all__ = [
+    "Frame",
+    "PageKind",
+    "GClockPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "BufferPool",
+    "Heap",
+    "BufferGovernor",
+    "GovernorConfig",
+]

@@ -1,0 +1,80 @@
+"""Buffer frames and page kinds."""
+
+import enum
+
+
+class PageKind(enum.Enum):
+    """Every page type shares the one pool (paper Section 2.1)."""
+
+    TABLE = "table"
+    INDEX = "index"
+    UNDO = "undo"
+    REDO = "redo"
+    BITMAP = "bitmap"
+    FREE = "free"
+    HEAP = "heap"
+    TEMP = "temp"
+
+    @property
+    def is_immediately_reusable(self):
+        """Kinds eligible for the lookaside queue.
+
+        "Typically, pages in this queue are heap and temporary table
+        pages."
+        """
+        return self in (PageKind.HEAP, PageKind.TEMP)
+
+
+class Frame:
+    """One page frame in the buffer pool.
+
+    A frame is either *disk-backed* (``owner`` is a PagedFile and
+    ``page_no`` its file-local page) or a *heap* frame (``owner`` is None
+    and ``heap_ref`` identifies the owning heap allocation).  Payload is an
+    arbitrary Python object; the simulation accounts size in whole pages.
+    """
+
+    __slots__ = (
+        "owner",
+        "page_no",
+        "heap_ref",
+        "kind",
+        "payload",
+        "dirty",
+        "pin_count",
+        "score",
+        "last_ref_tick",
+        "insert_tick",
+    )
+
+    def __init__(self, kind, owner=None, page_no=None, heap_ref=None, payload=None):
+        self.kind = kind
+        self.owner = owner
+        self.page_no = page_no
+        self.heap_ref = heap_ref
+        self.payload = payload
+        self.dirty = False
+        self.pin_count = 0
+        self.score = 0.0
+        self.last_ref_tick = 0
+        self.insert_tick = 0
+
+    @property
+    def key(self):
+        """Hashable identity used by the pool's frame table."""
+        if self.owner is not None:
+            return ("file", self.owner.file_id, self.page_no)
+        return ("heap", self.heap_ref)
+
+    @property
+    def pinned(self):
+        return self.pin_count > 0
+
+    def __repr__(self):
+        return "Frame(%r, kind=%s, pins=%d, dirty=%s, score=%.2f)" % (
+            self.key,
+            self.kind.value,
+            self.pin_count,
+            self.dirty,
+            self.score,
+        )

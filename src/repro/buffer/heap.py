@@ -1,0 +1,159 @@
+"""Connection heaps (paper Section 2.1).
+
+"In-memory data structures created and utilized for query processing,
+including hash tables, prepared statements, cursors, and similar
+structures, are allocated within heaps.  When a heap is not in use ... the
+heap is 'unlocked'.  Pages in unlocked heaps can be stolen and used by the
+buffer pool manager for other purposes ... the stolen pages are swapped out
+to the temporary file.  To resume the processing of the request, the heap
+is re-locked, pinning its pages in physical memory.  A pointer swizzling
+technique is used to reset pointers in pages relocated during re-locking."
+
+In this simulation payloads are Python objects, so references survive
+relocation for free; :attr:`Heap.swizzle_count` counts the page reloads
+where a real engine would have had to reset pointers.
+"""
+
+from repro.common.errors import ReproError
+
+
+class _Slot:
+    __slots__ = ("frame", "temp_page")
+
+    def __init__(self, frame):
+        self.frame = frame
+        self.temp_page = None
+
+
+class Heap:
+    """A lockable bag of buffer-pool pages owned by one request/connection."""
+
+    def __init__(self, pool, name="heap"):
+        self._pool = pool
+        self.name = name
+        self._slots = []
+        self._locked = True
+        self.swizzle_count = 0
+        self._freed = False
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+
+    @property
+    def locked(self):
+        return self._locked
+
+    @property
+    def page_count(self):
+        """Pages owned by this heap (resident or spilled)."""
+        return len(self._slots)
+
+    def size_bytes(self):
+        return self.page_count * self._pool.page_size
+
+    def resident_count(self):
+        """Pages currently in the buffer pool (not spilled)."""
+        return sum(1 for slot in self._slots if slot.frame is not None)
+
+    # ------------------------------------------------------------------ #
+    # page access (only while locked)
+    # ------------------------------------------------------------------ #
+
+    def allocate_page(self, payload=None):
+        """Allocate a new heap page; returns its slot handle."""
+        self._require_locked("allocate")
+        slot_index = len(self._slots)
+        frame = self._pool.allocate_heap_frame((self, slot_index), payload)
+        self._slots.append(_Slot(frame))
+        return slot_index
+
+    def read(self, slot_index):
+        """The payload of a heap page."""
+        self._require_locked("read")
+        return self._slot(slot_index).frame.payload
+
+    def write(self, slot_index, payload):
+        """Replace the payload of a heap page."""
+        self._require_locked("write")
+        self._slot(slot_index).frame.payload = payload
+
+    # ------------------------------------------------------------------ #
+    # lock / unlock
+    # ------------------------------------------------------------------ #
+
+    def unlock(self):
+        """Release pins so the pool may steal this heap's pages."""
+        if not self._locked:
+            return
+        self._locked = False
+        for slot in self._slots:
+            if slot.frame is not None:
+                self._pool.unpin(slot.frame)
+
+    def lock(self):
+        """Re-pin every page, swapping spilled pages back from temp.
+
+        Reloaded pages land in fresh frames; each reload bumps
+        :attr:`swizzle_count` (the pointer-swizzling events of the paper).
+        """
+        if self._locked:
+            return
+        self._locked = True
+        for slot_index, slot in enumerate(self._slots):
+            if slot.frame is not None:
+                self._pool.repin(slot.frame)
+            else:
+                slot.frame = self._pool.unspill_heap_frame(
+                    (self, slot_index), slot.temp_page
+                )
+                slot.temp_page = None
+                self.swizzle_count += 1
+
+    def free(self):
+        """Release every page permanently (request finished)."""
+        if self._freed:
+            return
+        for slot in self._slots:
+            if slot.frame is not None:
+                if self._locked:
+                    self._pool.unpin(slot.frame)
+                self._pool.release_frame(slot.frame)
+                slot.frame = None
+            elif slot.temp_page is not None:
+                self._pool.temp_file.free_page(slot.temp_page)
+                slot.temp_page = None
+        self._slots = []
+        self._freed = True
+
+    # ------------------------------------------------------------------ #
+    # pool callback
+    # ------------------------------------------------------------------ #
+
+    def note_spilled(self, slot_index, temp_page):
+        """Called by the pool when it steals one of our unlocked pages."""
+        slot = self._slots[slot_index]
+        slot.frame = None
+        slot.temp_page = temp_page
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _slot(self, slot_index):
+        slot = self._slots[slot_index]
+        if slot.frame is None:
+            raise ReproError(
+                "heap %r slot %d is spilled; lock() must reload it first"
+                % (self.name, slot_index)
+            )
+        return slot
+
+    def _require_locked(self, action):
+        if self._freed:
+            raise ReproError("heap %r has been freed" % (self.name,))
+        if not self._locked:
+            raise ReproError(
+                "cannot %s on unlocked heap %r; call lock() first"
+                % (action, self.name)
+            )

@@ -1,0 +1,236 @@
+"""The heterogeneous buffer pool."""
+
+from repro.buffer.frames import Frame, PageKind
+from repro.buffer.replacement import GClockPolicy
+from repro.common.errors import BufferPoolExhaustedError
+
+
+class BufferPool:
+    """A single pool of uniform-size frames for every page type.
+
+    The pool's *capacity* (in frames) is dynamic — the buffer governor
+    resizes it as system memory conditions change.  Shrinking evicts
+    unpinned frames (writing dirty ones back to their file, or spilling
+    unlocked heap pages to the temporary file); growth simply raises the
+    ceiling.
+
+    I/O time is charged to the simulated clock through the PagedFiles.
+    """
+
+    def __init__(self, temp_file, capacity_pages, policy=None):
+        if capacity_pages < 1:
+            raise ValueError("pool needs at least one frame")
+        self.temp_file = temp_file
+        self.capacity_pages = int(capacity_pages)
+        self.policy = policy if policy is not None else GClockPolicy()
+        self._frames = {}  # key -> Frame
+        self._tick = 0
+        # Counters (cumulative).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+        self.heap_spills = 0
+        self.heap_unspills = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def used_pages(self):
+        """Frames currently resident."""
+        return len(self._frames)
+
+    @property
+    def page_size(self):
+        return self.temp_file.volume.disk.page_size
+
+    def size_bytes(self):
+        """Capacity in bytes (what the server's process allocation tracks)."""
+        return self.capacity_pages * self.page_size
+
+    def pinned_count(self):
+        return sum(1 for frame in self._frames.values() if frame.pinned)
+
+    def resident(self, file, page_no):
+        """Whether a disk page is currently buffered (no I/O charged)."""
+        return ("file", file.file_id, page_no) in self._frames
+
+    def resident_fraction(self, file):
+        """Fraction of ``file``'s pages in the pool — the per-table statistic
+        the cost model consumes ("the percentage of a table resident in the
+        buffer pool ... maintained in real time", Section 3.2)."""
+        if file.page_count == 0:
+            return 0.0
+        resident = sum(
+            1
+            for frame in self._frames.values()
+            if frame.owner is file
+        )
+        return min(1.0, resident / file.page_count)
+
+    def mark(self):
+        """Snapshot of the miss counter, for the governor's polling."""
+        return self.misses
+
+    def misses_since(self, mark):
+        return self.misses - mark
+
+    # ------------------------------------------------------------------ #
+    # disk-backed pages
+    # ------------------------------------------------------------------ #
+
+    def fetch(self, file, page_no, kind=PageKind.TABLE):
+        """Pin and return the frame for ``(file, page_no)``, reading it from
+        the device on a miss."""
+        self._tick += 1
+        key = ("file", file.file_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.hits += 1
+            frame.pin_count += 1
+            self.policy.on_reference(frame, self._tick)
+            return frame
+        self.misses += 1
+        self._make_room(1)
+        frame = Frame(kind, owner=file, page_no=page_no)
+        frame.payload = file.read(page_no)
+        frame.pin_count = 1
+        self._frames[key] = frame
+        self.policy.on_insert(frame, self._tick)
+        return frame
+
+    def new_page(self, file, kind=PageKind.TABLE, payload=None):
+        """Allocate a fresh page in ``file`` and return its pinned frame.
+
+        The page is born dirty (it exists only in memory until evicted or
+        flushed).
+        """
+        self._tick += 1
+        page_no = file.allocate_page()
+        self._make_room(1)
+        frame = Frame(kind, owner=file, page_no=page_no, payload=payload)
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[frame.key] = frame
+        self.policy.on_insert(frame, self._tick)
+        return frame
+
+    def unpin(self, frame, dirty=False):
+        """Release one pin; ``dirty`` marks the payload as modified."""
+        if frame.pin_count <= 0:
+            raise ValueError("frame %r is not pinned" % (frame,))
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+        if frame.pin_count == 0:
+            self.policy.note_reusable(frame)
+
+    def flush_all(self):
+        """Write every dirty disk-backed frame to its file."""
+        for frame in list(self._frames.values()):
+            if frame.dirty and frame.owner is not None:
+                frame.owner.write(frame.page_no, frame.payload)
+                frame.dirty = False
+                self.writebacks += 1
+
+    def discard(self, file):
+        """Drop every frame of ``file`` without writing back (file dropped)."""
+        for key, frame in list(self._frames.items()):
+            if frame.owner is file:
+                self.policy.on_remove(frame)
+                del self._frames[key]
+
+    # ------------------------------------------------------------------ #
+    # heap frames (query-processing memory, Section 2.1)
+    # ------------------------------------------------------------------ #
+
+    def allocate_heap_frame(self, heap_ref, payload=None):
+        """Allocate a pinned HEAP frame on behalf of a heap."""
+        self._tick += 1
+        self._make_room(1)
+        frame = Frame(PageKind.HEAP, heap_ref=heap_ref, payload=payload)
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[frame.key] = frame
+        self.policy.on_insert(frame, self._tick)
+        return frame
+
+    def release_frame(self, frame):
+        """Return a heap/temp frame to the pool permanently (heap freed)."""
+        if frame.key in self._frames:
+            self.policy.on_remove(frame)
+            del self._frames[frame.key]
+
+    def repin(self, frame):
+        """Pin an already-resident frame (heap re-lock fast path)."""
+        if frame.key not in self._frames:
+            raise KeyError("frame %r is not resident" % (frame,))
+        self._tick += 1
+        frame.pin_count += 1
+        self.policy.on_reference(frame, self._tick)
+
+    # ------------------------------------------------------------------ #
+    # resizing (driven by the buffer governor)
+    # ------------------------------------------------------------------ #
+
+    def set_capacity(self, n_pages):
+        """Resize the pool.  Shrinking evicts unpinned frames; if pins keep
+        the pool above the requested size, capacity settles at the pinned
+        floor.  Returns the actual new capacity."""
+        n_pages = max(1, int(n_pages))
+        while len(self._frames) > n_pages:
+            try:
+                victim = self.policy.choose_victim(
+                    set(self._frames.values()), self._tick
+                )
+            except BufferPoolExhaustedError:
+                break
+            self._evict(victim)
+        self.capacity_pages = max(n_pages, len(self._frames))
+        return self.capacity_pages
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _make_room(self, needed):
+        while len(self._frames) + needed > self.capacity_pages:
+            victim = self.policy.choose_victim(set(self._frames.values()), self._tick)
+            self._evict(victim)
+
+    def _evict(self, frame):
+        self.evictions += 1
+        if frame.owner is not None:
+            if frame.dirty:
+                frame.owner.write(frame.page_no, frame.payload)
+                self.writebacks += 1
+        elif frame.heap_ref is not None:
+            # An unlocked heap page is stolen: swap it to the temporary
+            # file so the heap can swizzle it back in on re-lock.
+            self._spill_heap_frame(frame)
+        self.policy.on_remove(frame)
+        del self._frames[frame.key]
+
+    def _spill_heap_frame(self, frame):
+        heap, slot = frame.heap_ref
+        temp_page = self.temp_file.allocate_page()
+        self.temp_file.write(temp_page, frame.payload)
+        self.heap_spills += 1
+        heap.note_spilled(slot, temp_page)
+
+    def unspill_heap_frame(self, heap_ref, temp_page):
+        """Read a spilled heap page back from the temporary file into a
+        fresh pinned frame (heap re-lock slow path)."""
+        self._tick += 1
+        self._make_room(1)
+        payload = self.temp_file.read(temp_page)
+        self.temp_file.free_page(temp_page)
+        self.heap_unspills += 1
+        frame = Frame(PageKind.HEAP, heap_ref=heap_ref, payload=payload)
+        frame.pin_count = 1
+        frame.dirty = True
+        self._frames[frame.key] = frame
+        self.policy.on_insert(frame, self._tick)
+        return frame

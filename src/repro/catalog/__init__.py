@@ -1,0 +1,33 @@
+"""The database catalog: schemas, indexes, procedures, options, DTT model.
+
+Self-managing state the paper keeps "persistently in the database" — column
+histograms, procedure statistics, the DTT cost model — hangs off catalog
+objects so it survives across statements exactly as it would in the
+product.
+"""
+
+from repro.catalog.schema import (
+    Catalog,
+    Column,
+    ForeignKey,
+    IndexSchema,
+    ProcedureSchema,
+    TableSchema,
+)
+from repro.catalog.types import (
+    normalize_type,
+    python_value_matches,
+    estimated_value_bytes,
+)
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ForeignKey",
+    "IndexSchema",
+    "ProcedureSchema",
+    "TableSchema",
+    "normalize_type",
+    "python_value_matches",
+    "estimated_value_bytes",
+]

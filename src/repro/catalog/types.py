@@ -1,0 +1,96 @@
+"""SQL type handling.
+
+Types are kept as normalized uppercase names (``INT``, ``DOUBLE``,
+``VARCHAR``, ``DATE``, ``BOOLEAN``); VARCHAR carries an optional declared
+length used only for row-width estimation.  Values are plain Python objects
+(int, float, str, datetime.date, bool, None).
+"""
+
+import datetime
+
+from repro.common.errors import SqlTypeError
+
+#: Canonical names and their accepted aliases.
+_ALIASES = {
+    "INT": "INT",
+    "INTEGER": "INT",
+    "BIGINT": "INT",
+    "SMALLINT": "INT",
+    "DOUBLE": "DOUBLE",
+    "REAL": "DOUBLE",
+    "FLOAT": "DOUBLE",
+    "DECIMAL": "DOUBLE",
+    "NUMERIC": "DOUBLE",
+    "VARCHAR": "VARCHAR",
+    "CHAR": "VARCHAR",
+    "TEXT": "VARCHAR",
+    "STRING": "VARCHAR",
+    "LONG VARCHAR": "LONG VARCHAR",
+    "DATE": "DATE",
+    "BOOLEAN": "BOOLEAN",
+    "BOOL": "BOOLEAN",
+}
+
+#: Fixed per-value storage estimates (bytes), used for page packing.
+_FIXED_WIDTHS = {
+    "INT": 8,
+    "DOUBLE": 8,
+    "DATE": 8,
+    "BOOLEAN": 1,
+}
+
+_DEFAULT_VARCHAR_BYTES = 24
+
+
+def normalize_type(name):
+    """Canonical type name for ``name`` (case-insensitive, alias-aware)."""
+    try:
+        return _ALIASES[name.strip().upper()]
+    except KeyError:
+        raise SqlTypeError("unknown SQL type %r" % (name,)) from None
+
+
+def python_value_matches(type_name, value):
+    """Whether a Python value is storable in a column of ``type_name``.
+
+    NULL (None) matches every type; nullability is enforced separately.
+    """
+    if value is None:
+        return True
+    checks = {
+        "INT": lambda v: isinstance(v, int) and not isinstance(v, bool),
+        "DOUBLE": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+        "VARCHAR": lambda v: isinstance(v, str),
+        "LONG VARCHAR": lambda v: isinstance(v, str),
+        "DATE": lambda v: isinstance(v, datetime.date),
+        "BOOLEAN": lambda v: isinstance(v, bool),
+    }
+    try:
+        return checks[type_name](value)
+    except KeyError:
+        raise SqlTypeError("unknown SQL type %r" % (type_name,)) from None
+
+
+def coerce_value(type_name, value):
+    """Coerce a literal to the column type where natural (int -> double)."""
+    if value is None:
+        return None
+    if type_name == "DOUBLE" and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if not python_value_matches(type_name, value):
+        raise SqlTypeError(
+            "value %r is not valid for type %s" % (value, type_name)
+        )
+    return value
+
+
+def estimated_value_bytes(type_name, declared_length=None):
+    """Storage estimate for one value, used to pack rows into pages."""
+    if type_name in _FIXED_WIDTHS:
+        return _FIXED_WIDTHS[type_name]
+    if type_name in ("VARCHAR", "LONG VARCHAR"):
+        if declared_length:
+            # Assume half-full variable strings plus a small header.
+            return max(8, declared_length // 2 + 4)
+        return _DEFAULT_VARCHAR_BYTES
+    raise SqlTypeError("unknown SQL type %r" % (type_name,))

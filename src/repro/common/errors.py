@@ -1,0 +1,60 @@
+"""Exception hierarchy for the reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch the
+whole family with a single handler while the engine distinguishes the
+situations the paper calls out (e.g. a statement exceeding its hard memory
+limit is *terminated with an error*, Section 4.3).
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SqlParseError(ReproError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        super().__init__(message)
+        self.position = position
+
+
+class SqlTypeError(ReproError):
+    """Semantic analysis failed: unknown name, type mismatch, arity error."""
+
+
+class CatalogError(ReproError):
+    """Catalog violation: duplicate/missing table, column, or index."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for a valid statement."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a plan."""
+
+
+class MemoryQuotaExceededError(ExecutionError):
+    """A statement exceeded its *hard* memory limit (paper eq. 4).
+
+    The paper: "a hard memory limit: if exceeded, the statement is
+    terminated with an error."
+    """
+
+    def __init__(self, message, used_pages=None, limit_pages=None):
+        super().__init__(message)
+        self.used_pages = used_pages
+        self.limit_pages = limit_pages
+
+
+class BufferPoolExhaustedError(ReproError):
+    """No replaceable frame exists (every frame pinned)."""
+
+
+class CalibrationError(ReproError):
+    """DTT calibration failed or produced an unusable curve."""
+
+
+class TransactionError(ReproError):
+    """Transaction misuse: commit/rollback without begin, write after abort."""

@@ -1,0 +1,34 @@
+"""Byte and time units used throughout the reproduction.
+
+The paper mixes units freely (a 5 MB reserve, a 64 KB deadband, 4 K pages,
+one-minute polling).  We keep bytes as plain integers and simulated time in
+integer **microseconds**; these constants give the conversions a single home.
+"""
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Default page size for the heterogeneous buffer pool (Section 2.1: all
+#: page frames are the same size).
+DEFAULT_PAGE_SIZE = 4 * KiB
+
+#: Simulated time is measured in microseconds.
+MICROSECOND = 1
+MILLISECOND = 1000 * MICROSECOND
+SECOND = 1000 * MILLISECOND
+MINUTE = 60 * SECOND
+
+
+def bytes_to_pages(n_bytes, page_size=DEFAULT_PAGE_SIZE):
+    """Number of whole pages needed to hold ``n_bytes`` (ceiling division)."""
+    if n_bytes < 0:
+        raise ValueError("byte count must be non-negative, got %r" % (n_bytes,))
+    return -(-n_bytes // page_size)
+
+
+def pages_to_bytes(n_pages, page_size=DEFAULT_PAGE_SIZE):
+    """Size in bytes of ``n_pages`` pages."""
+    if n_pages < 0:
+        raise ValueError("page count must be non-negative, got %r" % (n_pages,))
+    return n_pages * page_size

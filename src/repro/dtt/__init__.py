@@ -1,0 +1,39 @@
+"""Disk Transfer Time (DTT) models (paper Section 4.2).
+
+A DTT function summarizes disk-subsystem behaviour as the amortized cost of
+reading (or writing) one page randomly over a *band size* area of the disk:
+band size 1 is sequential I/O, larger bands are increasingly random.  The
+optimizer's I/O cost estimates come entirely from a DTT model; the model is
+stored in the catalog and can be replaced via ``CALIBRATE DATABASE``.
+
+This package provides:
+
+* :class:`~repro.dtt.curve.DTTCurve` — a piecewise log-linear curve;
+* :class:`~repro.dtt.model.DTTModel` — (operation, page-size) -> curve;
+* :func:`~repro.dtt.model.default_dtt_model` — the paper's generic default
+  (Figure 2a);
+* :func:`~repro.dtt.model.flash_dtt_model` — flat flash/SD behaviour
+  (Figure 3);
+* :func:`~repro.dtt.calibration.calibrate_read_curve` — measures a device
+  and fits a read curve, approximating the write curve from it (Figure 2b).
+"""
+
+from repro.dtt.calibration import (
+    approximate_write_curve,
+    calibrate_device,
+    calibrate_read_curve,
+    calibrate_write_curve,
+)
+from repro.dtt.curve import DTTCurve
+from repro.dtt.model import DTTModel, default_dtt_model, flash_dtt_model
+
+__all__ = [
+    "DTTCurve",
+    "DTTModel",
+    "default_dtt_model",
+    "flash_dtt_model",
+    "calibrate_read_curve",
+    "calibrate_write_curve",
+    "approximate_write_curve",
+    "calibrate_device",
+]

@@ -1,0 +1,149 @@
+"""DTT calibration (``CALIBRATE DATABASE``, paper Section 4.2).
+
+"For specialized hardware, a CALIBRATE DATABASE statement can determine the
+read DTT curve from the actual system.  The write DTT curve is approximated
+using the read curve as a baseline."
+
+Calibration drives a *device* — anything with ``size_pages``,
+``read_page(page_no) -> cost_us`` and ``write_page(page_no) -> cost_us`` —
+through random reads confined to windows of varying band size, averages the
+measured per-page cost, and fits a :class:`~repro.dtt.curve.DTTCurve`.
+"""
+
+import random
+
+from repro.common.errors import CalibrationError
+from repro.dtt.curve import DTTCurve
+from repro.dtt.model import DTTModel, READ, WRITE
+
+#: Band sizes probed by default: logarithmically spaced, like Figure 2(b).
+DEFAULT_BANDS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+#: Fraction of the read cost attributed to a write at the same band size
+#: when approximating the write curve from the read baseline.  Writes are
+#: asynchronous and schedulable, hence cheaper at large bands; at band 1
+#: the advantage is small.
+_WRITE_FRACTION_SEQUENTIAL = 0.95
+_WRITE_FRACTION_RANDOM = 0.60
+
+
+def calibrate_read_curve(device, bands=DEFAULT_BANDS, samples_per_band=64, seed=0):
+    """Measure the device's read DTT curve.
+
+    For each band size, ``samples_per_band`` page reads are issued at
+    uniformly random offsets within a window of that many pages, and the
+    mean per-page cost becomes the curve's control point.  Band sizes
+    larger than the device are clamped to the device size (and
+    deduplicated), so small devices still produce a valid curve.
+    """
+    if samples_per_band < 1:
+        raise CalibrationError("need at least one sample per band")
+    if device.size_pages < 1:
+        raise CalibrationError("cannot calibrate an empty device")
+    rng = random.Random(seed)
+    points = []
+    seen_bands = set()
+    for band in sorted(bands):
+        band = min(int(band), device.size_pages)
+        if band < 1 or band in seen_bands:
+            continue
+        seen_bands.add(band)
+        base = 0
+        if device.size_pages > band:
+            base = rng.randrange(device.size_pages - band)
+        total_us = 0.0
+        for _ in range(samples_per_band):
+            page = base + rng.randrange(band)
+            total_us += device.read_page(page)
+        points.append((band, total_us / samples_per_band))
+    if not points:
+        raise CalibrationError("no band sizes were measurable on this device")
+    return DTTCurve(points)
+
+
+def approximate_write_curve(read_curve):
+    """Derive a write curve from a measured read curve.
+
+    The write fraction blends from ~1.0 at band 1 (sequential writes gain
+    little) toward :data:`_WRITE_FRACTION_RANDOM` at the largest measured
+    band (async writes gain the most where seeks dominate).
+    """
+    points = read_curve.points
+    if len(points) == 1:
+        band, cost = points[0]
+        return DTTCurve([(band, cost * _WRITE_FRACTION_SEQUENTIAL)])
+    first_band = points[0][0]
+    last_band = points[-1][0]
+    span = last_band - first_band
+    write_points = []
+    for band, cost in points:
+        if span == 0:
+            fraction = _WRITE_FRACTION_SEQUENTIAL
+        else:
+            mix = (band - first_band) / span
+            fraction = (
+                _WRITE_FRACTION_SEQUENTIAL
+                + mix * (_WRITE_FRACTION_RANDOM - _WRITE_FRACTION_SEQUENTIAL)
+            )
+        write_points.append((band, cost * fraction))
+    return DTTCurve(write_points)
+
+
+def calibrate_write_curve(device, bands=DEFAULT_BANDS, samples_per_band=64,
+                          seed=0):
+    """Measure the device's write DTT curve directly.
+
+    The paper approximates writes from the read baseline — an assumption
+    that holds for rotational disks (async, schedulable writes are
+    cheaper) but is backwards on flash, where erase-before-write makes
+    writes *dearer* than reads.  Direct write calibration is the paper's
+    Section 6 item "better modeling of write performance on removable
+    media".
+    """
+    if samples_per_band < 1:
+        raise CalibrationError("need at least one sample per band")
+    if device.size_pages < 1:
+        raise CalibrationError("cannot calibrate an empty device")
+    rng = random.Random(seed)
+    points = []
+    seen_bands = set()
+    for band in sorted(bands):
+        band = min(int(band), device.size_pages)
+        if band < 1 or band in seen_bands:
+            continue
+        seen_bands.add(band)
+        base = 0
+        if device.size_pages > band:
+            base = rng.randrange(device.size_pages - band)
+        total_us = 0.0
+        for __ in range(samples_per_band):
+            page = base + rng.randrange(band)
+            total_us += device.write_page(page)
+        points.append((band, total_us / samples_per_band))
+    if not points:
+        raise CalibrationError("no band sizes were measurable on this device")
+    return DTTCurve(points)
+
+
+def calibrate_device(device, page_size, bands=DEFAULT_BANDS,
+                     samples_per_band=64, seed=0, measure_writes=False):
+    """Full calibration: measure reads and build a model.
+
+    The write curve is approximated from the read baseline by default
+    (the paper's behaviour); pass ``measure_writes=True`` to measure it
+    directly instead — essential on removable/flash media, where the
+    approximation inverts the true read/write relationship.
+    """
+    read_curve = calibrate_read_curve(
+        device, bands=bands, samples_per_band=samples_per_band, seed=seed
+    )
+    if measure_writes:
+        write_curve = calibrate_write_curve(
+            device, bands=bands, samples_per_band=samples_per_band, seed=seed
+        )
+    else:
+        write_curve = approximate_write_curve(read_curve)
+    model = DTTModel("calibrated")
+    model.set_curve(READ, page_size, read_curve)
+    model.set_curve(WRITE, page_size, write_curve)
+    return model

@@ -1,0 +1,83 @@
+"""Piecewise log-linear DTT curves."""
+
+import math
+
+
+class DTTCurve:
+    """Amortized per-page I/O cost (microseconds) as a function of band size.
+
+    The curve is defined by control points ``(band_size, cost_us)`` with
+    band sizes >= 1, and interpolated linearly in ``log(band_size)`` — the
+    natural scale for the phenomenon (Figure 2b of the paper is plotted on
+    a log axis).  Queries outside the control-point range clamp to the
+    nearest endpoint: costs neither drop below the sequential cost nor grow
+    without bound past the largest measured band.
+    """
+
+    def __init__(self, points):
+        if not points:
+            raise ValueError("a DTT curve needs at least one control point")
+        cleaned = []
+        for band, cost in points:
+            if band < 1:
+                raise ValueError("band size must be >= 1, got %r" % (band,))
+            if cost < 0:
+                raise ValueError("cost must be non-negative, got %r" % (cost,))
+            cleaned.append((float(band), float(cost)))
+        cleaned.sort(key=lambda point: point[0])
+        for (band_a, _), (band_b, _) in zip(cleaned, cleaned[1:]):
+            if band_a == band_b:
+                raise ValueError("duplicate band size %r in DTT curve" % (band_a,))
+        self._points = cleaned
+
+    @property
+    def points(self):
+        """The control points as a list of ``(band, cost_us)`` tuples."""
+        return list(self._points)
+
+    def cost_us(self, band_size):
+        """Amortized cost in microseconds of one page I/O at ``band_size``."""
+        if band_size < 1:
+            raise ValueError("band size must be >= 1, got %r" % (band_size,))
+        band = float(band_size)
+        points = self._points
+        if band <= points[0][0]:
+            return points[0][1]
+        if band >= points[-1][0]:
+            return points[-1][1]
+        for (band_lo, cost_lo), (band_hi, cost_hi) in zip(points, points[1:]):
+            if band_lo <= band <= band_hi:
+                log_lo = math.log(band_lo)
+                log_hi = math.log(band_hi)
+                if log_hi == log_lo:
+                    return cost_lo
+                fraction = (math.log(band) - log_lo) / (log_hi - log_lo)
+                return cost_lo + fraction * (cost_hi - cost_lo)
+        raise AssertionError("unreachable: band %r not bracketed" % (band,))
+
+    def scaled(self, factor):
+        """A new curve with every cost multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return DTTCurve([(band, cost * factor) for band, cost in self._points])
+
+    def to_dict(self):
+        """Serializable form, for catalog storage."""
+        return {"points": [[band, cost] for band, cost in self._points]}
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        return cls([(band, cost) for band, cost in data["points"]])
+
+    def __eq__(self, other):
+        if not isinstance(other, DTTCurve):
+            return NotImplemented
+        return self._points == other._points
+
+    def __repr__(self):
+        return "DTTCurve(%d points, %.0f..%.0f us)" % (
+            len(self._points),
+            self._points[0][1],
+            self._points[-1][1],
+        )

@@ -1,0 +1,144 @@
+"""DTT models: collections of curves keyed by (operation, page size)."""
+
+from repro.common.units import KiB
+from repro.dtt.curve import DTTCurve
+
+READ = "read"
+WRITE = "write"
+
+_VALID_OPERATIONS = (READ, WRITE)
+
+
+class DTTModel:
+    """Maps ``(operation, page_size)`` to a :class:`DTTCurve`.
+
+    This is the object stored in the database catalog ("the DTT model is
+    stored in the catalog and can be altered or loaded with the execution
+    of a DDL statement"), which is what makes it practical to deploy
+    thousands of databases with a cost model calibrated on one
+    representative device.
+    """
+
+    def __init__(self, name, curves=None):
+        self.name = name
+        self._curves = {}
+        if curves:
+            for (operation, page_size), curve in curves.items():
+                self.set_curve(operation, page_size, curve)
+
+    def set_curve(self, operation, page_size, curve):
+        """Install ``curve`` for ``operation`` at ``page_size`` bytes."""
+        if operation not in _VALID_OPERATIONS:
+            raise ValueError("operation must be 'read' or 'write', got %r" % (operation,))
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self._curves[(operation, int(page_size))] = curve
+
+    def curve(self, operation, page_size):
+        """The curve for ``(operation, page_size)``, scaling a neighbouring
+        page size's curve when no exact entry exists."""
+        key = (operation, int(page_size))
+        if key in self._curves:
+            return self._curves[key]
+        candidates = [
+            (size, curve)
+            for (op, size), curve in self._curves.items()
+            if op == operation
+        ]
+        if not candidates:
+            raise KeyError("model %r has no %s curves" % (self.name, operation))
+        nearest_size, nearest_curve = min(
+            candidates, key=lambda item: abs(item[0] - page_size)
+        )
+        return nearest_curve.scaled(page_size / nearest_size)
+
+    def cost_us(self, operation, page_size, band_size):
+        """Amortized microseconds for one page I/O."""
+        return self.curve(operation, page_size).cost_us(band_size)
+
+    def page_sizes(self, operation):
+        """Sorted page sizes with an exact curve for ``operation``."""
+        return sorted(size for (op, size) in self._curves if op == operation)
+
+    def to_dict(self):
+        """Serializable form, for catalog storage."""
+        return {
+            "name": self.name,
+            "curves": [
+                {"operation": op, "page_size": size, "curve": curve.to_dict()}
+                for (op, size), curve in sorted(self._curves.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        model = cls(data["name"])
+        for entry in data["curves"]:
+            model.set_curve(
+                entry["operation"],
+                entry["page_size"],
+                DTTCurve.from_dict(entry["curve"]),
+            )
+        return model
+
+
+def default_dtt_model(page_size=4 * KiB):
+    """The paper's generic default DTT (Figure 2a).
+
+    Shape constraints reproduced from the figure and prose:
+
+    * band size 1 (sequential) is by far the cheapest;
+    * cost grows with band size, steeply at first, then flattening as
+      the seek distance saturates;
+    * at large band sizes the *write* curve lies **below** the read curve
+      (writes are asynchronous and can be scheduled; reads are synchronous);
+    * 8 K pages cost more than 4 K pages.
+    """
+    read_4k = DTTCurve(
+        [
+            (1, 110),
+            (4, 900),
+            (16, 2300),
+            (64, 4200),
+            (256, 6300),
+            (1024, 9200),
+            (2048, 11200),
+            (3500, 12600),
+        ]
+    )
+    write_4k = DTTCurve(
+        [
+            (1, 95),
+            (4, 700),
+            (16, 1600),
+            (64, 2700),
+            (256, 4000),
+            (1024, 5600),
+            (2048, 6600),
+            (3500, 7300),
+        ]
+    )
+    model = DTTModel("default-generic")
+    scale_8k = 1.45
+    model.set_curve(READ, page_size, read_4k)
+    model.set_curve(WRITE, page_size, write_4k)
+    model.set_curve(READ, page_size * 2, read_4k.scaled(scale_8k))
+    model.set_curve(WRITE, page_size * 2, write_4k.scaled(scale_8k))
+    return model
+
+
+def flash_dtt_model(page_size=4 * KiB):
+    """A flash / SD-card DTT (Figure 3): uniform random access times.
+
+    Random reads cost the same regardless of band size; writes are more
+    expensive than reads (erase-before-write), but equally uniform.
+    """
+    read_4k = DTTCurve([(1, 380), (1000000, 400)])
+    write_4k = DTTCurve([(1, 1150), (1000000, 1200)])
+    model = DTTModel("flash-sd")
+    model.set_curve(READ, page_size, read_4k)
+    model.set_curve(WRITE, page_size, write_4k)
+    model.set_curve(READ, page_size // 2, read_4k.scaled(0.7))
+    model.set_curve(WRITE, page_size // 2, write_4k.scaled(0.7))
+    return model

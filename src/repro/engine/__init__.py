@@ -1,0 +1,16 @@
+"""The database server facade.
+
+Wires the substrates together into a self-managing engine: simulated OS
+and disk, heterogeneous buffer pool with its sizing governor, catalog,
+self-managing statistics, cost-based optimizer with plan cache, adaptive
+executor, transaction log, and the embedded-style lifecycle the paper
+leads with ("a SQL Anywhere database can be started by a simple client API
+call from the application, and can shut down automatically when the last
+connection disconnects").
+"""
+
+from repro.engine.server import Result, Server, ServerConfig, connect
+from repro.engine.cursor import Cursor, FiberScheduler
+
+__all__ = ["Server", "ServerConfig", "Result", "connect", "Cursor",
+           "FiberScheduler"]

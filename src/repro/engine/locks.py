@@ -1,0 +1,75 @@
+"""Row locking on the disk-based extensible hash table (Section 2.1).
+
+Long-term (transaction-duration) exclusive row locks live in an
+:class:`~repro.storage.exthash.ExtensibleHashTable` over ordinary pool
+pages: the lock table has **no configured size and no escalation
+thresholds** — a transaction may lock millions of rows and the structure
+simply grows, its cold buckets spilling through the buffer pool like any
+other page.
+"""
+
+from repro.common.errors import ReproError
+from repro.storage.exthash import ExtensibleHashTable
+
+
+class LockConflictError(ReproError):
+    """The row is locked by another transaction."""
+
+    def __init__(self, key, holder_txn):
+        super().__init__(
+            "row %r is locked by transaction %r" % (key, holder_txn)
+        )
+        self.key = key
+        self.holder_txn = holder_txn
+
+
+class LockManager:
+    """Exclusive row locks keyed by (table, row id), per transaction."""
+
+    def __init__(self, file, pool):
+        self._table = ExtensibleHashTable(file, pool, name="lock-table")
+        self._held = {}  # txn_id -> [keys]
+        self.conflicts = 0
+
+    # ------------------------------------------------------------------ #
+    # acquisition / release
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, txn_id, table_name, row_id):
+        """Take an exclusive lock; re-acquisition by the holder is free.
+
+        Raises :class:`LockConflictError` if another transaction holds it
+        (this single-scheduler engine fails fast rather than queueing).
+        """
+        key = (table_name, row_id.page_ordinal, row_id.slot)
+        holder = self._table.get(key)
+        if holder is None:
+            self._table.put(key, txn_id)
+            self._held.setdefault(txn_id, []).append(key)
+            return
+        if holder != txn_id:
+            self.conflicts += 1
+            raise LockConflictError(key, holder)
+
+    def release_all(self, txn_id):
+        """Drop every lock of ``txn_id`` (commit/rollback)."""
+        for key in self._held.pop(txn_id, []):
+            try:
+                self._table.remove(key)
+            except KeyError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def held_by(self, txn_id):
+        return len(self._held.get(txn_id, []))
+
+    def total_locks(self):
+        return len(self._table)
+
+    @property
+    def lock_table_pages(self):
+        """Pages backing the lock table (grows on demand, never sized)."""
+        return self._table.bucket_pages

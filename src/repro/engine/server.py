@@ -1,0 +1,891 @@
+"""Server, connections, and statement execution."""
+
+import dataclasses
+
+from repro.buffer import BufferGovernor, BufferPool, GovernorConfig
+from repro.catalog import (
+    Catalog,
+    Column,
+    ForeignKey,
+    IndexSchema,
+    ProcedureSchema,
+    TableSchema,
+)
+from repro.catalog.types import coerce_value
+from repro.common import DEFAULT_PAGE_SIZE, MiB, SimClock
+from repro.common.errors import ExecutionError, SqlTypeError, TransactionError
+from repro.dtt import calibrate_device, default_dtt_model
+from repro.dtt.model import DTTModel
+from repro.exec import ExecutionContext, Executor, MemoryGovernor
+from repro.exec.expr import evaluate, evaluate_predicate
+from repro.optimizer import (
+    CostModelContext,
+    Optimizer,
+    PlanCache,
+)
+from repro.optimizer.costmodel import OPTIMIZER_NODE_US
+from repro.optimizer.plancache import plan_signature
+from repro.ossim import OperatingSystem
+from repro.sql import Binder, ast, parse_statement
+from repro.stats import StatisticsManager
+from repro.storage import ModelBackedDisk, TransactionLog, Volume
+from repro.storage.btree import BTree
+from repro.storage.log import DELETE as LOG_DELETE
+from repro.storage.log import INSERT as LOG_INSERT
+from repro.storage.log import UPDATE as LOG_UPDATE
+from repro.storage.rowstore import TableStorage
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Server tunables (every default is the paper's where one exists)."""
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    disk_pages: int = 1_000_000
+    total_memory: int = 256 * MiB
+    initial_pool_pages: int = 1024           # 4 MiB
+    multiprogramming_level: int = 4
+    optimizer_quota: int = 5000
+    governor: GovernorConfig = dataclasses.field(default_factory=GovernorConfig)
+    supports_working_set: bool = True
+    start_buffer_governor: bool = True
+    feedback_enabled: bool = True
+    #: Section 6 future work: let the memory governor adapt the
+    #: multiprogramming level to observed contention.
+    adaptive_mpl: bool = False
+
+
+class Result:
+    """Rows plus execution metadata."""
+
+    def __init__(self, rows=None, columns=None, plan_result=None, notes=None,
+                 rowcount=0):
+        self.rows = rows if rows is not None else []
+        self.columns = columns if columns is not None else []
+        self.plan_result = plan_result
+        self.notes = notes if notes is not None else {}
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def explain(self):
+        if self.plan_result is None:
+            return "<no plan>"
+        return self.plan_result.explain()
+
+
+def connect(server=None, **config_kwargs):
+    """Embedded-style entry point: starts a server if none is running."""
+    if server is None:
+        server = Server(ServerConfig(**config_kwargs))
+    return server.connect()
+
+
+class Server:
+    """One database server instance over a simulated machine."""
+
+    def __init__(self, config=None, clock=None, os=None, disk=None):
+        self.config = config if config is not None else ServerConfig()
+        self.clock = clock if clock is not None else SimClock()
+        self.os = os if os is not None else OperatingSystem(
+            self.config.total_memory,
+            supports_working_set=self.config.supports_working_set,
+        )
+        self.process = self.os.spawn("dbserver")
+        if disk is None:
+            disk = ModelBackedDisk(
+                self.clock, self.config.disk_pages, default_dtt_model(
+                    self.config.page_size
+                ),
+                page_size=self.config.page_size,
+            )
+        self.disk = disk
+        self.volume = Volume(disk)
+        self.temp_file = self.volume.create_file("temp")
+        self.log_file = self.volume.create_file("txn.log")
+        self.pool = BufferPool(self.temp_file, self.config.initial_pool_pages)
+        self.catalog = Catalog()
+        self.catalog.dtt_model = default_dtt_model(self.config.page_size)
+        self.stats = StatisticsManager(self.catalog)
+        self.txn_log = TransactionLog(self.log_file)
+        from repro.engine.locks import LockManager
+
+        self.lock_manager = LockManager(
+            self.volume.create_file("locks"), self.pool
+        )
+        self.memory_governor = MemoryGovernor(
+            self.pool,
+            max_pool_pages=self.config.governor.upper_bound_bytes
+            // self.config.page_size,
+            multiprogramming_level=self.config.multiprogramming_level,
+            adaptive=self.config.adaptive_mpl,
+        )
+        self.buffer_governor = BufferGovernor(
+            self.clock, self.os, self.process, self.pool,
+            database_size_fn=self.database_size_bytes,
+            heap_size_fn=lambda: 0,
+            config=self.config.governor,
+        )
+        self._connections = 0
+        self._running = False
+        self._next_txn_id = 1
+        #: Application Profiling hook: set to a Tracer to capture activity.
+        self.tracer = None
+        #: observability
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def connect(self):
+        if not self._running:
+            self._start()
+        self._connections += 1
+        return Connection(self)
+
+    def _start(self):
+        self._running = True
+        if self.config.start_buffer_governor:
+            self.buffer_governor.start()
+
+    def _disconnect(self):
+        self._connections -= 1
+        if self._connections <= 0:
+            # "shut down automatically when the last connection disconnects"
+            self.shutdown()
+
+    def shutdown(self):
+        if not self._running:
+            return
+        self.pool.flush_all()
+        self.txn_log.checkpoint()
+        self.buffer_governor.stop()
+        self._running = False
+
+    @property
+    def running(self):
+        return self._running
+
+    # ------------------------------------------------------------------ #
+    # crash simulation and log-based recovery
+    # ------------------------------------------------------------------ #
+
+    def simulate_crash_and_recover(self):
+        """Lose all volatile state, then rebuild from the durable log.
+
+        The transaction log discards its unforced tail (what a crash
+        destroys); every table and index is emptied and the committed,
+        durable changes are replayed in LSN order.  Row identifiers are
+        remapped during replay (original ids may have pointed at freed
+        slots), exactly as a physical REDO pass would re-derive them.
+        """
+        self.txn_log.simulate_crash()
+        mapping = {}
+        for table in self.catalog.tables():
+            if table.storage is None:
+                continue
+            self.pool.discard(table.storage.file)
+            table.storage.file.truncate()
+            table.storage = TableStorage(
+                table, self.volume.create_file("table:%s#rec" % table.name),
+                self.pool,
+            )
+        for index in self.catalog.indexes():
+            if getattr(index, "virtual", False) or index.btree is None:
+                continue
+            self.pool.discard(index.btree.file)
+            index.btree.file.truncate()
+            index.btree = BTree(index.btree.file, self.pool, name=index.name)
+        for record in self.txn_log.redo_records():
+            table = self.catalog.table(record.table)
+            key = (record.table, record.row_id)
+            if record.kind == LOG_INSERT:
+                new_id = table.storage.insert(record.after)
+                self._index_insert(table, record.after, new_id)
+                mapping[key] = new_id
+            elif record.kind == LOG_UPDATE:
+                new_id = mapping[key]
+                table.storage.update(new_id, record.after)
+                self._index_delete(table, record.before, new_id)
+                self._index_insert(table, record.after, new_id)
+            elif record.kind == LOG_DELETE:
+                new_id = mapping.pop(key)
+                table.storage.delete(new_id)
+                self._index_delete(table, record.before, new_id)
+        self.pool.flush_all()
+        return sum(
+            table.row_count for table in self.catalog.tables()
+        )
+
+    # ------------------------------------------------------------------ #
+    # size accounting (feeds the buffer governor's eq. 1 soft cap)
+    # ------------------------------------------------------------------ #
+
+    def database_size_bytes(self):
+        total = self.temp_file.size_bytes
+        for table in self.catalog.tables():
+            if table.storage is not None:
+                total += table.storage.file.size_bytes
+        for index in self.catalog.indexes():
+            if index.btree is not None:
+                total += index.btree.file.size_bytes
+        return total
+
+    # ------------------------------------------------------------------ #
+    # optimizer plumbing
+    # ------------------------------------------------------------------ #
+
+    def make_optimizer(self):
+        context = CostModelContext(
+            self.catalog.dtt_model,
+            self.config.page_size,
+            self.pool.capacity_pages,
+            soft_limit_pages=self.memory_governor.soft_limit_pages(),
+            resident_fraction_fn=lambda storage: self.pool.resident_fraction(
+                storage.file
+            ),
+        )
+        # "The initial quota can be specified within the application, if
+        # desired, allowing fine-grained tuning of the optimization effort
+        # spent on each statement."
+        quota = self.catalog.options.get(
+            "optimizer_quota", self.config.optimizer_quota
+        )
+        if not isinstance(quota, int) or quota < 1:
+            quota = self.config.optimizer_quota
+        return Optimizer(
+            self.catalog,
+            self._make_estimator(),
+            context,
+            quota=quota,
+        )
+
+    # ------------------------------------------------------------------ #
+    # DTT model deployment (Section 4.2)
+    # ------------------------------------------------------------------ #
+
+    def export_dtt_model(self):
+        """Serializable form of the catalog's cost model.
+
+        "it is straightforward to deploy hundreds or thousands of
+        databases to CE devices with a cost model derived from a
+        representative device" — calibrate once, export, install
+        everywhere.
+        """
+        return self.catalog.dtt_model.to_dict()
+
+    def install_dtt_model(self, data):
+        """Install a serialized DTT model into the catalog."""
+        self.catalog.dtt_model = DTTModel.from_dict(data)
+        return self.catalog.dtt_model
+
+    def _make_estimator(self):
+        from repro.optimizer import SelectivityEstimator
+
+        return SelectivityEstimator(self.stats, self.catalog)
+
+    # ------------------------------------------------------------------ #
+    # bulk load (LOAD TABLE)
+    # ------------------------------------------------------------------ #
+
+    def load_table(self, table_name, rows):
+        """Bulk-load rows; builds histograms automatically (Section 3.2).
+
+        The load runs as one committed, logged transaction so the data is
+        as durable as any other write (and recoverable after a crash).
+        """
+        table = self.catalog.table(table_name)
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        self.txn_log.begin(txn_id)
+        for row in rows:
+            coerced = self._coerce_row(table, row)
+            row_id = table.storage.insert(coerced)
+            self._index_insert(table, coerced, row_id)
+            self.txn_log.log_change(
+                txn_id, LOG_INSERT, table.name, row_id, after=coerced
+            )
+        self.txn_log.commit(txn_id)
+        self.stats.build_statistics(table_name, built_by="load")
+        return table.row_count
+
+    def _coerce_row(self, table, row):
+        if len(row) != len(table.columns):
+            raise ExecutionError(
+                "row arity %d does not match table %r" % (len(row), table.name)
+            )
+        coerced = []
+        for column, value in zip(table.columns, row):
+            if value is None and not column.nullable:
+                raise SqlTypeError(
+                    "NULL in NOT NULL column %r" % (column.name,)
+                )
+            coerced.append(coerce_value(column.type_name, value))
+        return tuple(coerced)
+
+    def _index_insert(self, table, row, row_id):
+        for index in self.catalog.indexes_on(table.name):
+            if getattr(index, "virtual", False):
+                continue
+            key = tuple(row[table.column_index(c)] for c in index.column_names)
+            if index.unique and index.btree.search(key):
+                raise ExecutionError(
+                    "duplicate key %r in unique index %r" % (key, index.name)
+                )
+            index.btree.insert(key, row_id)
+
+    def _index_delete(self, table, row, row_id):
+        for index in self.catalog.indexes_on(table.name):
+            if getattr(index, "virtual", False):
+                continue
+            key = tuple(row[table.column_index(c)] for c in index.column_names)
+            index.btree.delete(key, row_id)
+
+
+class Connection:
+    """One client connection: statement execution and transactions."""
+
+    def __init__(self, server):
+        self.server = server
+        self.plan_cache = PlanCache()
+        self._txn_id = None
+        self._closed = False
+        self.last_plan = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self):
+        if self._closed:
+            return
+        if self._txn_id is not None:
+            self.rollback()
+        self._closed = True
+        self.server._disconnect()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # statement execution
+    # ------------------------------------------------------------------ #
+
+    def open_cursor(self, sql, params=None):
+        """Open an incrementally-fetched cursor over a SELECT.
+
+        Between FETCH calls the cursor's heap is unlocked, so the buffer
+        pool may steal its pages (paper Section 2.1).
+        """
+        from repro.engine.cursor import Cursor
+
+        if self._closed:
+            raise ExecutionError("connection is closed")
+        return Cursor(self, sql, params)
+
+    def execute(self, sql, params=None):
+        if self._closed:
+            raise ExecutionError("connection is closed")
+        tracer = self.server.tracer
+        if tracer is None:
+            return self._execute(sql, params)
+        start_us = self.server.clock.now
+        misses_before = self.server.pool.misses
+        hits_before = self.server.pool.hits
+        result = self._execute(sql, params)
+        tracer.record(
+            sql,
+            start_us=start_us,
+            elapsed_us=self.server.clock.now - start_us,
+            rows=result.rowcount if result.rowcount else len(result.rows),
+            pool_misses=self.server.pool.misses - misses_before,
+            pool_hits=self.server.pool.hits - hits_before,
+            plan_signature=(
+                type(result.plan_result.plan).__name__
+                if result.plan_result is not None and result.plan_result.plan
+                else ""
+            ),
+        )
+        return result
+
+    def _execute(self, sql, params=None):
+        statement = parse_statement(sql)
+        self.server.statements_executed += 1
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(statement, params)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement, params)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement, params)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndexStatement):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.CreateStatisticsStatement):
+            self.server.stats.build_statistics(
+                statement.table_name, statement.column_names
+            )
+            return Result()
+        if isinstance(statement, ast.CreateProcedureStatement):
+            body_sql = _procedure_body_sql(sql)
+            self.server.catalog.add_procedure(
+                ProcedureSchema(statement.name, statement.parameters, body_sql)
+            )
+            return Result()
+        if isinstance(statement, ast.CalibrateStatement):
+            return self._execute_calibrate()
+        if isinstance(statement, ast.ReorganizeTableStatement):
+            return self._execute_reorganize(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self.server.catalog.drop_table(statement.name)
+            return Result()
+        if isinstance(statement, ast.DropIndexStatement):
+            self.server.catalog.drop_index(statement.name)
+            return Result()
+        if isinstance(statement, ast.CallStatement):
+            return self._execute_call(statement, params)
+        if isinstance(statement, ast.SetOptionStatement):
+            self.server.catalog.options[statement.name] = statement.value
+            return Result()
+        if isinstance(statement, ast.BeginStatement):
+            self.begin()
+            return Result()
+        if isinstance(statement, ast.CommitStatement):
+            self.commit()
+            return Result()
+        if isinstance(statement, ast.RollbackStatement):
+            self.rollback()
+            return Result()
+        raise ExecutionError("unsupported statement %r" % (type(statement).__name__,))
+
+    # -- SELECT ------------------------------------------------------------ #
+
+    def _execute_select(self, statement, params, use_plan_cache_key=None,
+                        procedure_params=None):
+        server = self.server
+        binder = Binder(server.catalog, procedure_params=procedure_params)
+        block = binder.bind(statement)
+        optimizer = server.make_optimizer()
+
+        def optimize():
+            result = optimizer.optimize_select(block)
+            if result.stats is not None:
+                # Optimization is work too: "optimization must therefore
+                # be cheap" — its effort shows up on the clock so the plan
+                # cache has something real to amortize.
+                server.clock.advance(
+                    int(result.stats.nodes_visited * OPTIMIZER_NODE_US)
+                )
+            return result
+
+        if use_plan_cache_key is not None:
+            result = self.plan_cache.execute_plan_for(
+                use_plan_cache_key, optimize, plan_signature
+            )
+        else:
+            result = optimize()
+        self.last_plan = result
+        task = server.memory_governor.begin_task()
+        ctx = ExecutionContext(
+            server.pool, server.temp_file, server.stats, server.clock, task,
+            params, feedback_enabled=server.config.feedback_enabled,
+        )
+        executor = Executor(
+            plan_block_fn=lambda b: optimizer.optimize_select(b),
+            bind_recursive_arm_fn=binder.bind_recursive_arm,
+        )
+        try:
+            rows = None
+            max_tasks = server.catalog.options.get("max_query_tasks", 1)
+            if (
+                isinstance(max_tasks, int) and max_tasks > 1
+                and result.recursive_cte is None
+            ):
+                # Section 4.4: eligible hash-join cores run their build
+                # and probe phases on the FCFS worker pipeline.
+                from repro.exec.parallel_exec import execute_parallel
+
+                rows, pipeline_stats = execute_parallel(
+                    result.plan, executor, ctx, max_tasks
+                )
+                if pipeline_stats is not None:
+                    ctx.notes["parallel_workers"] = max_tasks
+                    ctx.notes["parallel_wall_us"] = int(
+                        pipeline_stats.wall_clock_us
+                    )
+            if rows is None:
+                rows = list(executor.run(result, ctx))
+        finally:
+            server.memory_governor.end_task(task)
+        return Result(
+            rows, block.output_columns(), result, ctx.notes, len(rows)
+        )
+
+    # -- DML ------------------------------------------------------------------ #
+
+    def _execute_insert(self, statement, params):
+        server = self.server
+        binder = Binder(server.catalog)
+        bound = binder.bind(statement)
+        table = bound.table
+        rows = []
+        if bound.rows is not None:
+            for row_exprs in bound.rows:
+                values = [evaluate(expr, {}, params) for expr in row_exprs]
+                rows.append(values)
+        else:
+            select_result = self._run_block(bound.select_block, binder, params)
+            rows = [list(row) for row in select_result]
+        txn_id, implicit = self._ensure_txn()
+        inserted = 0
+        try:
+            for values in rows:
+                full_row = [None] * len(table.columns)
+                for column_index, value in zip(bound.column_indexes, values):
+                    full_row[column_index] = value
+                coerced = server._coerce_row(table, full_row)
+                row_id = table.storage.insert(coerced)
+                server.lock_manager.acquire(txn_id, table.name, row_id)
+                server._index_insert(table, coerced, row_id)
+                server.stats.note_insert(table.name, coerced)
+                server.txn_log.log_change(
+                    txn_id, LOG_INSERT, table.name, row_id, after=coerced
+                )
+                inserted += 1
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        if implicit:
+            self.commit()
+        return Result(rowcount=inserted)
+
+    def _execute_update(self, statement, params):
+        server = self.server
+        binder = Binder(server.catalog)
+        bound = binder.bind(statement)
+        table = bound.table
+        optimizer = server.make_optimizer()
+        result = optimizer.optimize_simple_dml(bound)
+        self.last_plan = result
+        targets = self._collect_dml_targets(bound, result, params)
+        txn_id, implicit = self._ensure_txn()
+        updated = 0
+        try:
+            for row_id, old_row in targets:
+                server.lock_manager.acquire(txn_id, table.name, row_id)
+                env = {bound.quantifier.id: old_row}
+                new_row = list(old_row)
+                for column_index, expr in bound.assignments:
+                    new_row[column_index] = evaluate(expr, env, params)
+                coerced = server._coerce_row(table, new_row)
+                table.storage.update(row_id, coerced)
+                server._index_delete(table, old_row, row_id)
+                server._index_insert(table, coerced, row_id)
+                server.stats.note_update(table.name, old_row, coerced)
+                server.txn_log.log_change(
+                    txn_id, LOG_UPDATE, table.name, row_id,
+                    before=old_row, after=coerced,
+                )
+                updated += 1
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        if implicit:
+            self.commit()
+        return Result(rowcount=updated, plan_result=result)
+
+    def _execute_delete(self, statement, params):
+        server = self.server
+        binder = Binder(server.catalog)
+        bound = binder.bind(statement)
+        table = bound.table
+        optimizer = server.make_optimizer()
+        result = optimizer.optimize_simple_dml(bound)
+        self.last_plan = result
+        targets = self._collect_dml_targets(bound, result, params)
+        txn_id, implicit = self._ensure_txn()
+        deleted = 0
+        try:
+            for row_id, old_row in targets:
+                server.lock_manager.acquire(txn_id, table.name, row_id)
+                table.storage.delete(row_id)
+                server._index_delete(table, old_row, row_id)
+                server.stats.note_delete(table.name, old_row)
+                server.txn_log.log_change(
+                    txn_id, LOG_DELETE, table.name, row_id, before=old_row
+                )
+                deleted += 1
+        except Exception:
+            if implicit:
+                self.rollback()
+            raise
+        if implicit:
+            self.commit()
+        return Result(rowcount=deleted, plan_result=result)
+
+    def _collect_dml_targets(self, bound, result, params):
+        """Materialize (row_id, row) targets before mutating."""
+        server = self.server
+        table = bound.table
+        qid = bound.quantifier.id
+        targets = []
+        plan = result.plan
+        from repro.optimizer.plans import IndexScanPlan as _IndexScanPlan
+
+        if isinstance(plan, _IndexScanPlan):
+            btree = plan.index_schema.btree
+            values = tuple(
+                evaluate(expr, {}, params) for expr in plan.sarg["eq"]
+            )
+            for __, row_id in btree.prefix_scan(values):
+                row = table.storage.get(row_id)
+                env = {qid: row}
+                if all(
+                    evaluate_predicate(c.expr, env, params)
+                    for c in plan.local_conjuncts
+                ):
+                    targets.append((row_id, row))
+            return targets
+        for row_id, row in table.storage.scan():
+            env = {qid: row}
+            if all(
+                evaluate_predicate(c.expr, env, params)
+                for c in bound.conjuncts
+            ):
+                targets.append((row_id, row))
+        return targets
+
+    def _run_block(self, block, binder, params):
+        server = self.server
+        optimizer = server.make_optimizer()
+        result = optimizer.optimize_select(block)
+        task = server.memory_governor.begin_task()
+        ctx = ExecutionContext(
+            server.pool, server.temp_file, server.stats, server.clock, task,
+            params, feedback_enabled=server.config.feedback_enabled,
+        )
+        executor = Executor(
+            plan_block_fn=lambda b: optimizer.optimize_select(b),
+            bind_recursive_arm_fn=binder.bind_recursive_arm,
+        )
+        try:
+            return list(executor.run(result, ctx))
+        finally:
+            server.memory_governor.end_task(task)
+
+    # -- DDL ------------------------------------------------------------------ #
+
+    def _execute_create_table(self, statement):
+        server = self.server
+        columns = [
+            Column(
+                definition.name, definition.type_name,
+                nullable=not definition.not_null,
+                declared_length=definition.length,
+            )
+            for definition in statement.columns
+        ]
+        foreign_keys = [
+            ForeignKey(fk.columns, fk.ref_table, fk.ref_columns)
+            for fk in statement.foreign_keys
+        ]
+        schema = TableSchema(
+            statement.name, columns, tuple(statement.primary_key), foreign_keys
+        )
+        server.catalog.add_table(schema)
+        table_file = server.volume.create_file("table:%s" % statement.name)
+        schema.storage = TableStorage(schema, table_file, server.pool)
+        if statement.primary_key:
+            self._create_index_on(
+                schema, "pk_%s" % statement.name, statement.primary_key,
+                unique=True,
+            )
+        return Result()
+
+    def _execute_create_index(self, statement):
+        table = self.server.catalog.table(statement.table_name)
+        self._create_index_on(
+            table, statement.name, statement.column_names, statement.unique
+        )
+        # "Histograms are created automatically ... when an index is
+        # created" (Section 3.2).
+        if table.row_count:
+            self.server.stats.build_statistics(
+                table.name, statement.column_names, built_by="create-index"
+            )
+        return Result()
+
+    def _create_index_on(self, table, index_name, column_names, unique):
+        server = self.server
+        index = IndexSchema(index_name, table.name, column_names, unique)
+        index_file = server.volume.create_file("index:%s" % index_name)
+        index.btree = BTree(index_file, server.pool, name=index_name)
+        server.catalog.add_index(index)
+        for row_id, row in table.storage.scan():
+            key = tuple(row[table.column_index(c)] for c in column_names)
+            if unique and index.btree.search(key):
+                raise ExecutionError(
+                    "duplicate key %r building unique index %r"
+                    % (key, index_name)
+                )
+            index.btree.insert(key, row_id)
+        return index
+
+    def _execute_calibrate(self):
+        """CALIBRATE DATABASE: measure the device, store the model in the
+        catalog (Section 4.2)."""
+        server = self.server
+        model = calibrate_device(
+            server.disk, server.config.page_size, samples_per_band=32
+        )
+        server.catalog.dtt_model = model
+        return Result(notes={"calibrated": True})
+
+    def _execute_reorganize(self, statement):
+        """REORGANIZE TABLE: rebuild the table clustered on an index.
+
+        One of the paper's Section 6 research-agenda items ("automatic
+        reclustering and/or reorganization of tables and indexes"): rows
+        are rewritten in the chosen index's key order into fresh pages and
+        every index is rebuilt, restoring clustering statistics to ~1.0
+        for that index.
+        """
+        server = self.server
+        if self._txn_id is not None:
+            raise TransactionError(
+                "REORGANIZE TABLE cannot run inside a transaction"
+            )
+        table = server.catalog.table(statement.table_name)
+        indexes = server.catalog.indexes_on(table.name)
+        if statement.index_name is not None:
+            order_index = server.catalog.index(statement.index_name)
+            if order_index.table_name != table.name:
+                raise ExecutionError(
+                    "index %r is not on table %r"
+                    % (statement.index_name, table.name)
+                )
+        else:
+            if not indexes:
+                raise ExecutionError(
+                    "table %r has no index to reorganize on" % (table.name,)
+                )
+            order_index = next(
+                (i for i in indexes if i.name == "pk_%s" % table.name),
+                indexes[0],
+            )
+        rows = [
+            table.storage.get(row_id)
+            for __, row_id in order_index.btree.range_scan()
+        ]
+        # Fresh storage in key order.
+        old_file = table.storage.file
+        server.pool.discard(old_file)
+        new_file = server.volume.create_file(
+            "table:%s#reorg" % (table.name,)
+        )
+        table.storage = TableStorage(table, new_file, server.pool)
+        for index in indexes:
+            if getattr(index, "virtual", False):
+                continue
+            server.pool.discard(index.btree.file)
+            index.btree.file.truncate()
+            index.btree = BTree(index.btree.file, server.pool, name=index.name)
+        for row in rows:
+            row_id = table.storage.insert(row)
+            server._index_insert(table, row, row_id)
+        server.pool.flush_all()
+        old_file.truncate()
+        return Result(notes={
+            "reorganized": table.name,
+            "clustered_on": order_index.name,
+            "rows": len(rows),
+        })
+
+    # -- procedures --------------------------------------------------------- #
+
+    def _execute_call(self, statement, params):
+        """CALL runs the procedure body through the plan cache."""
+        server = self.server
+        procedure = server.catalog.procedure(statement.name)
+        args = [evaluate(expr, {}, params) for expr in statement.args]
+        body_params = dict(zip(procedure.parameters, args))
+        body_statement = parse_statement(procedure.body_sql)
+        if not isinstance(body_statement, ast.SelectStatement):
+            raise ExecutionError("procedure body must be a SELECT")
+        return self._execute_select(
+            body_statement, body_params,
+            use_plan_cache_key="proc:%s" % statement.name,
+            procedure_params=procedure.parameters,
+        )
+
+    # ------------------------------------------------------------------ #
+    # transactions
+    # ------------------------------------------------------------------ #
+
+    def begin(self):
+        if self._txn_id is not None:
+            raise TransactionError("transaction already active")
+        self._txn_id = self.server._next_txn_id
+        self.server._next_txn_id += 1
+        self.server.txn_log.begin(self._txn_id)
+        return self._txn_id
+
+    def commit(self):
+        if self._txn_id is None:
+            raise TransactionError("no active transaction")
+        self.server.txn_log.commit(self._txn_id)
+        self.server.lock_manager.release_all(self._txn_id)
+        self._txn_id = None
+
+    def rollback(self):
+        if self._txn_id is None:
+            raise TransactionError("no active transaction")
+        server = self.server
+        for record in server.txn_log.undo_chain(self._txn_id):
+            table = server.catalog.table(record.table)
+            if record.kind == LOG_INSERT:
+                row = table.storage.delete(record.row_id)
+                server._index_delete(table, row, record.row_id)
+                server.stats.note_delete(table.name, row)
+            elif record.kind == LOG_DELETE:
+                restored = record.before
+                new_row_id = table.storage.insert(restored)
+                server._index_insert(table, restored, new_row_id)
+                server.stats.note_insert(table.name, restored)
+            elif record.kind == LOG_UPDATE:
+                table.storage.update(record.row_id, record.before)
+                server._index_delete(table, record.after, record.row_id)
+                server._index_insert(table, record.before, record.row_id)
+                server.stats.note_update(table.name, record.after, record.before)
+        server.txn_log.rollback(self._txn_id)
+        server.lock_manager.release_all(self._txn_id)
+        self._txn_id = None
+
+    def _ensure_txn(self):
+        """(txn_id, implicit?) — autocommit wraps DML in its own txn."""
+        if self._txn_id is not None:
+            return self._txn_id, False
+        return self.begin(), True
+
+
+def _procedure_body_sql(create_sql):
+    """Extract the body text following AS (kept verbatim in the catalog)."""
+    upper = create_sql.upper()
+    marker = upper.find(" AS ")
+    if marker == -1:
+        marker = upper.find("\nAS ")
+    if marker == -1:
+        raise SqlTypeError("CREATE PROCEDURE missing AS")
+    return create_sql[marker + 4 :].strip().rstrip(";")

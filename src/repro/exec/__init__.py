@@ -1,0 +1,34 @@
+"""Adaptive query execution (paper Sections 4.3–4.4).
+
+Volcano-style iterators over environment rows, with the paper's adaptive
+behaviours:
+
+* a **memory governor** enforcing the hard limit (¾·max-pool / active
+  requests, eq. 4) and soft limit (pool / multiprogramming level, eq. 5),
+  reclaiming memory top-down so producers are not starved by consumers;
+* **hash join** that spills its largest partition at the soft limit and
+  can switch to its optimizer-annotated **index-nested-loops alternate**
+  after discovering the true build cardinality;
+* **hash group by** with the low-memory fallback onto an indexed
+  temporary table of partial groups;
+* external **merge sort** under quota;
+* an adaptive **RECURSIVE UNION** that re-plans its recursive arm every
+  iteration;
+* statistics **feedback hooks**: predicates evaluated over base columns
+  during scans update the column histograms (Section 3.2);
+* **intra-query parallelism** simulation with first-come-first-serve
+  work sharing and graceful thread reduction (Section 4.4).
+"""
+
+from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.memory import MemoryGovernor, Task
+from repro.exec.executor import Executor, ExecutionContext
+
+__all__ = [
+    "evaluate",
+    "evaluate_predicate",
+    "MemoryGovernor",
+    "Task",
+    "Executor",
+    "ExecutionContext",
+]

@@ -1,0 +1,468 @@
+"""Aggregation, distinct, sorting, projection, and limit operators.
+
+The memory-intensive operators here honour the memory governor's soft
+limit and implement the paper's low-memory fallbacks: hash group by falls
+back to "a temporary table containing partially computed groups with an
+index on the grouping columns" (Section 4.3); sort degrades to external
+run merging.
+"""
+
+import heapq
+
+from repro.common.errors import ExecutionError
+from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.spill import SpillFile, WorkMemory
+from repro.optimizer.costmodel import (
+    CPU_HASH_BUILD_US,
+    CPU_ROW_US,
+    CPU_SORT_FACTOR_US,
+)
+from repro.exec.operators import Operator
+from repro.storage.btree import BTree
+from repro.storage.rowstore import RowId
+
+
+# --------------------------------------------------------------------- #
+# aggregate accumulators
+# --------------------------------------------------------------------- #
+
+class AggState:
+    """Partial state of one aggregate; serializable as a plain tuple so
+    fallback groups can live in temporary-table rows."""
+
+    __slots__ = ("call", "count", "total", "extreme", "distinct")
+
+    def __init__(self, call):
+        self.call = call
+        self.count = 0
+        self.total = None
+        self.extreme = None
+        self.distinct = set() if call.distinct else None
+
+    def accumulate(self, env, params):
+        name = self.call.name
+        if name == "COUNT" and self.call.star:
+            self.count += 1
+            return
+        value = evaluate(self.call.args[0], env, params)
+        if value is None:
+            return
+        if self.distinct is not None:
+            if value in self.distinct:
+                return
+            self.distinct.add(value)
+        self.count += 1
+        if name in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif name == "MIN":
+            self.extreme = value if self.extreme is None else min(self.extreme, value)
+        elif name == "MAX":
+            self.extreme = value if self.extreme is None else max(self.extreme, value)
+
+    def merge_serialized(self, data):
+        """Merge a serialized partial state (from a fallback temp row)."""
+        count, total, extreme, distinct = data
+        if self.distinct is not None and distinct is not None:
+            new_values = set(distinct) - self.distinct
+            self.distinct |= new_values
+            self.count += len(new_values)
+        else:
+            self.count += count
+        if total is not None:
+            self.total = total if self.total is None else self.total + total
+        if extreme is not None:
+            if self.call.name == "MIN":
+                self.extreme = (
+                    extreme if self.extreme is None else min(self.extreme, extreme)
+                )
+            else:
+                self.extreme = (
+                    extreme if self.extreme is None else max(self.extreme, extreme)
+                )
+
+    def serialize(self):
+        return (
+            self.count,
+            self.total,
+            self.extreme,
+            tuple(self.distinct) if self.distinct is not None else None,
+        )
+
+    def finalize(self):
+        name = self.call.name
+        if name == "COUNT":
+            return self.count
+        if name == "SUM":
+            return self.total
+        if name == "AVG":
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        return self.extreme
+
+    def estimated_bytes(self):
+        base = 48
+        if self.distinct is not None:
+            base += 16 * len(self.distinct)
+        return base
+
+
+class HashGroupByOp(Operator):
+    """Hash aggregation with the indexed-temp-table low-memory fallback."""
+
+    def __init__(self, child, group_keys, aggregates):
+        self.child = child
+        self.group_keys = group_keys      # [(expr, name, type)]
+        self.aggregates = aggregates      # [FunctionCall]
+        self.fallback_engaged = False
+        self.fallback_rows_written = 0
+        self._memory = None
+        self._groups = None
+        self._fallback = None
+
+    @property
+    def memory_pages(self):
+        return self._memory.pages_held if self._memory is not None else 0
+
+    def relinquish_memory(self):
+        """Asked by the governor to free memory: engage the fallback."""
+        if self._groups is None or self.fallback_engaged:
+            return 0
+        before = self._memory.pages_held
+        self._engage_fallback()
+        return before - self._memory.pages_held
+
+    def execute(self, ctx):
+        self._ctx = ctx
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        self._groups = {}
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
+        group_bytes = 32 + 24 * len(self.aggregates)
+        try:
+            for env in self.child.execute(ctx):
+                ctx.charge(CPU_HASH_BUILD_US)
+                key = tuple(
+                    evaluate(expr, env, ctx.params)
+                    for expr, __, __t in self.group_keys
+                )
+                if self.fallback_engaged:
+                    self._fallback_accumulate(ctx, key, env)
+                    continue
+                states = self._groups.get(key)
+                if states is None:
+                    if self._memory.would_exceed_soft(group_bytes):
+                        self._engage_fallback()
+                        self._fallback_accumulate(ctx, key, env)
+                        continue
+                    states = [AggState(call) for call in self.aggregates]
+                    self._groups[key] = states
+                    self._memory.add(group_bytes)
+                for state in states:
+                    state.accumulate(env, ctx.params)
+            yield from self._emit(ctx)
+        finally:
+            ctx.task.unregister_consumer(self)
+            self._memory.release_all()
+            if self._fallback is not None:
+                self._fallback.free()
+
+    # -- fallback ------------------------------------------------------- #
+
+    def _engage_fallback(self):
+        """Flush in-memory groups to an indexed temporary table."""
+        self.fallback_engaged = True
+        self._ctx.note("group_by_fallback")
+        self._fallback = _TempGroupStore(
+            self._ctx, len(self.group_keys), len(self.aggregates)
+        )
+        for key, states in self._groups.items():
+            self._fallback.insert(key, [s.serialize() for s in states])
+            self.fallback_rows_written += 1
+        self._groups = {}
+        self._memory.release_all()
+
+    def _fallback_accumulate(self, ctx, key, env):
+        states = [AggState(call) for call in self.aggregates]
+        for state in states:
+            state.accumulate(env, ctx.params)
+        existing = self._fallback.lookup(key)
+        if existing is not None:
+            for state, partial in zip(states, existing):
+                state.merge_serialized(partial)
+            self._fallback.update(key, [s.serialize() for s in states])
+        else:
+            self._fallback.insert(key, [s.serialize() for s in states])
+            self.fallback_rows_written += 1
+
+    # -- output ------------------------------------------------------------ #
+
+    def _emit(self, ctx):
+        from repro.sql.binder import GROUP_ENV
+
+        emitted = False
+        if self.fallback_engaged:
+            for key, serialized in self._fallback.scan():
+                states = [AggState(call) for call in self.aggregates]
+                for state, partial in zip(states, serialized):
+                    state.merge_serialized(partial)
+                emitted = True
+                ctx.charge(CPU_ROW_US)
+                yield {GROUP_ENV: key + tuple(s.finalize() for s in states)}
+        else:
+            for key, states in self._groups.items():
+                emitted = True
+                ctx.charge(CPU_ROW_US)
+                yield {GROUP_ENV: key + tuple(s.finalize() for s in states)}
+        if not emitted and not self.group_keys:
+            # Scalar aggregation over zero rows yields one row.
+            states = [AggState(call) for call in self.aggregates]
+            yield {GROUP_ENV: tuple(s.finalize() for s in states)}
+
+
+class _TempGroupStore:
+    """Partially-computed groups in a temp table indexed on the keys."""
+
+    def __init__(self, ctx, n_keys, n_aggs):
+        self.ctx = ctx
+        self._schema = _TempSchema(n_keys + 1)
+        from repro.storage.rowstore import TableStorage
+        from repro.buffer.frames import PageKind
+
+        self._rows = TableStorage(
+            self._schema, ctx.temp_file, ctx.pool, page_kind=PageKind.TEMP
+        )
+        self._index = BTree(ctx.temp_file, ctx.pool, name="groupby-fallback")
+        self.n_keys = n_keys
+
+    def _charge_probe(self):
+        from repro.optimizer.costmodel import CPU_ROW_US, INDEX_NODE_US
+
+        self.ctx.charge(self._index.height * INDEX_NODE_US + CPU_ROW_US)
+
+    def lookup(self, key):
+        self._charge_probe()
+        row_ids = self._index.search(key)
+        if not row_ids:
+            return None
+        row = self._rows.get(row_ids[0])
+        return row[-1]
+
+    def insert(self, key, serialized_states):
+        self._charge_probe()
+        row_id = self._rows.insert(key + (tuple(serialized_states),))
+        self._index.insert(key, row_id)
+
+    def update(self, key, serialized_states):
+        self._charge_probe()
+        row_ids = self._index.search(key)
+        if not row_ids:
+            raise ExecutionError("fallback group vanished")
+        self._rows.update(row_ids[0], key + (tuple(serialized_states),))
+
+    def scan(self):
+        for __, row in self._rows.scan():
+            yield tuple(row[:-1]), row[-1]
+
+    def free(self):
+        pass  # temp pages are reclaimed with the temp file
+
+
+class _TempSchema:
+    """Minimal schema stand-in for temp-table storage."""
+
+    def __init__(self, n_columns):
+        self.name = "#temp"
+        self.columns = [None] * n_columns
+
+    def row_bytes(self):
+        return 16 * len(self.columns) + 16
+
+
+class HashDistinctOp(Operator):
+    """Duplicate elimination over projected tuples, spilling via an
+    indexed temp structure when the soft limit is reached."""
+
+    def __init__(self, child):
+        self.child = child
+        self.fallback_engaged = False
+        self._memory = None
+
+    @property
+    def memory_pages(self):
+        return self._memory.pages_held if self._memory is not None else 0
+
+    def execute(self, ctx):
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        seen = set()
+        fallback_index = None
+        row_bytes = 48
+        try:
+            for row in self.child.execute(ctx):
+                ctx.charge(CPU_HASH_BUILD_US)
+                key = tuple(row)
+                if key in seen:
+                    continue
+                if fallback_index is not None:
+                    if fallback_index.search(key):
+                        continue
+                    fallback_index.insert(key, RowId(0, 0))
+                    yield row
+                    continue
+                if self._memory.would_exceed_soft(row_bytes):
+                    self.fallback_engaged = True
+                    ctx.note("distinct_fallback")
+                    fallback_index = BTree(
+                        ctx.temp_file, ctx.pool, name="distinct-fallback"
+                    )
+                    for existing in seen:
+                        fallback_index.insert(existing, RowId(0, 0))
+                    seen = set()
+                    self._memory.release_all()
+                    fallback_index.insert(key, RowId(0, 0))
+                    yield row
+                    continue
+                seen.add(key)
+                self._memory.add(row_bytes)
+                yield row
+        finally:
+            self._memory.release_all()
+
+
+class SortOp(Operator):
+    """External merge sort under the memory quota."""
+
+    def __init__(self, child, sort_keys):
+        self.child = child
+        self.sort_keys = sort_keys  # [(expr, ascending)]
+        self.runs_spilled = 0
+        self._memory = None
+
+    @property
+    def memory_pages(self):
+        return self._memory.pages_held if self._memory is not None else 0
+
+    def execute(self, ctx):
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        current = []
+        runs = []
+        row_bytes = 80
+        try:
+            for env in self.child.execute(ctx):
+                ctx.charge(CPU_SORT_FACTOR_US * 4)
+                if self._memory.would_exceed_soft(row_bytes) and current:
+                    runs.append(self._spill_run(ctx, current))
+                    current = []
+                    self._memory.release_all()
+                current.append(env)
+                self._memory.add(row_bytes)
+            key_of = self._key_function(ctx)
+            current.sort(key=key_of)
+            if not runs:
+                for env in current:
+                    yield env
+                return
+            self.runs_spilled = len(runs)
+            streams = [
+                ((key_of(env), index, env) for env in self._read_run(run))
+                for index, run in enumerate(runs)
+            ]
+            streams.append((key_of(env), len(runs), env) for env in current)
+            for __, __i, env in heapq.merge(*streams):
+                ctx.charge(CPU_ROW_US)
+                yield env
+        finally:
+            self._memory.release_all()
+
+    def _spill_run(self, ctx, rows):
+        rows.sort(key=self._key_function(ctx))
+        run = SpillFile(ctx.temp_file, 80, ctx.pool.page_size)
+        for env in rows:
+            run.append(env)
+        run.finish_writing()
+        return run
+
+    @staticmethod
+    def _read_run(run):
+        yield from run.read_all()
+
+    def _key_function(self, ctx):
+        keys = self.sort_keys
+        params = ctx.params
+
+        def key_of(env):
+            return tuple(
+                _OrderedValue(evaluate(expr, env, params), ascending)
+                for expr, ascending in keys
+            )
+
+        return key_of
+
+
+class _OrderedValue:
+    """Sort key wrapper: NULLs first, descending inverts comparisons."""
+
+    __slots__ = ("value", "ascending")
+
+    def __init__(self, value, ascending):
+        self.value = value
+        self.ascending = ascending
+
+    def __lt__(self, other):
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return self.ascending
+        if b is None:
+            return not self.ascending
+        if self.ascending:
+            return a < b
+        return b < a
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+class HavingOp(Operator):
+    def __init__(self, child, conjunct_exprs):
+        self.child = child
+        self.conjunct_exprs = conjunct_exprs
+
+    def execute(self, ctx):
+        for env in self.child.execute(ctx):
+            if all(
+                evaluate_predicate(expr, env, ctx.params)
+                for expr in self.conjunct_exprs
+            ):
+                yield env
+
+
+class ProjectOp(Operator):
+    """Evaluates the select list; output rows are plain tuples."""
+
+    def __init__(self, child, items):
+        self.child = child
+        self.items = items  # [(expr, name, type)]
+
+    def execute(self, ctx):
+        for env in self.child.execute(ctx):
+            ctx.charge(CPU_ROW_US)
+            yield tuple(
+                evaluate(expr, env, ctx.params) for expr, __, __t in self.items
+            )
+
+
+class LimitOp(Operator):
+    def __init__(self, child, limit):
+        self.child = child
+        self.limit = limit
+
+    def execute(self, ctx):
+        if self.limit <= 0:
+            return
+        emitted = 0
+        for row in self.child.execute(ctx):
+            yield row
+            emitted += 1
+            if emitted >= self.limit:
+                return

@@ -1,0 +1,236 @@
+"""Expression evaluation with SQL three-valued logic.
+
+Environments are dicts mapping quantifier id -> row tuple (plus the
+``GROUP_ENV`` key for post-aggregation rows).  ``None`` is SQL NULL;
+comparisons involving NULL yield ``None`` (unknown), AND/OR follow Kleene
+logic, and predicates treat unknown as not-satisfied.
+"""
+
+import re
+
+from repro.common.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.binder import GROUP_ENV, GroupRef
+
+
+def evaluate(expr, env, params=None):
+    """Evaluate a bound expression against ``env``; returns a value or
+    None for SQL NULL/unknown."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        if not expr.bound:
+            raise ExecutionError("unbound column %r at runtime" % (expr.column_name,))
+        row = env.get(expr.quantifier_id)
+        if row is None:
+            raise ExecutionError(
+                "no row for quantifier %d in environment" % (expr.quantifier_id,)
+            )
+        return row[expr.column_index]
+    if isinstance(expr, GroupRef):
+        row = env.get(GROUP_ENV)
+        if row is None:
+            raise ExecutionError("GroupRef outside aggregation context")
+        return row[expr.index]
+    if isinstance(expr, ast.Parameter):
+        return _parameter_value(expr, params)
+    if isinstance(expr, ast.BinaryOp):
+        return _binary(expr, env, params)
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            value = evaluate(expr.operand, env, params)
+            return None if value is None else (not _truthy(value))
+        value = evaluate(expr.operand, env, params)
+        return None if value is None else -value
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.operand, env, params)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, ast.Like):
+        return _like(expr, env, params)
+    if isinstance(expr, ast.Between):
+        return _between(expr, env, params)
+    if isinstance(expr, ast.InList):
+        return _in_list(expr, env, params)
+    if isinstance(expr, ast.FunctionCall):
+        return _scalar_function(expr, env, params)
+    if isinstance(expr, ast.CaseExpr):
+        for condition, result in expr.branches:
+            if _truthy(evaluate(condition, env, params)):
+                return evaluate(result, env, params)
+        if expr.default is not None:
+            return evaluate(expr.default, env, params)
+        return None
+    raise ExecutionError("cannot evaluate %r" % (type(expr).__name__,))
+
+
+def evaluate_predicate(expr, env, params=None):
+    """Evaluate as a filter: unknown (NULL) counts as false."""
+    return _truthy(evaluate(expr, env, params))
+
+
+def _truthy(value):
+    return value is not None and value is not False and value != 0
+
+
+def _parameter_value(expr, params):
+    if params is None:
+        raise ExecutionError("statement has parameters but none were supplied")
+    if expr.name is not None:
+        try:
+            return params[expr.name]
+        except (KeyError, TypeError):
+            raise ExecutionError("no value for parameter %r" % (expr.name,)) from None
+    try:
+        return params[expr.ordinal]
+    except (IndexError, KeyError, TypeError):
+        raise ExecutionError(
+            "no value for positional parameter %r" % (expr.ordinal,)
+        ) from None
+
+
+def _binary(expr, env, params):
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, env, params)
+        if left is False or (left is not None and not _truthy(left)):
+            return False
+        right = evaluate(expr.right, env, params)
+        if right is False or (right is not None and not _truthy(right)):
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = evaluate(expr.left, env, params)
+        if left is not None and _truthy(left):
+            return True
+        right = evaluate(expr.right, env, params)
+        if right is not None and _truthy(right):
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = evaluate(expr.left, env, params)
+    right = evaluate(expr.right, env, params)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        if left is None or right is None:
+            return None
+        return _compare(op, left, right)
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    if op == "||":
+        return str(left) + str(right)
+    raise ExecutionError("unknown operator %r" % (op,))
+
+
+def _compare(op, left, right):
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    except TypeError:
+        raise ExecutionError(
+            "cannot compare %r with %r" % (type(left).__name__, type(right).__name__)
+        ) from None
+
+
+def _like(expr, env, params):
+    value = evaluate(expr.operand, env, params)
+    pattern = evaluate(expr.pattern, env, params)
+    if value is None or pattern is None:
+        return None
+    matched = like_match(str(value), str(pattern))
+    return (not matched) if expr.negated else matched
+
+
+def like_match(text, pattern):
+    """SQL LIKE matching (% = any run, _ = any single character)."""
+    return _like_regex(pattern).match(text) is not None
+
+
+_LIKE_CACHE = {}
+
+
+def _like_regex(pattern):
+    regex = _LIKE_CACHE.get(pattern)
+    if regex is None:
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        regex = re.compile("^" + "".join(parts) + "$", re.DOTALL)
+        if len(_LIKE_CACHE) < 512:
+            _LIKE_CACHE[pattern] = regex
+    return regex
+
+
+def _between(expr, env, params):
+    value = evaluate(expr.operand, env, params)
+    low = evaluate(expr.low, env, params)
+    high = evaluate(expr.high, env, params)
+    if value is None or low is None or high is None:
+        return None
+    result = low <= value <= high
+    return (not result) if expr.negated else result
+
+
+def _in_list(expr, env, params):
+    value = evaluate(expr.operand, env, params)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        item_value = evaluate(item, env, params)
+        if item_value is None:
+            saw_null = True
+        elif item_value == value:
+            return False if expr.negated else True
+    if saw_null:
+        return None
+    return True if expr.negated else False
+
+
+def _scalar_function(expr, env, params):
+    if expr.is_aggregate:
+        raise ExecutionError(
+            "aggregate %s evaluated outside aggregation" % (expr.name,)
+        )
+    args = [evaluate(arg, env, params) for arg in expr.args]
+    name = expr.name
+    if name == "ABS":
+        return None if args[0] is None else abs(args[0])
+    if name == "LENGTH":
+        return None if args[0] is None else len(str(args[0]))
+    if name == "LOWER":
+        return None if args[0] is None else str(args[0]).lower()
+    if name == "UPPER":
+        return None if args[0] is None else str(args[0]).upper()
+    if name == "COALESCE":
+        for arg in args:
+            if arg is not None:
+                return arg
+        return None
+    raise ExecutionError("unknown function %r" % (name,))

@@ -1,0 +1,180 @@
+"""The memory governor (paper Section 4.3, eqs. 4 and 5).
+
+Each task (unit of work) gets two quotas:
+
+* a **hard limit**: ``(3/4 * maximum buffer pool size) / active requests``
+  — exceeding it terminates the statement with an error;
+* a **soft limit**: ``current buffer pool size / multiprogramming level``
+  — reaching it makes the governor request that query operators free
+  memory, starting at the highest consumer and moving *down* the execution
+  tree, "prevent[ing] an input operator from being starved for memory by a
+  consumer operator".
+"""
+
+from repro.common.errors import MemoryQuotaExceededError
+
+
+class Task:
+    """One statement's unit of work, with its memory accounting.
+
+    Memory consumers (operators) register with a *depth*: 0 is the top of
+    the execution tree, larger depths are closer to the inputs.  When the
+    soft limit is hit, consumers are asked to relinquish in depth order
+    (top first).
+    """
+
+    def __init__(self, governor, task_id):
+        self.governor = governor
+        self.task_id = task_id
+        self.used_pages = 0
+        self._consumers = []  # [(depth, consumer)]
+        self.soft_limit_hits = 0
+
+    # -- consumer registry ----------------------------------------------- #
+
+    def register_consumer(self, consumer, depth):
+        """``consumer`` must expose ``relinquish_memory() -> pages freed``
+        and ``memory_pages`` (its current usage)."""
+        self._consumers.append((depth, consumer))
+
+    def unregister_consumer(self, consumer):
+        self._consumers = [
+            (depth, c) for depth, c in self._consumers if c is not consumer
+        ]
+
+    # -- quotas ------------------------------------------------------------ #
+
+    @property
+    def hard_limit_pages(self):
+        return self.governor.hard_limit_pages()
+
+    @property
+    def soft_limit_pages(self):
+        return self.governor.soft_limit_pages()
+
+    # -- allocation ---------------------------------------------------------- #
+
+    def allocate(self, pages):
+        """Account ``pages`` of work memory to this task.
+
+        Raises :class:`MemoryQuotaExceededError` past the hard limit; at
+        the soft limit, asks operators to free memory first.
+        """
+        if pages <= 0:
+            return
+        if self.used_pages + pages > self.soft_limit_pages:
+            self.soft_limit_hits += 1
+            self._reclaim(self.used_pages + pages - self.soft_limit_pages)
+        if self.used_pages + pages > self.hard_limit_pages:
+            raise MemoryQuotaExceededError(
+                "statement exceeded its hard memory limit",
+                used_pages=self.used_pages + pages,
+                limit_pages=self.hard_limit_pages,
+            )
+        self.used_pages += pages
+
+    def release(self, pages):
+        self.used_pages = max(0, self.used_pages - int(pages))
+
+    def _reclaim(self, needed):
+        """Ask consumers to free memory, top of the tree first."""
+        freed = 0
+        for __, consumer in sorted(self._consumers, key=lambda pair: pair[0]):
+            if freed >= needed:
+                break
+            freed += consumer.relinquish_memory()
+        return freed
+
+    def headroom_pages(self):
+        """Pages available before the soft limit."""
+        return max(0, self.soft_limit_pages - self.used_pages)
+
+
+class MemoryGovernor:
+    """Derives the quotas from the pool state and concurrency level."""
+
+    #: Bounds for the adaptive multiprogramming level (Section 6 future
+    #: work: "dynamically changing the server's multiprogramming level in
+    #: response to database workload").
+    MIN_MPL = 1
+    MAX_MPL = 64
+
+    #: Completed tasks per adaptation decision.
+    ADAPT_WINDOW = 16
+
+    def __init__(self, pool, max_pool_pages, multiprogramming_level=4,
+                 adaptive=False):
+        self.pool = pool
+        self.max_pool_pages = int(max_pool_pages)
+        self.multiprogramming_level = max(1, int(multiprogramming_level))
+        self.adaptive = adaptive
+        self._tasks = {}
+        self._next_task_id = 0
+        self._window_tasks = 0
+        self._window_soft_hits = 0
+        self._window_peak_concurrency = 0
+        self.mpl_changes = []  # [(completed tasks, old level, new level)]
+
+    # -- task lifecycle ------------------------------------------------------ #
+
+    def begin_task(self):
+        task = Task(self, self._next_task_id)
+        self._tasks[self._next_task_id] = task
+        self._next_task_id += 1
+        self._window_peak_concurrency = max(
+            self._window_peak_concurrency, len(self._tasks)
+        )
+        return task
+
+    def end_task(self, task):
+        self._tasks.pop(task.task_id, None)
+        self._window_tasks += 1
+        self._window_soft_hits += task.soft_limit_hits
+        if self.adaptive and self._window_tasks >= self.ADAPT_WINDOW:
+            self.adapt_multiprogramming_level()
+
+    def adapt_multiprogramming_level(self):
+        """One adaptation decision over the completed-task window.
+
+        Frequent soft-limit hits mean statements are starved for work
+        memory: lower the multiprogramming level so each gets a larger
+        share of the pool.  No contention while concurrency exceeds the
+        level means the level is leaving parallelism on the table: raise
+        it.
+        """
+        if self._window_tasks == 0:
+            return self.multiprogramming_level
+        hit_rate = self._window_soft_hits / self._window_tasks
+        old_level = self.multiprogramming_level
+        if hit_rate > 0.5:
+            self.multiprogramming_level = max(self.MIN_MPL, old_level // 2)
+        elif (
+            hit_rate < 0.05
+            and self._window_peak_concurrency > old_level
+        ):
+            self.multiprogramming_level = min(self.MAX_MPL, old_level * 2)
+        if self.multiprogramming_level != old_level:
+            self.mpl_changes.append(
+                (self._window_tasks, old_level, self.multiprogramming_level)
+            )
+        self._window_tasks = 0
+        self._window_soft_hits = 0
+        self._window_peak_concurrency = len(self._tasks)
+        return self.multiprogramming_level
+
+    @property
+    def active_requests(self):
+        return max(1, len(self._tasks))
+
+    # -- the quota formulas (paper eqs. 4 and 5) ------------------------------ #
+
+    def hard_limit_pages(self):
+        return max(1, int(0.75 * self.max_pool_pages / self.active_requests))
+
+    def soft_limit_pages(self):
+        return max(1, int(self.pool.capacity_pages / self.multiprogramming_level))
+
+    # -- introspection --------------------------------------------------------- #
+
+    def total_used_pages(self):
+        return sum(task.used_pages for task in self._tasks.values())

@@ -1,0 +1,657 @@
+"""Scan and join operators."""
+
+from repro.common.errors import ExecutionError
+from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.spill import (
+    SpillFile,
+    SpillableBuffer,
+    WorkMemory,
+    env_row_bytes,
+)
+from repro.optimizer.costmodel import (
+    CPU_HASH_BUILD_US,
+    CPU_HASH_PROBE_US,
+    CPU_PREDICATE_US,
+    CPU_ROW_US,
+    INDEX_NODE_US,
+)
+from repro.sql import ast
+from repro.sql.binder import Quantifier
+
+#: Hash-join partitions ("buckets are divided uniformly into a small,
+#: fixed, number of partitions").
+HASH_PARTITIONS = 8
+
+
+class Operator:
+    """Base class: operators yield environment dicts (or tuples for
+    Project and above)."""
+
+    def execute(self, ctx):
+        raise NotImplementedError
+
+    # memory-governor consumer protocol (overridden by memory users)
+    memory_pages = 0
+
+    def relinquish_memory(self):
+        return 0
+
+
+class SingleRowOp(Operator):
+    """One empty environment (FROM-less SELECT)."""
+
+    def execute(self, ctx):
+        yield {}
+
+
+class SeqScanOp(Operator):
+    """Sequential scan with pushed-down filters and statistics feedback."""
+
+    def __init__(self, quantifier, conjuncts):
+        self.quantifier = quantifier
+        self.conjuncts = conjuncts
+
+    def execute(self, ctx):
+        storage = self.quantifier.schema.storage
+        qid = self.quantifier.id
+        counters = [[0, 0] for __ in self.conjuncts]  # [scanned, matched]
+        completed = False
+        n_conjuncts = len(self.conjuncts)
+        try:
+            for __, row in storage.scan():
+                ctx.charge(CPU_ROW_US + n_conjuncts * CPU_PREDICATE_US)
+                env = {qid: row}
+                keep = True
+                for index, conjunct in enumerate(self.conjuncts):
+                    counters[index][0] += 1
+                    if evaluate_predicate(conjunct.expr, env, ctx.params):
+                        counters[index][1] += 1
+                    else:
+                        keep = False
+                        break
+                if keep:
+                    yield env
+            completed = True
+        finally:
+            if completed and ctx.feedback_enabled:
+                self._send_feedback(ctx, storage, counters)
+
+    def _send_feedback(self, ctx, storage, counters):
+        table_rows = storage.row_count
+        table_name = self.quantifier.schema.name
+        for (scanned, matched), conjunct in zip(counters, self.conjuncts):
+            if scanned == 0:
+                continue
+            if scanned != table_rows:
+                # The conjunct was only evaluated on rows surviving earlier
+                # filters: a conditioned sample that would corrupt the
+                # histogram.  This is the "almost" in the paper's
+                # "(almost) any predicate ... can lead to an update".
+                continue
+            classified = classify_predicate(
+                conjunct.expr, self.quantifier.id, ctx.params
+            )
+            if classified is None:
+                continue
+            kind, column_index, payload = classified
+            if kind == "eq":
+                ctx.stats.feedback_eq(
+                    table_name, column_index, payload, matched, scanned,
+                    table_rows,
+                )
+            elif kind == "range":
+                low, high, low_inc, high_inc = payload
+                ctx.stats.feedback_range(
+                    table_name, column_index, low, high, matched, scanned,
+                    table_rows, low_inc, high_inc,
+                )
+            elif kind == "null":
+                ctx.stats.feedback_null(
+                    table_name, column_index, matched, scanned, table_rows
+                )
+            elif kind == "like":
+                ctx.stats.feedback_like(
+                    table_name, column_index, payload, matched, scanned,
+                    table_rows,
+                )
+
+
+class IndexScanOp(Operator):
+    """Sargable B+-tree range scan plus residual filters."""
+
+    def __init__(self, quantifier, index_schema, sarg, residual_conjuncts):
+        self.quantifier = quantifier
+        self.index_schema = index_schema
+        self.sarg = sarg
+        self.residual = residual_conjuncts
+
+    def execute(self, ctx):
+        btree = self.index_schema.btree
+        storage = self.quantifier.schema.storage
+        qid = self.quantifier.id
+        if "eq" in self.sarg:
+            values = tuple(
+                evaluate(expr, {}, ctx.params) for expr in self.sarg["eq"]
+            )
+            entries = btree.prefix_scan(values)
+        else:
+            low, high, low_inc, high_inc = self._bounds(ctx)
+            entries = btree.range_scan(low, high, low_inc, high_inc)
+        for __, row_id in entries:
+            ctx.charge(INDEX_NODE_US / 4.0 + CPU_ROW_US)
+            row = storage.get(row_id)
+            env = {qid: row}
+            if all(
+                evaluate_predicate(c.expr, env, ctx.params) for c in self.residual
+            ):
+                yield env
+
+    def _bounds(self, ctx):
+        if "eq" in self.sarg:
+            values = tuple(
+                evaluate(expr, {}, ctx.params) for expr in self.sarg["eq"]
+            )
+            return values, values, True, True
+        low = high = None
+        low_inc = self.sarg.get("low_inclusive", True)
+        high_inc = self.sarg.get("high_inclusive", True)
+        if "low" in self.sarg:
+            low = (evaluate(self.sarg["low"], {}, ctx.params),)
+        if "high" in self.sarg:
+            high = (evaluate(self.sarg["high"], {}, ctx.params),)
+        return low, high, low_inc, high_inc
+
+
+class DerivedScanOp(Operator):
+    """Evaluates a sub-plan and exposes its tuples as a quantifier."""
+
+    def __init__(self, quantifier, sub_operator, conjuncts):
+        self.quantifier = quantifier
+        self.sub_operator = sub_operator
+        self.conjuncts = conjuncts
+
+    def execute(self, ctx):
+        qid = self.quantifier.id
+        for row in self.sub_operator.execute(ctx):
+            ctx.charge(CPU_ROW_US)
+            env = {qid: tuple(row)}
+            if all(
+                evaluate_predicate(c.expr, env, ctx.params) for c in self.conjuncts
+            ):
+                yield env
+
+
+class ProcedureScanOp(Operator):
+    """A stored procedure in FROM: run its body, record its statistics."""
+
+    def __init__(self, quantifier, body_operator):
+        self.quantifier = quantifier
+        self.body_operator = body_operator
+
+    def execute(self, ctx):
+        procedure = self.quantifier.procedure
+        args = [
+            evaluate(arg, {}, ctx.params)
+            for arg in (self.quantifier.procedure_args or [])
+        ]
+        body_params = dict(zip(procedure.parameters, args))
+        started = ctx.clock.now
+        cardinality = 0
+        qid = self.quantifier.id
+        body_ctx = ctx.with_params(body_params)
+        for row in self.body_operator.execute(body_ctx):
+            cardinality += 1
+            ctx.charge(CPU_ROW_US)
+            yield {qid: tuple(row)}
+        if ctx.stats is not None:
+            ctx.stats.procedure_stats(procedure.name).record(
+                tuple(args), ctx.clock.now - started, cardinality
+            )
+
+
+class RecursiveRefScanOp(Operator):
+    """Scan of the recursive CTE's working table (set by the executor)."""
+
+    def __init__(self, quantifier):
+        self.quantifier = quantifier
+
+    def execute(self, ctx):
+        rows = ctx.cte_tables.get(self.quantifier.cte_name)
+        if rows is None:
+            raise ExecutionError(
+                "recursive reference %r outside RECURSIVE UNION"
+                % (self.quantifier.cte_name,)
+            )
+        qid = self.quantifier.id
+        for row in rows:
+            ctx.charge(CPU_ROW_US)
+            yield {qid: tuple(row)}
+
+
+class FilterOp(Operator):
+    def __init__(self, child, conjuncts):
+        self.child = child
+        self.conjuncts = conjuncts
+
+    def execute(self, ctx):
+        for env in self.child.execute(ctx):
+            ctx.charge(len(self.conjuncts) * CPU_PREDICATE_US)
+            if all(
+                evaluate_predicate(c.expr, env, ctx.params)
+                for c in self.conjuncts
+            ):
+                yield env
+
+
+class NLJoinOp(Operator):
+    """Nested loops; the inner input is materialized (spillable)."""
+
+    def __init__(self, left, right, join_type, conjuncts,
+                 right_quantifiers):
+        self.left = left
+        self.right = right
+        self.join_type = join_type
+        self.conjuncts = conjuncts
+        #: Quantifiers supplied by the right child (for NULL extension).
+        self.right_quantifiers = right_quantifiers
+
+    def execute(self, ctx):
+        inner = SpillableBuffer(ctx)
+        try:
+            for env in self.right.execute(ctx):
+                inner.append(env)
+            inner.seal()
+            for left_env in self.left.execute(ctx):
+                matched = False
+                for right_env in inner.scan():
+                    ctx.charge(
+                        CPU_ROW_US + len(self.conjuncts) * CPU_PREDICATE_US
+                    )
+                    merged = {**left_env, **right_env}
+                    if all(
+                        evaluate_predicate(c.expr, merged, ctx.params)
+                        for c in self.conjuncts
+                    ):
+                        matched = True
+                        if self.join_type == Quantifier.SEMI:
+                            yield left_env
+                            break
+                        if self.join_type == Quantifier.ANTI:
+                            break
+                        yield merged
+                if not matched:
+                    if self.join_type == Quantifier.ANTI:
+                        yield left_env
+                    elif self.join_type == Quantifier.LEFT:
+                        yield null_extend(left_env, self.right_quantifiers)
+        finally:
+            inner.free()
+
+
+class IndexNLJoinOp(Operator):
+    """Probe the inner table's index once per outer row."""
+
+    def __init__(self, left, quantifier, index_schema, probe_keys,
+                 join_type, conjuncts, local_conjuncts):
+        self.left = left
+        self.quantifier = quantifier
+        self.index_schema = index_schema
+        self.probe_keys = probe_keys
+        self.join_type = join_type
+        self.conjuncts = conjuncts
+        self.local_conjuncts = local_conjuncts
+
+    def execute(self, ctx):
+        for left_env in self.left.execute(ctx):
+            yield from self.probe(ctx, left_env)
+
+    def probe(self, ctx, left_env):
+        """Probe for one outer environment (shared with the hash join's
+        alternate-strategy switch)."""
+        btree = self.index_schema.btree
+        storage = self.quantifier.schema.storage
+        qid = self.quantifier.id
+        values = tuple(
+            evaluate(expr, left_env, ctx.params) for expr in self.probe_keys
+        )
+        ctx.charge(btree.height * INDEX_NODE_US)
+        matched = False
+        if all(value is not None for value in values):
+            for __, row_id in btree.prefix_scan(values):
+                ctx.charge(CPU_ROW_US)
+                row = storage.get(row_id)
+                merged = {**left_env, qid: row}
+                keep = all(
+                    evaluate_predicate(c.expr, merged, ctx.params)
+                    for c in self.local_conjuncts
+                ) and all(
+                    evaluate_predicate(c.expr, merged, ctx.params)
+                    for c in self.conjuncts
+                )
+                if not keep:
+                    continue
+                matched = True
+                if self.join_type == Quantifier.SEMI:
+                    yield left_env
+                    return
+                if self.join_type == Quantifier.ANTI:
+                    break
+                yield merged
+        if not matched:
+            if self.join_type == Quantifier.ANTI:
+                yield left_env
+            elif self.join_type == Quantifier.LEFT:
+                yield null_extend(left_env, [self.quantifier])
+
+
+class HashJoinOp(Operator):
+    """Partitioned hash join with the paper's adaptive behaviours.
+
+    * memory is accounted against the statement's task; when the soft
+      limit is reached, the **partition with the most rows is evicted** to
+      the temporary file ("by selecting the partition with the most rows,
+      the governor frees up the most memory for future processing");
+    * after the build completes, if the optimizer attached an
+      **index-nested-loops alternate** and the true build cardinality is
+      below the crossover threshold, execution switches strategies and the
+      probe side is never scanned.
+    """
+
+    def __init__(self, left, right, join_type, conjuncts, build_keys,
+                 probe_keys, right_quantifiers, alternate=None,
+                 alternate_threshold=None):
+        self.left = left
+        self.right = right
+        self.join_type = join_type
+        self.conjuncts = conjuncts
+        self.build_keys = build_keys
+        self.probe_keys = probe_keys
+        self.right_quantifiers = right_quantifiers
+        self.alternate = alternate
+        self.alternate_threshold = alternate_threshold
+        self.residual = [c for c in conjuncts if c.equi is None]
+        # observability
+        self.partitions_evicted = 0
+        self.switched_to_alternate = False
+        self.build_row_count = 0
+        self._memory = None
+        self._partitions = None
+        self._spills = None
+        self._row_bytes = 64
+
+    # -- memory-governor consumer protocol ------------------------------- #
+
+    @property
+    def memory_pages(self):
+        return self._memory.pages_held if self._memory is not None else 0
+
+    def relinquish_memory(self):
+        """Evict the largest in-memory partition to the temp file."""
+        if not self._partitions:
+            return 0
+        candidates = [
+            index
+            for index in range(HASH_PARTITIONS)
+            if self._partitions[index] is not None and self._partitions[index]
+        ]
+        if not candidates:
+            return 0
+        largest = max(
+            candidates,
+            key=lambda index: sum(
+                len(rows) for rows in self._partitions[index].values()
+            ),
+        )
+        return self._evict_partition(largest)
+
+    def _evict_partition(self, index):
+        partition = self._partitions[index]
+        spill = SpillFile(
+            self._ctx.temp_file, self._row_bytes, self._ctx.pool.page_size
+        )
+        evicted_bytes = 0
+        for key, rows in partition.items():
+            for env in rows:
+                spill.append((key, env))
+                evicted_bytes += self._row_bytes
+        spill.finish_writing()
+        self._spills[index] = spill
+        self._partitions[index] = None
+        before = self._memory.pages_held
+        self._memory.remove(evicted_bytes)
+        self.partitions_evicted += 1
+        return before - self._memory.pages_held
+
+    # -- execution ---------------------------------------------------------- #
+
+    def execute(self, ctx):
+        self._ctx = ctx
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        self._partitions = [dict() for __ in range(HASH_PARTITIONS)]
+        self._spills = [None] * HASH_PARTITIONS
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
+        try:
+            self._build(ctx)
+            semi_switchable = (
+                self.join_type == Quantifier.SEMI and not self.residual
+            )
+            if (
+                self.alternate is not None
+                and self.alternate_threshold is not None
+                and self.build_row_count <= self.alternate_threshold
+                and (self.join_type == Quantifier.INNER or semi_switchable)
+            ):
+                self.switched_to_alternate = True
+                ctx.note("hash_join_switched")
+                yield from self._execute_alternate(ctx)
+                return
+            yield from self._probe(ctx)
+        finally:
+            ctx.task.unregister_consumer(self)
+            self._memory.release_all()
+            for spill in self._spills:
+                if spill is not None:
+                    spill.free()
+
+    def _build(self, ctx):
+        for env in self.right.execute(ctx):
+            ctx.charge(CPU_HASH_BUILD_US)
+            self.build_row_count += 1
+            self._row_bytes = max(self._row_bytes, env_row_bytes(env))
+            key = tuple(
+                evaluate(expr, env, ctx.params) for expr in self.build_keys
+            )
+            index = hash(key) % HASH_PARTITIONS
+            if self._partitions[index] is None:
+                self._spills[index].append((key, env))
+                continue
+            self._memory.add(self._row_bytes)
+            # The allocation may have reclaimed (evicted) this very
+            # partition; rows then go straight to its spill file.
+            partition = self._partitions[index]
+            if partition is None:
+                self._spills[index].append((key, env))
+            else:
+                partition.setdefault(key, []).append(env)
+
+    def _execute_alternate(self, ctx):
+        """The index-NL switch: build rows become the outer input.
+
+        For a **semi** join the build rows are deduplicated by key first:
+        a semi join must emit each probe-side row at most once, and each
+        probe row joins exactly one key value, so probing once per
+        *distinct* key preserves the semantics (the alternate probes with
+        inner-join emission, so the probe-side rows flow out).
+        """
+        if self.join_type == Quantifier.SEMI:
+            seen_keys = set()
+            for key, env in self._all_build_rows():
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                yield from self.alternate.probe(ctx, env)
+        else:
+            for __, env in self._all_build_rows():
+                yield from self.alternate.probe(ctx, env)
+
+    def _all_build_rows(self):
+        for partition in self._partitions:
+            if partition is None:
+                continue
+            for key, rows in partition.items():
+                for env in rows:
+                    yield key, env
+        for spill in self._spills:
+            if spill is not None:
+                yield from spill.read_all()
+
+    def _probe(self, ctx):
+        probe_spills = [None] * HASH_PARTITIONS
+        for left_env in self.left.execute(ctx):
+            ctx.charge(CPU_HASH_PROBE_US)
+            key = tuple(
+                evaluate(expr, left_env, ctx.params) for expr in self.probe_keys
+            )
+            index = hash(key) % HASH_PARTITIONS
+            if self._partitions[index] is None:
+                if probe_spills[index] is None:
+                    probe_spills[index] = SpillFile(
+                        ctx.temp_file, self._row_bytes, ctx.pool.page_size
+                    )
+                probe_spills[index].append((key, left_env))
+                continue
+            yield from self._emit_matches(
+                ctx, left_env, key, self._partitions[index]
+            )
+        # Spilled partitions: reload the build side and re-probe.
+        for index in range(HASH_PARTITIONS):
+            probe_spill = probe_spills[index]
+            if probe_spill is None:
+                if self._spills[index] is not None:
+                    self._spills[index].free()
+                continue
+            build_table = {}
+            if self._spills[index] is not None:
+                for key, env in self._spills[index].read_all():
+                    build_table.setdefault(key, []).append(env)
+                self._spills[index].free()
+            for key, left_env in probe_spill.read_all():
+                ctx.charge(CPU_HASH_PROBE_US)
+                yield from self._emit_matches(ctx, left_env, key, build_table)
+            probe_spill.free()
+
+    def _emit_matches(self, ctx, left_env, key, table):
+        rows = table.get(key)
+        matched = False
+        if rows and all(value is not None for value in key):
+            for right_env in rows:
+                merged = {**left_env, **right_env}
+                if self.residual and not all(
+                    evaluate_predicate(c.expr, merged, ctx.params)
+                    for c in self.residual
+                ):
+                    continue
+                matched = True
+                if self.join_type == Quantifier.SEMI:
+                    yield left_env
+                    return
+                if self.join_type == Quantifier.ANTI:
+                    break
+                ctx.charge(CPU_ROW_US)
+                yield merged
+        if not matched:
+            if self.join_type == Quantifier.ANTI:
+                yield left_env
+            elif self.join_type == Quantifier.LEFT:
+                yield null_extend(left_env, self.right_quantifiers)
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+
+def null_extend(env, quantifiers):
+    """Left-outer NULL extension for the null-supplied side."""
+    extended = dict(env)
+    for quantifier in quantifiers:
+        extended[quantifier.id] = (None,) * max(1, len(quantifier.columns))
+    return extended
+
+
+def classify_predicate(expr, qid, params):
+    """Map a conjunct onto a histogram-updatable shape, or None.
+
+    Returns ('eq', column_index, value) / ('range', ci, (low, high, li, hi))
+    / ('null', ci, negated) / ('like', ci, pattern).
+    """
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("=", "<", "<=", ">", ">="):
+        for column_side, value_side, flipped in (
+            (expr.left, expr.right, False), (expr.right, expr.left, True)
+        ):
+            if not (
+                isinstance(column_side, ast.ColumnRef)
+                and column_side.bound
+                and column_side.quantifier_id == qid
+            ):
+                continue
+            value = _static_value(value_side, params)
+            if value is _NO_VALUE or value is None:
+                return None
+            op = expr.op
+            if flipped:
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            ci = column_side.column_index
+            if op == "=":
+                return ("eq", ci, value)
+            if op == "<":
+                return ("range", ci, (None, value, True, False))
+            if op == "<=":
+                return ("range", ci, (None, value, True, True))
+            if op == ">":
+                return ("range", ci, (value, None, False, True))
+            return ("range", ci, (value, None, True, True))
+    if isinstance(expr, ast.Between) and not expr.negated:
+        operand = expr.operand
+        if (
+            isinstance(operand, ast.ColumnRef)
+            and operand.quantifier_id == qid
+        ):
+            low = _static_value(expr.low, params)
+            high = _static_value(expr.high, params)
+            if low not in (_NO_VALUE, None) and high not in (_NO_VALUE, None):
+                return ("range", operand.column_index, (low, high, True, True))
+    if isinstance(expr, ast.IsNull) and not expr.negated:
+        operand = expr.operand
+        if isinstance(operand, ast.ColumnRef) and operand.quantifier_id == qid:
+            return ("null", operand.column_index, None)
+    if isinstance(expr, ast.Like) and not expr.negated:
+        operand = expr.operand
+        if isinstance(operand, ast.ColumnRef) and operand.quantifier_id == qid:
+            pattern = _static_value(expr.pattern, params)
+            if isinstance(pattern, str):
+                return ("like", operand.column_index, pattern)
+    return None
+
+
+class _NoValue:
+    pass
+
+
+_NO_VALUE = _NoValue()
+
+
+def _static_value(expr, params):
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Parameter) and params is not None:
+        try:
+            if expr.name is not None:
+                return params[expr.name]
+            return params[expr.ordinal]
+        except (KeyError, IndexError, TypeError):
+            return _NO_VALUE
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _static_value(expr.operand, params)
+        if inner not in (_NO_VALUE, None):
+            return -inner
+    return _NO_VALUE

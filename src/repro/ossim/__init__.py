@@ -1,0 +1,14 @@
+"""Simulated operating system memory manager.
+
+The buffer-pool governor of the paper (Section 2) is a feedback controller
+whose reference inputs come from the OS: the *working-set size* of the
+server process and the amount of *free physical memory*.  This package
+provides a small, deterministic OS model that produces those inputs: a
+fixed amount of physical memory shared by processes whose allocations vary
+over (simulated) time, with proportional working-set trimming under
+overcommit, plus a Windows-CE-like flavour that cannot report working sets.
+"""
+
+from repro.ossim.memory import OperatingSystem, Process, ScriptedProcess
+
+__all__ = ["OperatingSystem", "Process", "ScriptedProcess"]

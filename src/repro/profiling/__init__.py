@@ -1,0 +1,43 @@
+"""Application Profiling (paper Section 5).
+
+An integrated toolset advising on database and application design:
+
+* :mod:`~repro.profiling.tracer` — captures a detailed trace of server
+  activity (statements, timings, counters) that can be stored into any
+  database for analysis;
+* :mod:`~repro.profiling.flaws` — a database of commonly seen design
+  flaws, including the **client-side join** detector ("many identical
+  statements arrive from an application, differing only by some constant
+  value used in a predicate") and incorrect option settings;
+* :mod:`~repro.profiling.consultant` — the **Index Consultant**, which
+  lets the optimizer cost *virtual indexes* ("the query optimizer is able
+  to generate specifications for indexes it would like to have") and
+  recommends creations and removals.
+"""
+
+from repro.profiling.tracer import TraceEvent, Tracer
+from repro.profiling.flaws import (
+    ClientSideJoinDetector,
+    Flaw,
+    FlawAnalyzer,
+    OptionSettingDetector,
+    RepeatedStatementDetector,
+)
+from repro.profiling.consultant import (
+    IndexConsultant,
+    IndexRecommendation,
+    VirtualBTree,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "FlawAnalyzer",
+    "Flaw",
+    "ClientSideJoinDetector",
+    "OptionSettingDetector",
+    "RepeatedStatementDetector",
+    "IndexConsultant",
+    "IndexRecommendation",
+    "VirtualBTree",
+]

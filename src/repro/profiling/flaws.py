@@ -1,0 +1,151 @@
+"""The design-flaw database.
+
+"The Application Profiling tool contains a database of commonly seen
+design flaws.  It is able to detect incorrect database option settings.
+It can also detect suboptimal query patterns coming from an application.
+For instance, it can detect the presence of a client-side join, in which
+many identical statements arrive from an application, differing only by
+some constant value used in a predicate."
+"""
+
+
+class Flaw:
+    """One detected design flaw."""
+
+    def __init__(self, kind, severity, summary, evidence=None,
+                 recommendation=""):
+        self.kind = kind
+        self.severity = severity  # 'info' | 'warning' | 'critical'
+        self.summary = summary
+        self.evidence = evidence
+        self.recommendation = recommendation
+
+    def __repr__(self):
+        return "Flaw(%s, %s: %s)" % (self.kind, self.severity, self.summary)
+
+
+class ClientSideJoinDetector:
+    """Many identical statements differing only by a constant.
+
+    Recommendation per the paper: "such a loop in the application would be
+    more efficiently carried out as a single statement issued to the
+    server."
+    """
+
+    kind = "client-side-join"
+
+    def __init__(self, min_repetitions=20):
+        self.min_repetitions = min_repetitions
+
+    def detect(self, tracer, catalog):
+        flaws = []
+        for template, events in tracer.templates().items():
+            if len(events) < self.min_repetitions:
+                continue
+            if "?" not in template:
+                continue
+            if not template.upper().startswith("SELECT"):
+                continue
+            distinct_constants = {event.constants for event in events}
+            if len(distinct_constants) < self.min_repetitions // 2:
+                continue  # genuinely repeated statement, not a join loop
+            flaws.append(Flaw(
+                self.kind,
+                "warning",
+                "%d statements matching %r differ only by constants"
+                % (len(events), template),
+                evidence={"template": template, "count": len(events)},
+                recommendation=(
+                    "replace the application loop with a single joined "
+                    "statement (or an IN list) issued to the server"
+                ),
+            ))
+        return flaws
+
+
+class RepeatedStatementDetector:
+    """The same exact statement re-executed many times: prepare it once."""
+
+    kind = "repeated-statement"
+
+    def __init__(self, min_repetitions=50):
+        self.min_repetitions = min_repetitions
+
+    def detect(self, tracer, catalog):
+        counts = {}
+        for event in tracer.events:
+            counts[event.sql] = counts.get(event.sql, 0) + 1
+        return [
+            Flaw(
+                self.kind,
+                "info",
+                "statement executed %d times verbatim" % (count,),
+                evidence={"sql": sql, "count": count},
+                recommendation="prepare the statement once and re-execute it",
+            )
+            for sql, count in counts.items()
+            if count >= self.min_repetitions
+        ]
+
+
+class OptionSettingDetector:
+    """Incorrect database option settings, from a rule database."""
+
+    kind = "option-setting"
+
+    #: option -> (bad predicate, explanation)
+    RULES = {
+        "optimization_goal": (
+            lambda value: value not in ("all-rows", "first-row"),
+            "optimization_goal must be 'all-rows' or 'first-row'",
+        ),
+        "max_query_tasks": (
+            lambda value: isinstance(value, int) and value < 0,
+            "max_query_tasks cannot be negative",
+        ),
+        "multiprogramming_level": (
+            lambda value: isinstance(value, int) and value < 1,
+            "multiprogramming_level must be at least 1",
+        ),
+        "auto_statistics": (
+            lambda value: value in ("off", False, 0),
+            "disabling automatic statistics collection defeats "
+            "self-management; estimates will decay as data drifts",
+        ),
+    }
+
+    def detect(self, tracer, catalog):
+        flaws = []
+        for option, value in catalog.options.items():
+            rule = self.RULES.get(option)
+            if rule is None:
+                continue
+            is_bad, explanation = rule
+            if is_bad(value):
+                flaws.append(Flaw(
+                    self.kind,
+                    "critical",
+                    "option %r has suspect value %r" % (option, value),
+                    evidence={"option": option, "value": value},
+                    recommendation=explanation,
+                ))
+        return flaws
+
+
+class FlawAnalyzer:
+    """Runs every detector over a trace + catalog."""
+
+    def __init__(self, detectors=None):
+        self.detectors = detectors if detectors is not None else [
+            ClientSideJoinDetector(),
+            RepeatedStatementDetector(),
+            OptionSettingDetector(),
+        ]
+
+    def analyze(self, tracer, catalog):
+        flaws = []
+        for detector in self.detectors:
+            flaws.extend(detector.detect(tracer, catalog))
+        severity_rank = {"critical": 0, "warning": 1, "info": 2}
+        flaws.sort(key=lambda flaw: severity_rank.get(flaw.severity, 3))
+        return flaws

@@ -1,0 +1,116 @@
+"""Request tracing.
+
+"As much detail as possible is collected about a database application and
+a database instance ... a detailed trace of all server activity, including
+SQL statements processed, performance counters ...  This trace information
+is captured as an application runs, and is transferred ... into any SQL
+Anywhere database, where it can be analyzed."
+"""
+
+import collections
+import re
+
+TraceEvent = collections.namedtuple(
+    "TraceEvent",
+    [
+        "sequence",
+        "sql",
+        "template",
+        "constants",
+        "start_us",
+        "elapsed_us",
+        "rows",
+        "pool_misses",
+        "pool_hits",
+        "plan_signature",
+    ],
+)
+
+_NUMBER = re.compile(r"\b\d+(?:\.\d+)?\b")
+_STRING = re.compile(r"'(?:[^']|'')*'")
+
+
+def normalize_statement(sql):
+    """(template, constants): literals replaced by placeholders.
+
+    The template is what the client-side-join detector groups by — two
+    statements "differing only by some constant value used in a predicate"
+    share a template.
+    """
+    constants = []
+
+    def keep_string(match):
+        constants.append(match.group(0))
+        return "?"
+
+    def keep_number(match):
+        constants.append(match.group(0))
+        return "?"
+
+    no_strings = _STRING.sub(keep_string, sql)
+    template = _NUMBER.sub(keep_number, no_strings)
+    return " ".join(template.split()), tuple(constants)
+
+
+class Tracer:
+    """Collects trace events; attach via ``server.tracer = Tracer(...)``."""
+
+    def __init__(self, capacity=100_000):
+        self.capacity = capacity
+        self.events = []
+        self._sequence = 0
+
+    def record(self, sql, start_us, elapsed_us, rows, pool_misses,
+               pool_hits, plan_signature=""):
+        template, constants = normalize_statement(sql)
+        event = TraceEvent(
+            self._sequence, sql, template, constants, start_us, elapsed_us,
+            rows, pool_misses, pool_hits, plan_signature,
+        )
+        self._sequence += 1
+        if len(self.events) < self.capacity:
+            self.events.append(event)
+        return event
+
+    def __len__(self):
+        return len(self.events)
+
+    def templates(self):
+        """template -> [events] grouping."""
+        grouped = {}
+        for event in self.events:
+            grouped.setdefault(event.template, []).append(event)
+        return grouped
+
+    # ------------------------------------------------------------------ #
+    # persistence into a database (the paper's trace-to-database flow)
+    # ------------------------------------------------------------------ #
+
+    TRACE_TABLE_DDL = (
+        "CREATE TABLE profiling_trace ("
+        "seq INT PRIMARY KEY, template VARCHAR(200), start_us INT, "
+        "elapsed_us INT, result_rows INT, pool_misses INT, pool_hits INT)"
+    )
+
+    def save_to_database(self, connection, table_created=False):
+        """Store the trace in a database through ordinary SQL.
+
+        The target may be the traced database itself (convenience) or a
+        separate server (performance) — any connection works.
+        """
+        if not table_created:
+            connection.execute(self.TRACE_TABLE_DDL)
+        for event in self.events:
+            connection.execute(
+                "INSERT INTO profiling_trace VALUES (?, ?, ?, ?, ?, ?, ?)",
+                params=[
+                    event.sequence,
+                    event.template[:200],
+                    int(event.start_us),
+                    int(event.elapsed_us),
+                    int(event.rows),
+                    int(event.pool_misses),
+                    int(event.pool_hits),
+                ],
+            )
+        return len(self.events)

@@ -1,0 +1,16 @@
+"""SQL front end: lexer, parser, AST, and binder.
+
+The dialect is the subset of ANSI SQL needed to express the paper's
+workloads: multi-way joins (inner and LEFT OUTER), GROUP BY / HAVING /
+DISTINCT / ORDER BY / LIMIT, IN / EXISTS subqueries, derived tables,
+stored-procedure calls in FROM, recursive common table expressions
+(``WITH RECURSIVE`` — the paper's adaptive RECURSIVE UNION operator),
+DML, and the self-management DDL the paper names: ``CREATE STATISTICS``
+and ``CALIBRATE DATABASE``.
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse_statement
+from repro.sql.binder import Binder
+
+__all__ = ["Token", "tokenize", "parse_statement", "Binder"]

@@ -1,0 +1,40 @@
+"""Self-managing statistics (paper Section 3).
+
+SQL Anywhere "automatically collects statistics as part of query
+execution" rather than requiring explicit ANALYZE-style scans.  This
+package implements the full stack the paper describes:
+
+* :mod:`~repro.stats.greenwald` — a Greenwald-style one-pass quantile
+  sketch used when histograms are bulk-built (LOAD TABLE, CREATE INDEX,
+  CREATE STATISTICS);
+* :mod:`~repro.stats.histogram` — equi-depth histograms over an
+  order-preserving hashed domain, combining traditional buckets with
+  *singleton buckets* (frequent-value statistics), a *density* measure,
+  dynamic bucket expansion/contraction, and feedback updates from
+  predicates evaluated during query execution;
+* :mod:`~repro.stats.stringstats` — the separate infrastructure for long
+  string data: a dynamic list of observed (hash, predicate) buckets and
+  per-'word' buckets for LIKE estimation;
+* :mod:`~repro.stats.joinhist` — join histograms computed on the fly
+  during optimization;
+* :mod:`~repro.stats.procstats` — moving-average statistics for stored
+  procedures used in FROM clauses, with parameter-specific overrides;
+* :mod:`~repro.stats.manager` — the statistics manager wiring feedback
+  from the executor into the column statistics.
+"""
+
+from repro.stats.greenwald import GreenwaldSketch
+from repro.stats.histogram import ColumnHistogram
+from repro.stats.joinhist import join_selectivity
+from repro.stats.manager import StatisticsManager
+from repro.stats.procstats import ProcedureStats
+from repro.stats.stringstats import StringStatistics
+
+__all__ = [
+    "GreenwaldSketch",
+    "ColumnHistogram",
+    "join_selectivity",
+    "StatisticsManager",
+    "ProcedureStats",
+    "StringStatistics",
+]

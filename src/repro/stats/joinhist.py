@@ -1,0 +1,104 @@
+"""Join histograms (paper Section 3.2).
+
+"Join histograms are computed on-the-fly during query optimization to
+determine the cardinality of intermediate results.  As with column
+histograms, join histograms are over a single attribute."
+
+Given the two columns' histograms, the join histogram aligns their bucket
+boundaries and estimates, per aligned interval, the number of matching
+pairs under containment/uniformity assumptions; singleton buckets match
+exactly.
+"""
+
+
+def join_selectivity(left_hist, right_hist):
+    """Selectivity of ``L.a = R.b`` given both column histograms.
+
+    Returns the fraction of the L x R cross product that joins, so the
+    estimated join cardinality is ``|L| * |R| * selectivity``.
+    """
+    grand_left = left_hist.total_count()
+    grand_right = right_hist.total_count()
+    if grand_left <= 0 or grand_right <= 0:
+        return 0.0
+
+    matches = 0.0
+    left_singletons = dict(left_hist.singleton_view())
+    right_singletons = dict(right_hist.singleton_view())
+
+    # Singleton x singleton: exact frequent-value matches.
+    for hashed, left_count in left_singletons.items():
+        right_count = right_singletons.get(hashed)
+        if right_count is not None:
+            matches += left_count * right_count
+
+    # Singleton x bucket (both directions): the frequent value joins with
+    # one average value's worth of the other side's bucket mass.
+    left_per_value = _per_value_rows(left_hist)
+    right_per_value = _per_value_rows(right_hist)
+    for hashed, left_count in left_singletons.items():
+        if hashed not in right_singletons and _in_buckets(right_hist, hashed):
+            matches += left_count * right_per_value
+    for hashed, right_count in right_singletons.items():
+        if hashed not in left_singletons and _in_buckets(left_hist, hashed):
+            matches += right_count * left_per_value
+
+    # Bucket x bucket: align boundaries; within each aligned interval,
+    # assume the side with fewer distinct values is contained in the other
+    # (matching pairs = L * R / max(d_L, d_R)).
+    boundaries = set()
+    for low, high, __ in left_hist.bucket_view():
+        boundaries.add(low)
+        boundaries.add(high)
+    for low, high, __ in right_hist.bucket_view():
+        boundaries.add(low)
+        boundaries.add(high)
+    ordered = sorted(boundaries)
+    for low, high in zip(ordered, ordered[1:]):
+        left_mass = _bucket_range_mass(left_hist, low, high)
+        right_mass = _bucket_range_mass(right_hist, low, high)
+        if left_mass <= 0 or right_mass <= 0:
+            continue
+        left_distinct = max(1.0, left_mass / max(left_per_value, 1e-9))
+        right_distinct = max(1.0, right_mass / max(right_per_value, 1e-9))
+        matches += left_mass * right_mass / max(left_distinct, right_distinct)
+
+    selectivity = matches / (grand_left * grand_right)
+    return max(0.0, min(1.0, selectivity))
+
+
+def join_cardinality(left_hist, right_hist):
+    """Estimated number of joining pairs for ``L.a = R.b``."""
+    return (
+        left_hist.total_count()
+        * right_hist.total_count()
+        * join_selectivity(left_hist, right_hist)
+    )
+
+
+def _per_value_rows(histogram):
+    """Expected rows per distinct non-singleton value."""
+    return histogram.density() * histogram.total_count()
+
+
+def _in_buckets(histogram, hashed):
+    for low, high, __ in histogram.bucket_view():
+        if low <= hashed < high:
+            return True
+    return False
+
+
+def _bucket_range_mass(histogram, low, high):
+    """Bucket mass (row count) overlapping the hashed interval [low, high)."""
+    total = 0.0
+    for b_low, b_high, count in histogram.bucket_view():
+        clip_low = max(b_low, low)
+        clip_high = min(b_high, high)
+        if clip_high <= clip_low:
+            continue
+        span = b_high - b_low
+        if span <= 0:
+            total += count
+        else:
+            total += count * (clip_high - clip_low) / span
+    return total

@@ -1,0 +1,110 @@
+"""Stored-procedure execution statistics (paper Section 3.2).
+
+"For stored procedures used in a FROM clause, the server maintains a
+summary of statistics for previous invocations, including total CPU time
+and result cardinality.  A moving average of these statistics is saved
+persistently in the database ...  In addition, statistics specific to
+certain values of the procedure's input parameters are saved and managed
+separately if they differ sufficiently from the moving average."
+"""
+
+#: Exponential moving-average weight for new observations.
+EMA_ALPHA = 0.25
+
+#: A parameter binding earns its own statistics entry when its observation
+#: differs from the moving average by at least this factor.
+DIVERGENCE_FACTOR = 4.0
+
+#: Cap on per-parameter entries.
+MAX_PARAMETER_ENTRIES = 32
+
+
+class _Summary:
+    __slots__ = ("cpu_us", "cardinality", "invocations")
+
+    def __init__(self):
+        self.cpu_us = None
+        self.cardinality = None
+        self.invocations = 0
+
+    def update(self, cpu_us, cardinality):
+        self.invocations += 1
+        if self.cpu_us is None:
+            self.cpu_us = float(cpu_us)
+            self.cardinality = float(cardinality)
+        else:
+            self.cpu_us += EMA_ALPHA * (cpu_us - self.cpu_us)
+            self.cardinality += EMA_ALPHA * (cardinality - self.cardinality)
+
+
+class ProcedureStats:
+    """Moving-average + parameter-specific statistics for one procedure."""
+
+    def __init__(self, default_cardinality=100.0, default_cpu_us=1000.0):
+        self._overall = _Summary()
+        self._by_params = {}
+        self.default_cardinality = default_cardinality
+        self.default_cpu_us = default_cpu_us
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def record(self, params, cpu_us, cardinality):
+        """Record one invocation's cost and result size."""
+        key = self._key(params)
+        diverges = self._diverges(cpu_us, cardinality)
+        self._overall.update(cpu_us, cardinality)
+        if key in self._by_params:
+            self._by_params[key].update(cpu_us, cardinality)
+            return
+        if diverges:
+            if len(self._by_params) >= MAX_PARAMETER_ENTRIES:
+                # Drop the least-invoked entry.
+                victim = min(
+                    self._by_params, key=lambda k: self._by_params[k].invocations
+                )
+                del self._by_params[victim]
+            summary = _Summary()
+            summary.update(cpu_us, cardinality)
+            self._by_params[key] = summary
+
+    def _diverges(self, cpu_us, cardinality):
+        average = self._overall
+        if average.cardinality is None or average.invocations < 2:
+            return False
+        card_ratio = _ratio(cardinality, average.cardinality)
+        cpu_ratio = _ratio(cpu_us, average.cpu_us)
+        return card_ratio >= DIVERGENCE_FACTOR or cpu_ratio >= DIVERGENCE_FACTOR
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate(self, params=None):
+        """``(cpu_us, cardinality)`` estimate for an invocation."""
+        if params is not None:
+            summary = self._by_params.get(self._key(params))
+            if summary is not None:
+                return summary.cpu_us, summary.cardinality
+        if self._overall.invocations > 0:
+            return self._overall.cpu_us, self._overall.cardinality
+        return self.default_cpu_us, self.default_cardinality
+
+    @property
+    def invocations(self):
+        return self._overall.invocations
+
+    @property
+    def parameter_specific_entries(self):
+        return len(self._by_params)
+
+    @staticmethod
+    def _key(params):
+        return tuple(params) if params is not None else ()
+
+
+def _ratio(a, b):
+    a = max(float(a), 1e-9)
+    b = max(float(b), 1e-9)
+    return max(a / b, b / a)

@@ -1,0 +1,127 @@
+"""Statistics for long string / binary columns (paper Section 3.1).
+
+"For longer string and binary data types, SQL Anywhere uses a different
+infrastructure that dynamically maintains a list of observed predicates and
+their selectivities. ... Each bucket is represented by a hash value, a
+relational predicate (equality, non-equality, BETWEEN, IS NULL, or LIKE)
+and the associated selectivity ... buckets are also created for 'words' in
+the string ... useful in estimating the selectivity of LIKE predicates."
+"""
+
+import collections
+
+from repro.common.hashing import string_hash, word_tokens
+
+#: Predicate kinds tracked in observation buckets.
+EQ = "="
+NE = "<>"
+BETWEEN = "BETWEEN"
+IS_NULL = "IS NULL"
+LIKE = "LIKE"
+
+#: Cap on retained (hash, predicate) observation buckets (LRU beyond).
+MAX_PREDICATE_BUCKETS = 256
+
+#: Cap on retained word buckets.
+MAX_WORD_BUCKETS = 512
+
+#: Fallback selectivity when nothing has been observed.
+DEFAULT_SELECTIVITY = 0.05
+
+
+class StringStatistics:
+    """Observed-predicate buckets plus word buckets for one string column."""
+
+    def __init__(self):
+        # (predicate_kind, hash) -> selectivity; insertion-ordered for LRU.
+        self._predicates = collections.OrderedDict()
+        # word -> hash bucket with observed fraction of rows containing it.
+        self._words = collections.OrderedDict()
+        self.observations = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+
+    def observe_predicate(self, kind, operand_text, selectivity):
+        """Record the observed selectivity of a predicate evaluation."""
+        key = (kind, string_hash(operand_text))
+        self._touch(self._predicates, key, float(selectivity), MAX_PREDICATE_BUCKETS)
+        self.observations += 1
+        if kind == LIKE:
+            # LIKE '%word%' patterns feed the word buckets too.
+            for word in word_tokens(operand_text.replace("%", " ").replace("_", " ")):
+                self._touch(
+                    self._words, word.lower(), float(selectivity), MAX_WORD_BUCKETS
+                )
+
+    def observe_value(self, text):
+        """Feed one stored value's words (called on INSERT/LOAD sampling)."""
+        if text is None:
+            return
+        for word in word_tokens(text):
+            key = word.lower()
+            if key in self._words:
+                continue
+            # A value observation seeds a word bucket with no selectivity
+            # estimate yet; feedback refines it.
+            self._touch(self._words, key, None, MAX_WORD_BUCKETS)
+
+    @staticmethod
+    def _touch(table, key, value, cap):
+        if key in table:
+            old = table.pop(key)
+            if value is None:
+                value = old
+        table[key] = value
+        while len(table) > cap:
+            table.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate_predicate(self, kind, operand_text):
+        """Selectivity for (kind, operand), or None if never observed."""
+        key = (kind, string_hash(operand_text))
+        value = self._predicates.get(key)
+        if value is not None:
+            # refresh LRU position
+            self._predicates.move_to_end(key)
+        return value
+
+    def estimate_like(self, pattern):
+        """Selectivity of a LIKE pattern.
+
+        Exact-pattern observations win; otherwise the word buckets supply
+        an estimate for patterns that target a word (``'%term%'``); failing
+        both, a default guess.
+        """
+        observed = self.estimate_predicate(LIKE, pattern)
+        if observed is not None:
+            return observed
+        words = word_tokens(pattern.replace("%", " ").replace("_", " "))
+        estimates = [
+            self._words[word.lower()]
+            for word in words
+            if self._words.get(word.lower()) is not None
+        ]
+        if estimates:
+            # Independence across words.
+            selectivity = 1.0
+            for estimate in estimates:
+                selectivity *= estimate
+            return selectivity
+        return DEFAULT_SELECTIVITY
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def predicate_bucket_count(self):
+        return len(self._predicates)
+
+    @property
+    def word_bucket_count(self):
+        return len(self._words)

@@ -1,0 +1,181 @@
+"""Simulated disk devices.
+
+Every device charges the simulated clock for each page transfer and keeps
+counters for the benchmarks.  Cost depends on the *distance* between the
+previous access and the new one — the same locality notion the DTT model's
+"band size" abstracts: distance 1 is sequential, larger distances approach
+fully random access.
+"""
+
+import math
+import random
+
+from repro.common.units import KiB, SECOND
+from repro.dtt.model import READ, WRITE
+
+
+class Disk:
+    """Base device: counters, head tracking, and clock charging."""
+
+    def __init__(self, clock, size_pages, page_size=4 * KiB, name="disk"):
+        if size_pages < 1:
+            raise ValueError("device must have at least one page")
+        self.clock = clock
+        self.size_pages = int(size_pages)
+        self.page_size = int(page_size)
+        self.name = name
+        self.reads = 0
+        self.writes = 0
+        self.busy_us = 0
+        self._head = 0
+
+    # -- cost hooks (subclasses override) ------------------------------- #
+
+    def _read_cost_us(self, distance):
+        raise NotImplementedError
+
+    def _write_cost_us(self, distance):
+        raise NotImplementedError
+
+    # -- public I/O ------------------------------------------------------ #
+
+    def read_page(self, page_no):
+        """Read one page; returns the charged cost in microseconds."""
+        distance = self._check_and_distance(page_no)
+        cost = self._read_cost_us(distance)
+        self._finish(page_no, cost)
+        self.reads += 1
+        return cost
+
+    def write_page(self, page_no):
+        """Write one page; returns the charged cost in microseconds."""
+        distance = self._check_and_distance(page_no)
+        cost = self._write_cost_us(distance)
+        self._finish(page_no, cost)
+        self.writes += 1
+        return cost
+
+    # -- internals -------------------------------------------------------- #
+
+    def _check_and_distance(self, page_no):
+        if not 0 <= page_no < self.size_pages:
+            raise ValueError(
+                "page %r out of range [0, %d) on %s"
+                % (page_no, self.size_pages, self.name)
+            )
+        return abs(page_no - self._head)
+
+    def _finish(self, page_no, cost_us):
+        self._head = page_no + 1  # a transfer leaves the head after the page
+        self.busy_us += cost_us
+        self.clock.advance(int(cost_us))
+
+    def reset_counters(self):
+        """Zero the I/O counters (head position is preserved)."""
+        self.reads = 0
+        self.writes = 0
+        self.busy_us = 0
+
+
+class RotationalDisk(Disk):
+    """A classic rotational disk: seek + rotational latency + transfer.
+
+    * Seek time follows the usual ``a + b * sqrt(cylinder distance)`` law.
+    * Rotational latency is drawn uniformly in [0, one revolution) from the
+      device's private RNG — averaging to half a revolution, as on real
+      hardware — except for distance <= 1 accesses, which stream without
+      re-rotation.
+    * Writes acknowledge from the device's write-back cache: they pay the
+      transfer plus a fraction of the positioning cost, reproducing the
+      paper's observation that amortized writes are cheaper than reads at
+      large band sizes because they are asynchronous and schedulable.
+    """
+
+    def __init__(
+        self,
+        clock,
+        size_pages,
+        page_size=4 * KiB,
+        name="hdd",
+        rpm=7200,
+        seek_min_us=400,
+        seek_full_us=9000,
+        transfer_mb_per_s=90.0,
+        write_positioning_fraction=0.45,
+        seed=1234,
+    ):
+        super().__init__(clock, size_pages, page_size, name)
+        self.rpm = rpm
+        self._revolution_us = 60.0 * SECOND / rpm  # us per full revolution
+        self._seek_min_us = seek_min_us
+        self._seek_full_us = seek_full_us
+        self._transfer_us = page_size / (transfer_mb_per_s * 1024 * 1024) * SECOND
+        self._write_positioning_fraction = write_positioning_fraction
+        self._rng = random.Random(seed)
+
+    def _positioning_us(self, distance):
+        if distance <= 1:
+            return 0.0
+        fraction = min(1.0, distance / self.size_pages)
+        seek = self._seek_min_us + (
+            (self._seek_full_us - self._seek_min_us) * math.sqrt(fraction)
+        )
+        rotation = self._rng.uniform(0, self._revolution_us)
+        return seek + rotation
+
+    def _read_cost_us(self, distance):
+        return self._positioning_us(distance) + self._transfer_us
+
+    def _write_cost_us(self, distance):
+        positioning = self._positioning_us(distance) * self._write_positioning_fraction
+        return positioning + self._transfer_us
+
+
+class FlashDisk(Disk):
+    """Flash / SD-card storage: access time independent of position.
+
+    Figure 3 of the paper ("note the uniform random access times"); writes
+    pay an erase-before-write premium.
+    """
+
+    def __init__(
+        self,
+        clock,
+        size_pages,
+        page_size=4 * KiB,
+        name="sdcard",
+        read_us=390,
+        write_us=1180,
+    ):
+        super().__init__(clock, size_pages, page_size, name)
+        self._read_us = read_us
+        self._write_us = write_us
+
+    def _read_cost_us(self, distance):
+        return float(self._read_us)
+
+    def _write_cost_us(self, distance):
+        return float(self._write_us)
+
+
+class ModelBackedDisk(Disk):
+    """A device whose costs come directly from a DTT model.
+
+    The access *distance* stands in for the DTT band size (clamped to 1
+    minimum).  Running the engine on a model-backed disk makes the cost
+    model's world and the execution world coincide, which is the cleanest
+    configuration for rank-fidelity experiments (paper eq. 3).
+    """
+
+    def __init__(self, clock, size_pages, model, page_size=4 * KiB, name="modeled"):
+        super().__init__(clock, size_pages, page_size, name)
+        self.model = model
+
+    def _band(self, distance):
+        return max(1, int(distance))
+
+    def _read_cost_us(self, distance):
+        return self.model.cost_us(READ, self.page_size, self._band(distance))
+
+    def _write_cost_us(self, distance):
+        return self.model.cost_us(WRITE, self.page_size, self._band(distance))

@@ -1,0 +1,173 @@
+"""Volumes and paged files.
+
+A :class:`Volume` owns one simulated disk and parcels it out to named
+:class:`PagedFile` objects in contiguous *extents*, so that pages allocated
+consecutively by one file are (mostly) physically adjacent — which is what
+gives table scans their sequential-access advantage under the DTT cost
+model.  Page *contents* are arbitrary Python payloads held by the volume;
+the devices only charge time, they do not store bytes.
+"""
+
+import collections
+
+from repro.common.errors import ReproError
+
+#: Pages per extent.  Small enough that tiny files stay compact, large
+#: enough that scans of one file are dominated by sequential transfers.
+EXTENT_PAGES = 64
+
+PageAddress = collections.namedtuple("PageAddress", ["file_id", "page_no"])
+
+
+class Volume:
+    """A disk device plus an extent allocator and the page payload store."""
+
+    def __init__(self, disk):
+        self.disk = disk
+        self._store = {}  # global page number -> payload
+        self._next_free = 0
+        self._free_extents = []
+        self._files = {}
+        self._next_file_id = 0
+
+    # ------------------------------------------------------------------ #
+    # file management
+    # ------------------------------------------------------------------ #
+
+    def create_file(self, name):
+        """Create a new empty :class:`PagedFile` on this volume."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        pfile = PagedFile(self, file_id, name)
+        self._files[file_id] = pfile
+        return pfile
+
+    def file(self, file_id):
+        """Look up a file by id."""
+        return self._files[file_id]
+
+    def files(self):
+        """All files on the volume."""
+        return list(self._files.values())
+
+    # ------------------------------------------------------------------ #
+    # extent allocation
+    # ------------------------------------------------------------------ #
+
+    def allocate_extent(self):
+        """Reserve :data:`EXTENT_PAGES` contiguous global pages."""
+        if self._free_extents:
+            return self._free_extents.pop()
+        start = self._next_free
+        if start + EXTENT_PAGES > self.disk.size_pages:
+            raise ReproError(
+                "volume full: %d pages used of %d"
+                % (self._next_free, self.disk.size_pages)
+            )
+        self._next_free += EXTENT_PAGES
+        return start
+
+    def release_extent(self, start):
+        """Return an extent to the free list."""
+        self._free_extents.append(start)
+
+    def used_pages(self):
+        """Pages currently reserved by extents (upper bound on usage)."""
+        return self._next_free - len(self._free_extents) * EXTENT_PAGES
+
+    # ------------------------------------------------------------------ #
+    # raw page I/O (charges device time)
+    # ------------------------------------------------------------------ #
+
+    def read_payload(self, global_page):
+        """Read a page's payload from the device, charging transfer time."""
+        self.disk.read_page(global_page)
+        return self._store.get(global_page)
+
+    def write_payload(self, global_page, payload):
+        """Write a page's payload to the device, charging transfer time."""
+        self.disk.write_page(global_page)
+        self._store[global_page] = payload
+
+    def peek_payload(self, global_page):
+        """Read a payload *without* charging I/O (test/diagnostic use)."""
+        return self._store.get(global_page)
+
+
+class PagedFile:
+    """A named, growable collection of pages mapped onto volume extents.
+
+    Page numbers are file-local and dense from zero.  The engine's "main
+    database file", the temporary file, and each dbspace are PagedFiles.
+    """
+
+    def __init__(self, volume, file_id, name):
+        self.volume = volume
+        self.file_id = file_id
+        self.name = name
+        self._extents = []  # index e holds global start of file pages [e*E, ...)
+        self._page_count = 0
+        self._free_pages = []
+
+    @property
+    def page_count(self):
+        """Number of allocated (live) pages in the file."""
+        return self._page_count - len(self._free_pages)
+
+    @property
+    def size_bytes(self):
+        """Logical file size in bytes."""
+        return self.page_count * self.volume.disk.page_size
+
+    def allocate_page(self):
+        """Allocate a page, reusing freed slots before growing the file."""
+        if self._free_pages:
+            return self._free_pages.pop()
+        page_no = self._page_count
+        extent_index = page_no // EXTENT_PAGES
+        if extent_index >= len(self._extents):
+            self._extents.append(self.volume.allocate_extent())
+        self._page_count += 1
+        return page_no
+
+    def free_page(self, page_no):
+        """Mark a page free for reuse by this file."""
+        self._check(page_no)
+        self._free_pages.append(page_no)
+
+    def truncate(self):
+        """Drop every page, returning extents to the volume."""
+        for start in self._extents:
+            self.volume.release_extent(start)
+        self._extents = []
+        self._page_count = 0
+        self._free_pages = []
+
+    def global_page(self, page_no):
+        """Translate a file-local page number to a volume page number."""
+        self._check(page_no)
+        extent_index, offset = divmod(page_no, EXTENT_PAGES)
+        return self._extents[extent_index] + offset
+
+    def read(self, page_no):
+        """Read a page payload (charges device time)."""
+        return self.volume.read_payload(self.global_page(page_no))
+
+    def write(self, page_no, payload):
+        """Write a page payload (charges device time)."""
+        self.volume.write_payload(self.global_page(page_no), payload)
+
+    def address(self, page_no):
+        """The :class:`PageAddress` of a file-local page."""
+        self._check(page_no)
+        return PageAddress(self.file_id, page_no)
+
+    def _check(self, page_no):
+        if not 0 <= page_no < self._page_count:
+            raise ValueError(
+                "page %r out of range for file %r (%d pages)"
+                % (page_no, self.name, self._page_count)
+            )
+
+    def __repr__(self):
+        return "PagedFile(name=%r, pages=%d)" % (self.name, self.page_count)

@@ -1,0 +1,171 @@
+"""Row storage: tables as slotted pages in a paged file, via the pool.
+
+Rows are Python tuples.  Each table page holds a fixed number of row slots
+derived from the schema's estimated row width, so table size in pages —
+which both the cost model and the buffer governor's soft cap (eq. 1)
+consume — scales realistically with row count and row width.
+"""
+
+from repro.buffer.frames import PageKind
+from repro.common.errors import ExecutionError
+
+
+class RowId:
+    """Physical row address: (page ordinal within table, slot)."""
+
+    __slots__ = ("page_ordinal", "slot")
+
+    def __init__(self, page_ordinal, slot):
+        self.page_ordinal = page_ordinal
+        self.slot = slot
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RowId)
+            and self.page_ordinal == other.page_ordinal
+            and self.slot == other.slot
+        )
+
+    def __hash__(self):
+        return hash((self.page_ordinal, self.slot))
+
+    def __lt__(self, other):
+        return (self.page_ordinal, self.slot) < (other.page_ordinal, other.slot)
+
+    def __repr__(self):
+        return "RowId(%d,%d)" % (self.page_ordinal, self.slot)
+
+
+class TableStorage:
+    """Heap-file storage for one table."""
+
+    def __init__(self, schema, file, pool, page_kind=PageKind.TABLE):
+        self.schema = schema
+        self.file = file
+        self.pool = pool
+        self.page_kind = page_kind
+        self.rows_per_page = max(
+            1, pool.page_size // max(1, schema.row_bytes())
+        )
+        self._page_numbers = []  # ordinal -> file page number
+        self._pages_with_space = []  # ordinals that have free slots
+        self.row_count = 0
+
+    # ------------------------------------------------------------------ #
+    # size accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def page_count(self):
+        return len(self._page_numbers)
+
+    def size_bytes(self):
+        return self.page_count * self.pool.page_size
+
+    def page_numbers(self):
+        return list(self._page_numbers)
+
+    # ------------------------------------------------------------------ #
+    # mutations
+    # ------------------------------------------------------------------ #
+
+    def insert(self, row):
+        """Append a row; returns its :class:`RowId`."""
+        row = tuple(row)
+        if len(row) != len(self.schema.columns):
+            raise ExecutionError(
+                "row arity %d does not match table %r (%d columns)"
+                % (len(row), self.schema.name, len(self.schema.columns))
+            )
+        ordinal = self._page_with_space()
+        frame = self._fetch(ordinal)
+        try:
+            slots = frame.payload
+            slot = slots.index(None)
+            slots[slot] = row
+        finally:
+            self.pool.unpin(frame, dirty=True)
+        if None not in slots:
+            self._pages_with_space.remove(ordinal)
+        self.row_count += 1
+        return RowId(ordinal, slot)
+
+    def get(self, row_id):
+        """Fetch one row by id."""
+        frame = self._fetch(row_id.page_ordinal)
+        try:
+            row = frame.payload[row_id.slot]
+        finally:
+            self.pool.unpin(frame)
+        if row is None:
+            raise ExecutionError("row %r has been deleted" % (row_id,))
+        return row
+
+    def update(self, row_id, row):
+        """Overwrite the row at ``row_id``; returns the old row."""
+        row = tuple(row)
+        frame = self._fetch(row_id.page_ordinal)
+        try:
+            old = frame.payload[row_id.slot]
+            if old is None:
+                raise ExecutionError("row %r has been deleted" % (row_id,))
+            frame.payload[row_id.slot] = row
+        finally:
+            self.pool.unpin(frame, dirty=True)
+        return old
+
+    def delete(self, row_id):
+        """Remove the row at ``row_id``; returns it."""
+        frame = self._fetch(row_id.page_ordinal)
+        try:
+            old = frame.payload[row_id.slot]
+            if old is None:
+                raise ExecutionError("row %r already deleted" % (row_id,))
+            frame.payload[row_id.slot] = None
+        finally:
+            self.pool.unpin(frame, dirty=True)
+        if row_id.page_ordinal not in self._pages_with_space:
+            self._pages_with_space.append(row_id.page_ordinal)
+        self.row_count -= 1
+        return old
+
+    # ------------------------------------------------------------------ #
+    # access paths
+    # ------------------------------------------------------------------ #
+
+    def scan(self):
+        """Sequential scan: yields ``(row_id, row)`` in physical order.
+
+        Pages are fetched through the buffer pool in file order, which is
+        what makes full scans sequential on the device.
+        """
+        for ordinal in range(len(self._page_numbers)):
+            frame = self._fetch(ordinal)
+            try:
+                rows = list(frame.payload)
+            finally:
+                self.pool.unpin(frame)
+            for slot, row in enumerate(rows):
+                if row is not None:
+                    yield RowId(ordinal, slot), row
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _fetch(self, ordinal):
+        return self.pool.fetch(
+            self.file, self._page_numbers[ordinal], self.page_kind
+        )
+
+    def _page_with_space(self):
+        if self._pages_with_space:
+            return self._pages_with_space[0]
+        frame = self.pool.new_page(
+            self.file, self.page_kind, payload=[None] * self.rows_per_page
+        )
+        ordinal = len(self._page_numbers)
+        self._page_numbers.append(frame.page_no)
+        self._pages_with_space.append(ordinal)
+        self.pool.unpin(frame, dirty=True)
+        return ordinal

@@ -1,0 +1,23 @@
+"""Two-way database synchronization (paper Section 1).
+
+"The proliferation of database systems in the mobile and embedded market
+segments is due ... to the support for two-way database replication and
+synchronization ...  Data synchronization technology makes it possible for
+remote users to both access and update corporate data at a remote,
+off-site location ... even when disconnected from the corporate network."
+
+This package implements a MobiLink-style synchronization layer over the
+engines' transaction logs: a remote (handheld/branch) database accumulates
+committed changes while disconnected, then a synchronization session
+uploads them to the consolidated database, downloads the consolidated
+side's changes, and resolves update conflicts by policy.
+"""
+
+from repro.sync.session import (
+    ConflictPolicy,
+    SyncConflict,
+    SyncSession,
+    SyncStats,
+)
+
+__all__ = ["SyncSession", "SyncStats", "SyncConflict", "ConflictPolicy"]

@@ -1,0 +1,29 @@
+"""Workload generators for the experiments and examples.
+
+* :mod:`~repro.workloads.oltp` — uniform and Zipf-skewed key/value OLTP
+  tables and query streams;
+* :mod:`~repro.workloads.star` — a star schema (fact + dimensions) for
+  join and parallelism experiments;
+* :mod:`~repro.workloads.chains` — N-table FK chains for the join
+  enumeration experiments (the paper's 100-way join anecdote).
+"""
+
+from repro.workloads.oltp import (
+    load_kv_table,
+    point_query_stream,
+    range_query_stream,
+    zipf_choices,
+)
+from repro.workloads.star import load_star_schema, star_join_sql
+from repro.workloads.chains import chain_join_sql, load_chain_schema
+
+__all__ = [
+    "load_kv_table",
+    "point_query_stream",
+    "range_query_stream",
+    "zipf_choices",
+    "load_star_schema",
+    "star_join_sql",
+    "load_chain_schema",
+    "chain_join_sql",
+]

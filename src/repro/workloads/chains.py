@@ -1,0 +1,43 @@
+"""N-table foreign-key chains for join-enumeration experiments.
+
+The paper's anecdote: "a 100-way join query against a small TPC-H database
+can be optimized and executed ... with as little as 3 MB of buffer pool,
+with only 1 MB needed for optimization."  These helpers build a chain of N
+small tables, each referencing the next, and the N-way join query over it.
+"""
+
+
+def load_chain_schema(server, n_tables, rows_per_table=8):
+    """Create tables t0 .. t(n-1); ``t<i>.next_id`` references ``t<i+1>``."""
+    if n_tables < 1:
+        raise ValueError("need at least one table")
+    conn = server.connect()
+    for index in range(n_tables):
+        if index < n_tables - 1:
+            conn.execute(
+                "CREATE TABLE t%d (id INT PRIMARY KEY, next_id INT, "
+                "FOREIGN KEY (next_id) REFERENCES t%d (id))"
+                % (index, index + 1)
+            )
+        else:
+            conn.execute(
+                "CREATE TABLE t%d (id INT PRIMARY KEY, next_id INT)" % index
+            )
+    for index in range(n_tables):
+        server.load_table(
+            "t%d" % index,
+            [(row, row % rows_per_table) for row in range(rows_per_table)],
+        )
+    return conn
+
+
+def chain_join_sql(n_tables):
+    """``SELECT COUNT(*)`` joining the whole chain."""
+    tables = ", ".join("t%d" % index for index in range(n_tables))
+    conditions = " AND ".join(
+        "t%d.next_id = t%d.id" % (index, index + 1)
+        for index in range(n_tables - 1)
+    )
+    if conditions:
+        return "SELECT COUNT(*) FROM %s WHERE %s" % (tables, conditions)
+    return "SELECT COUNT(*) FROM %s" % (tables,)

@@ -1,0 +1,68 @@
+"""OLTP-style key/value workloads with controllable skew."""
+
+import random
+
+
+def zipf_choices(n_values, skew, count, seed=0):
+    """``count`` draws from [0, n_values) with Zipf-like skew.
+
+    ``skew`` 0.0 is uniform; larger values concentrate mass on low keys.
+    """
+    rng = random.Random(seed)
+    if skew <= 0:
+        return [rng.randrange(n_values) for __ in range(count)]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n_values)]
+    total = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    draws = []
+    for __ in range(count):
+        point = rng.random()
+        lo, hi = 0, n_values - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        draws.append(lo)
+    return draws
+
+
+def load_kv_table(server, name="kv", n_rows=10_000, n_distinct_values=100,
+                  skew=0.0, seed=0):
+    """Create and bulk-load a simple key/value table.
+
+    ``k`` is the (unique) primary key; ``v`` follows the requested skew;
+    ``pad`` widens the rows so page counts are realistic.
+    """
+    conn = server.connect()
+    conn.execute(
+        "CREATE TABLE %s (k INT PRIMARY KEY, v INT, pad VARCHAR(40))" % name
+    )
+    values = zipf_choices(n_distinct_values, skew, n_rows, seed)
+    server.load_table(
+        name,
+        [(i, values[i], "pad-%08d" % i) for i in range(n_rows)],
+    )
+    return conn
+
+
+def point_query_stream(table, key_column, keys):
+    """SQL strings for point lookups over the given keys."""
+    return [
+        "SELECT v FROM %s WHERE %s = %d" % (table, key_column, key)
+        for key in keys
+    ]
+
+
+def range_query_stream(table, column, ranges):
+    """SQL strings for range scans over (low, high) pairs."""
+    return [
+        "SELECT COUNT(*) FROM %s WHERE %s BETWEEN %d AND %d"
+        % (table, column, low, high)
+        for low, high in ranges
+    ]

@@ -1,0 +1,53 @@
+"""A star schema: one fact table referencing several dimensions."""
+
+
+def load_star_schema(server, n_facts=20_000, dims=((("dim_date", 365)),
+                                                   ("dim_cust", 500),
+                                                   ("dim_part", 200))):
+    """Create fact + dimension tables and load them.
+
+    ``dims`` is a sequence of (table_name, cardinality).  The fact table
+    carries one FK column per dimension plus a measure.
+    """
+    conn = server.connect()
+    dims = list(dims)
+    for dim_name, cardinality in dims:
+        conn.execute(
+            "CREATE TABLE %s (id INT PRIMARY KEY, label VARCHAR(20))"
+            % dim_name
+        )
+        server.load_table(
+            dim_name,
+            [(i, "%s-%d" % (dim_name, i)) for i in range(cardinality)],
+        )
+    fk_columns = ", ".join(
+        "%s_id INT" % dim_name for dim_name, __ in dims
+    )
+    fk_constraints = ", ".join(
+        "FOREIGN KEY (%s_id) REFERENCES %s (id)" % (dim_name, dim_name)
+        for dim_name, __ in dims
+    )
+    conn.execute(
+        "CREATE TABLE fact (id INT PRIMARY KEY, %s, measure DOUBLE, %s)"
+        % (fk_columns, fk_constraints)
+    )
+    rows = []
+    for i in range(n_facts):
+        row = [i]
+        for offset, (__, cardinality) in enumerate(dims):
+            row.append((i * (offset + 3)) % cardinality)
+        row.append(float(i % 1000))
+        rows.append(tuple(row))
+    server.load_table("fact", rows)
+    return conn
+
+
+def star_join_sql(dims, filters=None):
+    """A star join over ``dims`` with optional dimension filters."""
+    dim_names = [dim_name for dim_name, __ in dims]
+    joins = " ".join(
+        "JOIN %s ON fact.%s_id = %s.id" % (name, name, name)
+        for name in dim_names
+    )
+    where = (" WHERE " + " AND ".join(filters)) if filters else ""
+    return "SELECT COUNT(*) FROM fact %s%s" % (joins, where)

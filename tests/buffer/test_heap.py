@@ -1,0 +1,137 @@
+"""Unit tests for connection heaps (lock/unlock/steal/swizzle)."""
+
+import pytest
+
+from repro.buffer import BufferPool, Heap, PageKind
+from repro.common import SimClock
+from repro.common.errors import ReproError
+from repro.storage import FlashDisk, Volume
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    volume = Volume(FlashDisk(clock, 50_000))
+    dbfile = volume.create_file("main.db")
+    temp = volume.create_file("temp")
+    pool = BufferPool(temp, capacity_pages=6)
+    return clock, volume, dbfile, temp, pool
+
+
+def test_allocate_and_read_write(env):
+    __, __, __, __, pool = env
+    heap = Heap(pool, "conn1")
+    slot = heap.allocate_page({"hash": "table"})
+    assert heap.read(slot) == {"hash": "table"}
+    heap.write(slot, "updated")
+    assert heap.read(slot) == "updated"
+    assert heap.page_count == 1
+
+
+def test_locked_heap_pages_are_pinned(env):
+    __, __, dbfile, __, pool = env
+    heap = Heap(pool)
+    heap.allocate_page("a")
+    assert pool.pinned_count() == 1
+
+
+def test_unlocked_heap_rejects_access(env):
+    __, __, __, __, pool = env
+    heap = Heap(pool)
+    slot = heap.allocate_page("a")
+    heap.unlock()
+    with pytest.raises(ReproError):
+        heap.read(slot)
+    with pytest.raises(ReproError):
+        heap.allocate_page("b")
+
+
+def test_unlocked_pages_can_be_stolen_and_swizzled_back(env):
+    __, __, dbfile, temp, pool = env
+    heap = Heap(pool, "victim")
+    slots = [heap.allocate_page("payload-%d" % i) for i in range(4)]
+    heap.unlock()
+    # Table traffic floods the pool, stealing the heap's pages.
+    for i in range(10):
+        frame = pool.new_page(dbfile, PageKind.TABLE, payload=i)
+        pool.unpin(frame)
+    assert heap.resident_count() < 4
+    assert pool.heap_spills > 0
+    spilled = 4 - heap.resident_count()
+    heap.lock()
+    assert heap.resident_count() == 4
+    assert heap.swizzle_count == spilled
+    for i, slot in enumerate(slots):
+        assert heap.read(slot) == "payload-%d" % i
+
+
+def test_spilled_pages_live_in_temp_file(env):
+    __, __, dbfile, temp, pool = env
+    heap = Heap(pool)
+    for i in range(4):
+        heap.allocate_page(i)
+    heap.unlock()
+    for i in range(10):
+        frame = pool.new_page(dbfile, PageKind.TABLE, payload=i)
+        pool.unpin(frame)
+    assert temp.page_count > 0
+    heap.lock()
+    # Reload frees the temp pages again.
+    assert temp.page_count == 0
+
+
+def test_relock_is_idempotent(env):
+    __, __, __, __, pool = env
+    heap = Heap(pool)
+    heap.allocate_page("x")
+    heap.lock()  # already locked: no-op
+    heap.unlock()
+    heap.unlock()  # already unlocked: no-op
+    heap.lock()
+    assert heap.read(0) == "x"
+
+
+def test_free_releases_everything(env):
+    __, __, dbfile, temp, pool = env
+    heap = Heap(pool)
+    for i in range(3):
+        heap.allocate_page(i)
+    heap.free()
+    assert pool.used_pages == 0
+    assert heap.page_count == 0
+    with pytest.raises(ReproError):
+        heap.allocate_page("more")
+
+
+def test_free_of_spilled_heap_releases_temp_pages(env):
+    __, __, dbfile, temp, pool = env
+    heap = Heap(pool)
+    for i in range(4):
+        heap.allocate_page(i)
+    heap.unlock()
+    for i in range(12):
+        frame = pool.new_page(dbfile, PageKind.TABLE, payload=i)
+        pool.unpin(frame)
+    heap.free()
+    assert temp.page_count == 0
+
+
+def test_size_bytes(env):
+    __, __, __, __, pool = env
+    heap = Heap(pool)
+    heap.allocate_page("a")
+    heap.allocate_page("b")
+    assert heap.size_bytes() == 2 * pool.page_size
+
+
+def test_unlocked_heap_memory_footprint_is_small(env):
+    """Unlocked + stolen == tiny footprint, the fiber-flexibility claim."""
+    __, __, dbfile, __, pool = env
+    heap = Heap(pool)
+    for i in range(5):
+        heap.allocate_page(i)
+    heap.unlock()
+    for i in range(20):
+        frame = pool.new_page(dbfile, PageKind.TABLE, payload=i)
+        pool.unpin(frame)
+    assert heap.resident_count() == 0  # fully swapped out

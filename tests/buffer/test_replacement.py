@@ -1,0 +1,128 @@
+"""Unit tests for page replacement policies."""
+
+import pytest
+
+from repro.buffer import FIFOPolicy, GClockPolicy, LRUPolicy, PageKind
+from repro.buffer.frames import Frame
+from repro.common.errors import BufferPoolExhaustedError
+
+
+def make_frame(kind=PageKind.TABLE, key=0):
+    frame = Frame(kind, heap_ref=("test", key))
+    return frame
+
+
+class TestGClock:
+    def test_new_frame_gets_score_one(self):
+        policy = GClockPolicy()
+        frame = make_frame()
+        policy.on_insert(frame, tick=1)
+        assert frame.score == 1.0
+
+    def test_victim_is_cold_page(self):
+        policy = GClockPolicy()
+        hot = make_frame(key=1)
+        cold = make_frame(key=2)
+        policy.on_insert(cold, 1)
+        policy.on_insert(hot, 2)
+        # Re-reference the hot page many ticks apart so it climbs segments.
+        for tick in range(10, 100, 10):
+            policy.on_reference(hot, tick)
+        victim = policy.choose_victim({hot, cold}, 100)
+        assert victim is cold
+
+    def test_pinned_frames_skipped(self):
+        policy = GClockPolicy()
+        pinned = make_frame(key=1)
+        pinned.pin_count = 1
+        other = make_frame(key=2)
+        policy.on_insert(pinned, 1)
+        policy.on_insert(other, 2)
+        assert policy.choose_victim({pinned, other}, 3) is other
+
+    def test_all_pinned_raises(self):
+        policy = GClockPolicy()
+        frame = make_frame()
+        frame.pin_count = 1
+        policy.on_insert(frame, 1)
+        with pytest.raises(BufferPoolExhaustedError):
+            policy.choose_victim({frame}, 2)
+
+    def test_scores_decay_so_everything_becomes_candidate(self):
+        # "Page scores are decayed exponentially to ensure that all pages
+        # can eventually become candidates for replacement."
+        policy = GClockPolicy()
+        frames = [make_frame(key=i) for i in range(4)]
+        for i, frame in enumerate(frames):
+            policy.on_insert(frame, i)
+            for tick in range(10 * (i + 1), 200, 7):
+                policy.on_reference(frame, tick)
+        # Even with every page warm, a victim is always found.
+        victim = policy.choose_victim(set(frames), 300)
+        assert victim in frames
+
+    def test_lookaside_preferred_over_clock(self):
+        policy = GClockPolicy()
+        table = make_frame(PageKind.TABLE, key=1)
+        heap = make_frame(PageKind.HEAP, key=2)
+        policy.on_insert(table, 1)
+        policy.on_insert(heap, 2)
+        policy.note_reusable(heap)
+        assert policy.lookaside_depth() == 1
+        assert policy.choose_victim({table, heap}, 3) is heap
+
+    def test_lookaside_only_for_reusable_kinds(self):
+        policy = GClockPolicy()
+        table = make_frame(PageKind.TABLE, key=1)
+        policy.on_insert(table, 1)
+        policy.note_reusable(table)
+        assert policy.lookaside_depth() == 0
+
+    def test_lookaside_skips_stale_entries(self):
+        policy = GClockPolicy()
+        heap = make_frame(PageKind.HEAP, key=1)
+        other = make_frame(PageKind.TEMP, key=2)
+        policy.on_insert(heap, 1)
+        policy.on_insert(other, 2)
+        policy.note_reusable(heap)
+        policy.on_remove(heap)
+        policy.note_reusable(other)
+        # heap was evicted already: the queue entry is stale and skipped.
+        assert policy.choose_victim({other}, 3) is other
+
+    def test_rapid_rereference_does_not_inflate_score(self):
+        # Adjacent references during a table scan must not pump the score.
+        policy = GClockPolicy()
+        frame = make_frame()
+        policy.on_insert(frame, 100)
+        policy.on_reference(frame, 100)
+        policy.on_reference(frame, 100)
+        assert frame.score == 1.0
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        policy = LRUPolicy()
+        a, b = make_frame(key=1), make_frame(key=2)
+        policy.on_insert(a, 1)
+        policy.on_insert(b, 2)
+        policy.on_reference(a, 5)
+        assert policy.choose_victim({a, b}, 6) is b
+
+    def test_all_pinned_raises(self):
+        policy = LRUPolicy()
+        frame = make_frame()
+        frame.pin_count = 2
+        policy.on_insert(frame, 1)
+        with pytest.raises(BufferPoolExhaustedError):
+            policy.choose_victim({frame}, 2)
+
+
+class TestFIFO:
+    def test_evicts_first_inserted_despite_references(self):
+        policy = FIFOPolicy()
+        a, b = make_frame(key=1), make_frame(key=2)
+        policy.on_insert(a, 1)
+        policy.on_insert(b, 2)
+        policy.on_reference(a, 10)
+        assert policy.choose_victim({a, b}, 11) is a

@@ -1,0 +1,133 @@
+"""Unit tests for catalog objects and SQL types."""
+
+import datetime
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Column,
+    ForeignKey,
+    IndexSchema,
+    ProcedureSchema,
+    TableSchema,
+    estimated_value_bytes,
+    normalize_type,
+    python_value_matches,
+)
+from repro.catalog.types import coerce_value
+from repro.common.errors import CatalogError, SqlTypeError
+
+
+class TestTypes:
+    def test_aliases_normalize(self):
+        assert normalize_type("integer") == "INT"
+        assert normalize_type("REAL") == "DOUBLE"
+        assert normalize_type("text") == "VARCHAR"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlTypeError):
+            normalize_type("BLOBBY")
+
+    def test_value_matching(self):
+        assert python_value_matches("INT", 5)
+        assert not python_value_matches("INT", True)  # bool is not INT
+        assert python_value_matches("DOUBLE", 5)
+        assert python_value_matches("VARCHAR", "x")
+        assert python_value_matches("DATE", datetime.date(2000, 1, 1))
+        assert python_value_matches("BOOLEAN", True)
+        assert python_value_matches("INT", None)  # NULL matches everything
+
+    def test_coerce_int_to_double(self):
+        assert coerce_value("DOUBLE", 3) == 3.0
+        assert isinstance(coerce_value("DOUBLE", 3), float)
+
+    def test_coerce_rejects_mismatch(self):
+        with pytest.raises(SqlTypeError):
+            coerce_value("INT", "nope")
+
+    def test_estimated_bytes(self):
+        assert estimated_value_bytes("INT") == 8
+        assert estimated_value_bytes("VARCHAR") == 24
+        assert estimated_value_bytes("VARCHAR", declared_length=100) == 54
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema(
+            "emp",
+            [Column("id", "INT", nullable=False), Column("name", "VARCHAR")],
+            primary_key=("id",),
+        )
+
+    def test_column_lookup(self):
+        table = self.make()
+        assert table.column_index("name") == 1
+        assert table.column("id").type_name == "INT"
+        assert table.has_column("id")
+        assert not table.has_column("salary")
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            self.make().column_index("ghost")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", "INT"), Column("a", "INT")])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", "INT")], primary_key=("b",))
+
+    def test_row_bytes_sums_columns(self):
+        assert self.make().row_bytes() == 8 + 8 + 24
+
+    def test_foreign_keys(self):
+        table = TableSchema(
+            "order_line",
+            [Column("order_id", "INT")],
+            foreign_keys=[ForeignKey(["order_id"], "orders", ["id"])],
+        )
+        assert table.foreign_keys[0].ref_table == "orders"
+
+
+class TestCatalog:
+    def test_add_and_get_table(self):
+        catalog = Catalog()
+        table = catalog.add_table(TableSchema("t", [Column("a", "INT")]))
+        assert catalog.table("t") is table
+        assert catalog.has_table("t")
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema("t", [Column("a", "INT")]))
+        with pytest.raises(CatalogError):
+            catalog.add_table(TableSchema("t", [Column("a", "INT")]))
+
+    def test_drop_table_cascades_indexes(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema("t", [Column("a", "INT")]))
+        catalog.add_index(IndexSchema("i", "t", ["a"]))
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.index("i")
+
+    def test_index_requires_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().add_index(IndexSchema("i", "ghost", ["a"]))
+
+    def test_indexes_on(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema("t", [Column("a", "INT"), Column("b", "INT")]))
+        catalog.add_index(IndexSchema("ia", "t", ["a"]))
+        catalog.add_index(IndexSchema("ib", "t", ["b"]))
+        assert {index.name for index in catalog.indexes_on("t")} == {"ia", "ib"}
+
+    def test_procedures(self):
+        catalog = Catalog()
+        catalog.add_procedure(ProcedureSchema("p", ["x"], "SELECT 1"))
+        assert catalog.has_procedure("p")
+        assert catalog.procedure("p").parameters == ("x",)
+        with pytest.raises(CatalogError):
+            catalog.add_procedure(ProcedureSchema("p", [], "SELECT 2"))

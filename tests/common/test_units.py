@@ -1,0 +1,52 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.common import (
+    DEFAULT_PAGE_SIZE,
+    KiB,
+    MiB,
+    MINUTE,
+    SECOND,
+    bytes_to_pages,
+    pages_to_bytes,
+)
+
+
+def test_page_size_is_4k():
+    assert DEFAULT_PAGE_SIZE == 4096
+
+
+def test_minute_in_microseconds():
+    assert MINUTE == 60 * SECOND == 60_000_000
+
+
+def test_bytes_to_pages_exact():
+    assert bytes_to_pages(8 * KiB) == 2
+
+
+def test_bytes_to_pages_rounds_up():
+    assert bytes_to_pages(1) == 1
+    assert bytes_to_pages(4 * KiB + 1) == 2
+
+
+def test_bytes_to_pages_zero():
+    assert bytes_to_pages(0) == 0
+
+
+def test_bytes_to_pages_custom_page_size():
+    assert bytes_to_pages(5 * KiB, page_size=KiB) == 5
+
+
+def test_bytes_to_pages_negative_rejected():
+    with pytest.raises(ValueError):
+        bytes_to_pages(-1)
+
+
+def test_pages_to_bytes_roundtrip():
+    assert pages_to_bytes(bytes_to_pages(1 * MiB)) == 1 * MiB
+
+
+def test_pages_to_bytes_negative_rejected():
+    with pytest.raises(ValueError):
+        pages_to_bytes(-2)

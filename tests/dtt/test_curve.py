@@ -1,0 +1,96 @@
+"""Unit tests for DTT curves."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dtt import DTTCurve
+
+
+def simple_curve():
+    return DTTCurve([(1, 100), (10, 1000), (100, 5000)])
+
+
+def test_exact_points():
+    curve = simple_curve()
+    assert curve.cost_us(1) == 100
+    assert curve.cost_us(10) == 1000
+    assert curve.cost_us(100) == 5000
+
+
+def test_clamps_below_first_point():
+    assert simple_curve().cost_us(1) == 100
+
+
+def test_clamps_above_last_point():
+    assert simple_curve().cost_us(10_000) == 5000
+
+
+def test_interpolates_log_linear():
+    curve = DTTCurve([(1, 0), (100, 200)])
+    # band 10 is the geometric midpoint of [1, 100].
+    assert curve.cost_us(10) == pytest.approx(100)
+
+
+def test_monotone_between_monotone_points():
+    curve = simple_curve()
+    costs = [curve.cost_us(band) for band in (1, 2, 5, 10, 30, 60, 100)]
+    assert costs == sorted(costs)
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        DTTCurve([])
+
+
+def test_rejects_band_below_one():
+    with pytest.raises(ValueError):
+        DTTCurve([(0, 100)])
+
+
+def test_rejects_negative_cost():
+    with pytest.raises(ValueError):
+        DTTCurve([(1, -5)])
+
+
+def test_rejects_duplicate_band():
+    with pytest.raises(ValueError):
+        DTTCurve([(4, 10), (4, 20)])
+
+
+def test_rejects_query_below_one():
+    with pytest.raises(ValueError):
+        simple_curve().cost_us(0)
+
+
+def test_points_sorted_regardless_of_input_order():
+    curve = DTTCurve([(100, 5000), (1, 100), (10, 1000)])
+    assert [band for band, __ in curve.points] == [1, 10, 100]
+
+
+def test_scaled():
+    curve = simple_curve().scaled(2.0)
+    assert curve.cost_us(1) == 200
+    assert curve.cost_us(100) == 10000
+
+
+def test_scaled_rejects_negative():
+    with pytest.raises(ValueError):
+        simple_curve().scaled(-1)
+
+
+def test_roundtrip_dict():
+    curve = simple_curve()
+    assert DTTCurve.from_dict(curve.to_dict()) == curve
+
+
+def test_single_point_curve_is_flat():
+    curve = DTTCurve([(1, 400)])
+    assert curve.cost_us(1) == 400
+    assert curve.cost_us(1_000_000) == 400
+
+
+@given(st.floats(min_value=1, max_value=1e6))
+def test_cost_always_within_envelope(band):
+    curve = simple_curve()
+    assert 100 <= curve.cost_us(band) <= 5000

@@ -1,0 +1,100 @@
+"""Unit tests for DTT models, including the paper's shape constraints."""
+
+import pytest
+
+from repro.common import KiB
+from repro.dtt import DTTCurve, DTTModel, default_dtt_model, flash_dtt_model
+from repro.dtt.model import READ, WRITE
+
+
+class TestDTTModel:
+    def test_set_and_get_curve(self):
+        model = DTTModel("m")
+        curve = DTTCurve([(1, 10)])
+        model.set_curve(READ, 4 * KiB, curve)
+        assert model.curve(READ, 4 * KiB) is curve
+
+    def test_cost_us_delegates(self):
+        model = DTTModel("m")
+        model.set_curve(READ, 4 * KiB, DTTCurve([(1, 10), (100, 100)]))
+        assert model.cost_us(READ, 4 * KiB, 1) == 10
+
+    def test_missing_operation_raises(self):
+        model = DTTModel("m")
+        with pytest.raises(KeyError):
+            model.curve(WRITE, 4 * KiB)
+
+    def test_invalid_operation_rejected(self):
+        model = DTTModel("m")
+        with pytest.raises(ValueError):
+            model.set_curve("erase", 4 * KiB, DTTCurve([(1, 10)]))
+
+    def test_nearest_page_size_scales(self):
+        model = DTTModel("m")
+        model.set_curve(READ, 4 * KiB, DTTCurve([(1, 100)]))
+        # 8K has no exact curve: the 4K curve is scaled by 2.
+        assert model.cost_us(READ, 8 * KiB, 1) == pytest.approx(200)
+
+    def test_page_sizes_listing(self):
+        model = default_dtt_model()
+        assert model.page_sizes(READ) == [4 * KiB, 8 * KiB]
+
+    def test_roundtrip_dict(self):
+        model = default_dtt_model()
+        clone = DTTModel.from_dict(model.to_dict())
+        assert clone.name == model.name
+        for op in (READ, WRITE):
+            for size in model.page_sizes(op):
+                for band in (1, 7, 300, 3500):
+                    assert clone.cost_us(op, size, band) == model.cost_us(op, size, band)
+
+
+class TestDefaultModelShape:
+    """Figure 2(a) shape constraints from the paper."""
+
+    @pytest.fixture
+    def model(self):
+        return default_dtt_model()
+
+    def test_sequential_is_cheapest(self, model):
+        for op in (READ, WRITE):
+            seq = model.cost_us(op, 4 * KiB, 1)
+            for band in (10, 100, 1000, 3500):
+                assert seq < model.cost_us(op, 4 * KiB, band)
+
+    def test_cost_monotone_in_band(self, model):
+        bands = [1, 4, 16, 64, 256, 1024, 2048, 3500]
+        for op in (READ, WRITE):
+            costs = [model.cost_us(op, 4 * KiB, band) for band in bands]
+            assert costs == sorted(costs)
+
+    def test_writes_cheaper_than_reads_at_large_bands(self, model):
+        # "each write curve ... illustrates a lower amortized cost than its
+        # corresponding read curve for larger band sizes"
+        for size in (4 * KiB, 8 * KiB):
+            for band in (64, 256, 1024, 3500):
+                assert model.cost_us(WRITE, size, band) < model.cost_us(READ, size, band)
+
+    def test_8k_costs_more_than_4k(self, model):
+        for op in (READ, WRITE):
+            for band in (1, 100, 3500):
+                assert model.cost_us(op, 8 * KiB, band) > model.cost_us(op, 4 * KiB, band)
+
+
+class TestFlashModelShape:
+    """Figure 3: uniform random access times on SD storage."""
+
+    @pytest.fixture
+    def model(self):
+        return flash_dtt_model()
+
+    def test_read_flat_across_bands(self, model):
+        costs = [model.cost_us(READ, 4 * KiB, band) for band in (1, 200, 4296, 100000)]
+        assert max(costs) <= min(costs) * 1.10
+
+    def test_writes_cost_more_than_reads(self, model):
+        for band in (1, 1000):
+            assert model.cost_us(WRITE, 4 * KiB, band) > model.cost_us(READ, 4 * KiB, band)
+
+    def test_smaller_pages_cheaper(self, model):
+        assert model.cost_us(READ, 2 * KiB, 100) < model.cost_us(READ, 4 * KiB, 100)

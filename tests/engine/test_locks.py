@@ -1,0 +1,88 @@
+"""Tests for row locking on the disk-based lock table (Section 2.1)."""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.engine.locks import LockConflictError
+
+
+@pytest.fixture
+def server():
+    server = Server(ServerConfig(start_buffer_governor=False,
+                                 initial_pool_pages=512))
+    conn = server.connect()
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, i) for i in range(100)])
+    server._bootstrap_conn = conn
+    return server
+
+
+class TestLockingSemantics:
+    def test_autocommit_releases_immediately(self, server):
+        conn = server._bootstrap_conn
+        conn.execute("UPDATE t SET v = 0 WHERE id = 1")
+        assert server.lock_manager.total_locks() == 0
+
+    def test_transaction_holds_until_commit(self, server):
+        conn = server._bootstrap_conn
+        conn.execute("BEGIN")
+        conn.execute("UPDATE t SET v = 0 WHERE id < 10")
+        assert server.lock_manager.total_locks() == 10
+        conn.execute("COMMIT")
+        assert server.lock_manager.total_locks() == 0
+
+    def test_rollback_releases(self, server):
+        conn = server._bootstrap_conn
+        conn.execute("BEGIN")
+        conn.execute("DELETE FROM t WHERE id = 5")
+        assert server.lock_manager.total_locks() == 1
+        conn.execute("ROLLBACK")
+        assert server.lock_manager.total_locks() == 0
+
+    def test_cross_connection_conflict(self, server):
+        writer = server.connect()
+        reader_writer = server.connect()
+        writer.execute("BEGIN")
+        writer.execute("UPDATE t SET v = 99 WHERE id = 7")
+        with pytest.raises(LockConflictError):
+            reader_writer.execute("UPDATE t SET v = 1 WHERE id = 7")
+        # The failed statement's implicit transaction rolled itself back.
+        writer.execute("COMMIT")
+        # Now the second connection can write.
+        reader_writer.execute("UPDATE t SET v = 1 WHERE id = 7")
+        assert server._bootstrap_conn.execute(
+            "SELECT v FROM t WHERE id = 7"
+        ).rows == [(1,)]
+
+    def test_reacquisition_by_holder_is_free(self, server):
+        conn = server._bootstrap_conn
+        conn.execute("BEGIN")
+        conn.execute("UPDATE t SET v = 1 WHERE id = 3")
+        conn.execute("UPDATE t SET v = 2 WHERE id = 3")  # same row again
+        assert server.lock_manager.total_locks() == 1
+        conn.execute("COMMIT")
+
+    def test_selects_do_not_lock(self, server):
+        conn = server._bootstrap_conn
+        other = server.connect()
+        conn.execute("BEGIN")
+        conn.execute("UPDATE t SET v = 42 WHERE id = 9")
+        # Reads proceed despite the write lock (no read locks here).
+        assert other.execute("SELECT COUNT(*) FROM t").rows == [(100,)]
+        conn.execute("COMMIT")
+
+    def test_no_lock_escalation_ever(self, server):
+        """The claim: no lock-table size, no escalation thresholds — a
+        transaction may lock every row and the table just grows."""
+        conn = server.connect()
+        conn.execute("CREATE TABLE big (id INT PRIMARY KEY)")
+        server.load_table("big", [(i,) for i in range(5000)])
+        conn.execute("BEGIN")
+        conn.execute("UPDATE big SET id = id WHERE id >= 0")
+        assert server.lock_manager.total_locks() == 5000
+        # Still row-granular: another txn can touch table t.
+        other = server.connect()
+        other.execute("UPDATE t SET v = -1 WHERE id = 0")
+        conn.execute("COMMIT")
+        assert server.lock_manager.total_locks() == 0
+        assert server.lock_manager.lock_table_pages > 1

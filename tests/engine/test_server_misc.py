@@ -1,0 +1,133 @@
+"""Engine-level tests: DTT deployment, options, sizes, load validation."""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.common import KiB, SimClock
+from repro.common.errors import ExecutionError, SqlTypeError
+from repro.storage import FlashDisk
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("start_buffer_governor", False)
+    return Server(ServerConfig(**kwargs))
+
+
+class TestDttDeployment:
+    def test_calibrate_export_install_roundtrip(self):
+        """The paper's deployment flow: calibrate one representative
+        device, ship the model to thousands of others."""
+        clock = SimClock()
+        representative = Server(
+            ServerConfig(start_buffer_governor=False),
+            clock=clock, disk=FlashDisk(clock, 131_072),
+        )
+        conn = representative.connect()
+        conn.execute("CALIBRATE DATABASE")
+        exported = representative.export_dtt_model()
+
+        fleet_member = make_server()
+        before = fleet_member.catalog.dtt_model.name
+        installed = fleet_member.install_dtt_model(exported)
+        assert before == "default-generic"
+        assert installed.name == "calibrated"
+        # The installed model drives this server's cost estimates: flash
+        # is flat across band sizes.
+        flat_a = fleet_member.catalog.dtt_model.cost_us("read", 4 * KiB, 1)
+        flat_b = fleet_member.catalog.dtt_model.cost_us("read", 4 * KiB, 50_000)
+        assert flat_a == pytest.approx(flat_b, rel=0.1)
+
+    def test_installed_model_used_by_optimizer(self):
+        server = make_server()
+        exported = server.export_dtt_model()
+        # Scale every cost by 100x and install: optimizer context changes.
+        for entry in exported["curves"]:
+            entry["curve"]["points"] = [
+                [band, cost * 100] for band, cost in entry["curve"]["points"]
+            ]
+        server.install_dtt_model(exported)
+        optimizer = server.make_optimizer()
+        assert optimizer.cost_context.read_us(1) > 1000
+
+
+class TestOptimizerQuotaOption:
+    def test_quota_option_respected(self):
+        server = make_server()
+        conn = server.connect()
+        for i in range(4):
+            conn.execute("CREATE TABLE t%d (id INT PRIMARY KEY, n INT)" % i)
+            server.load_table("t%d" % i, [(r, r % 8) for r in range(64)])
+        sql = (
+            "SELECT COUNT(*) FROM t0, t1, t2, t3 "
+            "WHERE t0.n = t1.id AND t1.n = t2.id AND t2.n = t3.id"
+        )
+        conn.execute("SET OPTION optimizer_quota = 10")
+        small = conn.execute(sql).plan_result.stats.nodes_visited
+        conn.execute("SET OPTION optimizer_quota = 5000")
+        large = conn.execute(sql).plan_result.stats.nodes_visited
+        assert small <= 10 + 4  # quota plus the one-dive floor
+        assert small < large  # the bigger budget explores more
+
+    def test_bogus_quota_ignored(self):
+        server = make_server()
+        conn = server.connect()
+        conn.execute("SET OPTION optimizer_quota = 'lots'")
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        assert conn.execute("SELECT COUNT(*) FROM t").rows == [(1,)]
+
+
+class TestLoadTable:
+    def test_arity_validation(self):
+        server = make_server()
+        server.connect().execute("CREATE TABLE t (a INT, b INT)")
+        with pytest.raises(ExecutionError):
+            server.load_table("t", [(1,)])
+
+    def test_not_null_validation(self):
+        server = make_server()
+        server.connect().execute("CREATE TABLE t (a INT NOT NULL)")
+        with pytest.raises(SqlTypeError):
+            server.load_table("t", [(None,)])
+
+    def test_type_coercion(self):
+        server = make_server()
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (a DOUBLE)")
+        server.load_table("t", [(3,)])  # int -> double
+        assert conn.execute("SELECT a FROM t").rows == [(3.0,)]
+
+    def test_builds_statistics(self):
+        server = make_server()
+        server.connect().execute("CREATE TABLE t (a INT)")
+        server.load_table("t", [(i,) for i in range(100)])
+        assert server.stats.histogram("t", 0) is not None
+
+
+class TestDatabaseSize:
+    def test_grows_with_data_and_indexes(self):
+        server = make_server()
+        conn = server.connect()
+        empty = server.database_size_bytes()
+        conn.execute("CREATE TABLE t (a INT PRIMARY KEY, pad VARCHAR(60))")
+        server.load_table("t", [(i, "x" * 40) for i in range(5000)])
+        loaded = server.database_size_bytes()
+        assert loaded > empty
+        conn.execute("CREATE INDEX extra ON t (pad)")
+        assert server.database_size_bytes() > loaded
+
+
+class TestResultHelpers:
+    def test_iteration_and_len(self):
+        server = make_server()
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        result = conn.execute("SELECT a FROM t")
+        assert len(result) == 2
+        assert sorted(result) == [(1,), (2,)]
+
+    def test_explain_without_plan(self):
+        from repro.engine import Result
+
+        assert Result().explain() == "<no plan>"

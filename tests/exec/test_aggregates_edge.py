@@ -1,0 +1,124 @@
+"""Edge-case tests for aggregation, distinct, and sorting operators."""
+
+import pytest
+
+from repro import Server, ServerConfig
+
+
+@pytest.fixture
+def conn():
+    server = Server(ServerConfig(start_buffer_governor=False,
+                                 initial_pool_pages=1024))
+    connection = server.connect()
+    connection.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, k INT, v DOUBLE, s VARCHAR(10))"
+    )
+    return connection
+
+
+class TestAggregateEdges:
+    def test_aggregates_over_all_nulls(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, NULL, NULL, NULL), "
+                     "(2, NULL, NULL, NULL)")
+        result = conn.execute(
+            "SELECT COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) FROM t"
+        )
+        assert result.rows == [(2, 0, None, None, None, None)]
+
+    def test_group_key_null_forms_its_own_group(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, NULL, 1.0, 'a'), "
+                     "(2, NULL, 2.0, 'b'), (3, 5, 3.0, 'c')")
+        result = conn.execute(
+            "SELECT k, COUNT(*) FROM t GROUP BY k"
+        )
+        assert sorted(result.rows, key=repr) == sorted(
+            [(None, 2), (5, 1)], key=repr
+        )
+
+    def test_min_max_on_strings(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 0.0, 'pear'), "
+                     "(2, 1, 0.0, 'apple'), (3, 1, 0.0, 'plum')")
+        result = conn.execute("SELECT MIN(s), MAX(s) FROM t")
+        assert result.rows == [("apple", "plum")]
+
+    def test_sum_of_mixed_sign(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, -5.5, 'x'), "
+                     "(2, 1, 5.5, 'y')")
+        assert conn.execute("SELECT SUM(v) FROM t").rows == [(0.0,)]
+
+    def test_count_distinct_with_nulls(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 0.0, 'a'), "
+                     "(2, 1, 0.0, 'a'), (3, 2, 0.0, NULL), (4, 2, 0.0, 'b')")
+        result = conn.execute("SELECT COUNT(DISTINCT s) FROM t")
+        assert result.rows == [(2,)]  # NULL excluded
+
+    def test_avg_distinct(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 10.0, 'a'), "
+                     "(2, 1, 10.0, 'a'), (3, 1, 20.0, 'b')")
+        result = conn.execute("SELECT AVG(DISTINCT v) FROM t")
+        assert result.rows == [(15.0,)]
+
+    def test_multiple_aggregates_same_column(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 2.0, 'a'), "
+                     "(2, 1, 4.0, 'b')")
+        result = conn.execute(
+            "SELECT SUM(v), SUM(v) + AVG(v), MAX(v) - MIN(v) FROM t"
+        )
+        assert result.rows == [(6.0, 9.0, 2.0)]
+
+    def test_group_by_two_keys(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 1.0, 'a'), "
+                     "(2, 1, 2.0, 'a'), (3, 1, 3.0, 'b'), (4, 2, 4.0, 'a')")
+        result = conn.execute(
+            "SELECT k, s, COUNT(*) FROM t GROUP BY k, s ORDER BY k, s"
+        )
+        assert result.rows == [(1, "a", 2), (1, "b", 1), (2, "a", 1)]
+
+
+class TestDistinctAndOrder:
+    def test_distinct_with_nulls(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, NULL, 0.0, 'x'), "
+                     "(2, NULL, 0.0, 'x'), (3, 1, 0.0, 'x')")
+        result = conn.execute("SELECT DISTINCT k FROM t")
+        assert len(result) == 2
+
+    def test_order_by_multiple_directions(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 2, 5.0, 'a'), "
+                     "(2, 1, 5.0, 'b'), (3, 2, 1.0, 'c'), (4, 1, 9.0, 'd')")
+        result = conn.execute(
+            "SELECT k, v FROM t ORDER BY k ASC, v DESC"
+        )
+        assert result.rows == [(1, 9.0), (1, 5.0), (2, 5.0), (2, 1.0)]
+
+    def test_limit_zero(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 1.0, 'a')")
+        assert conn.execute("SELECT id FROM t LIMIT 0").rows == []
+
+    def test_limit_beyond_rows(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 1, 1.0, 'a')")
+        assert len(conn.execute("SELECT id FROM t LIMIT 99")) == 1
+
+    def test_order_by_expression(self, conn):
+        conn.execute("INSERT INTO t VALUES (1, 3, 1.0, 'a'), "
+                     "(2, 1, 10.0, 'b')")
+        result = conn.execute("SELECT id FROM t ORDER BY k * v")
+        assert result.rows == [(1,), (2,)]
+
+
+class TestEmptyInputs:
+    def test_everything_over_empty_table(self, conn):
+        assert conn.execute("SELECT * FROM t").rows == []
+        assert conn.execute("SELECT COUNT(*) FROM t").rows == [(0,)]
+        assert conn.execute("SELECT k FROM t GROUP BY k").rows == []
+        assert conn.execute("SELECT DISTINCT k FROM t").rows == []
+        assert conn.execute("SELECT k FROM t ORDER BY k").rows == []
+
+    def test_join_with_empty_side(self, conn):
+        conn.execute("CREATE TABLE u (id INT PRIMARY KEY)")
+        conn.execute("INSERT INTO t VALUES (1, 1, 1.0, 'a')")
+        assert conn.execute(
+            "SELECT COUNT(*) FROM t JOIN u ON t.k = u.id"
+        ).rows == [(0,)]
+        assert conn.execute(
+            "SELECT t.id, u.id FROM t LEFT JOIN u ON t.k = u.id"
+        ).rows == [(1, None)]

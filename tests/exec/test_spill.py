@@ -1,0 +1,147 @@
+"""Unit tests for work-memory accounting and temp-file spilling."""
+
+import pytest
+
+from repro.buffer import BufferPool
+from repro.common import SimClock
+from repro.common.errors import ExecutionError
+from repro.exec import MemoryGovernor
+from repro.exec.spill import (
+    SpillFile,
+    SpillableBuffer,
+    WorkMemory,
+    env_row_bytes,
+)
+from repro.storage import FlashDisk, Volume
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    volume = Volume(FlashDisk(clock, 100_000))
+    temp = volume.create_file("temp")
+    pool = BufferPool(temp, capacity_pages=64)
+    governor = MemoryGovernor(pool, 1024, multiprogramming_level=4)
+    task = governor.begin_task()
+
+    class Ctx:
+        pass
+
+    ctx = Ctx()
+    ctx.pool = pool
+    ctx.temp_file = temp
+    ctx.task = task
+    return ctx, temp, task, volume
+
+
+class TestEnvRowBytes:
+    def test_scales_with_columns(self):
+        small = env_row_bytes({0: (1,)})
+        large = env_row_bytes({0: (1,) * 10, 1: (2,) * 10})
+        assert large > small
+
+    def test_non_sized_payload(self):
+        assert env_row_bytes({0: 42}) > 0
+
+
+class TestWorkMemory:
+    def test_pages_track_bytes(self, env):
+        ctx, __, task, __v = env
+        memory = WorkMemory(task, ctx.pool.page_size)
+        memory.add(ctx.pool.page_size * 3)
+        assert memory.pages_held == 3
+        assert task.used_pages == 3
+        memory.remove(ctx.pool.page_size * 2)
+        assert memory.pages_held == 1
+        memory.release_all()
+        assert task.used_pages == 0
+
+    def test_partial_pages_round_up(self, env):
+        ctx, __, task, __v = env
+        memory = WorkMemory(task, ctx.pool.page_size)
+        memory.add(1)
+        assert memory.pages_held == 1
+
+    def test_would_exceed_soft(self, env):
+        ctx, __, task, __v = env
+        memory = WorkMemory(task, ctx.pool.page_size)
+        headroom_bytes = task.headroom_pages() * ctx.pool.page_size
+        assert not memory.would_exceed_soft(headroom_bytes - ctx.pool.page_size)
+        assert memory.would_exceed_soft(headroom_bytes + 2 * ctx.pool.page_size)
+
+
+class TestSpillFile:
+    def test_roundtrip_in_order(self, env):
+        ctx, temp, __, __v = env
+        spill = SpillFile(temp, row_bytes_estimate=64, page_size=ctx.pool.page_size)
+        for i in range(500):
+            spill.append(("row", i))
+        assert spill.row_count == 500
+        assert list(spill.read_all()) == [("row", i) for i in range(500)]
+
+    def test_charges_device_io(self, env):
+        ctx, temp, __, volume = env
+        writes_before = volume.disk.writes
+        spill = SpillFile(temp, 64, ctx.pool.page_size)
+        for i in range(500):
+            spill.append(i)
+        spill.finish_writing()
+        assert volume.disk.writes > writes_before
+
+    def test_free_releases_pages(self, env):
+        ctx, temp, __, __v = env
+        spill = SpillFile(temp, 64, ctx.pool.page_size)
+        for i in range(500):
+            spill.append(i)
+        spill.finish_writing()
+        assert temp.page_count > 0
+        spill.free()
+        assert temp.page_count == 0
+
+    def test_multiple_read_passes(self, env):
+        ctx, temp, __, __v = env
+        spill = SpillFile(temp, 64, ctx.pool.page_size)
+        for i in range(100):
+            spill.append(i)
+        first = list(spill.read_all())
+        second = list(spill.read_all())
+        assert first == second
+
+
+class TestSpillableBuffer:
+    def test_small_buffer_stays_in_memory(self, env):
+        ctx, temp, __, __v = env
+        buffer = SpillableBuffer(ctx, row_bytes_estimate=64)
+        for i in range(10):
+            buffer.append({0: (i,)})
+        buffer.seal()
+        assert temp.page_count == 0
+        assert len(buffer) == 10
+        assert [env_row[0][0] for env_row in buffer.scan()] == list(range(10))
+
+    def test_large_buffer_spills(self, env):
+        ctx, temp, task, __v = env
+        buffer = SpillableBuffer(ctx, row_bytes_estimate=ctx.pool.page_size)
+        n = task.soft_limit_pages + 20
+        for i in range(n):
+            buffer.append({0: (i,)})
+        buffer.seal()
+        assert temp.page_count > 0  # tail went to disk
+        assert len(buffer) == n
+        assert [env_row[0][0] for env_row in buffer.scan()] == list(range(n))
+
+    def test_append_after_seal_rejected(self, env):
+        ctx, __, __t, __v = env
+        buffer = SpillableBuffer(ctx)
+        buffer.seal()
+        with pytest.raises(ExecutionError):
+            buffer.append({0: (1,)})
+
+    def test_free_releases_everything(self, env):
+        ctx, temp, task, __v = env
+        buffer = SpillableBuffer(ctx, row_bytes_estimate=ctx.pool.page_size)
+        for i in range(task.soft_limit_pages + 20):
+            buffer.append({0: (i,)})
+        buffer.free()
+        assert temp.page_count == 0
+        assert task.used_pages == 0

@@ -1,0 +1,277 @@
+"""Differential testing: the engine vs a naive Python reference.
+
+Random tables and random (but valid) queries are executed both through
+the full engine stack (parser -> binder -> optimizer -> adaptive
+executor) and by a transparent Python implementation of the same
+semantics.  Any divergence is a bug in some layer of the stack.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro import Server, ServerConfig
+
+N_LEFT = 120
+N_RIGHT = 40
+
+
+@pytest.fixture(scope="module")
+def db():
+    rng = random.Random(99)
+    left = [
+        (
+            i,
+            rng.randrange(0, 20),              # b: join key / group key
+            rng.choice([None, *range(0, 50)]),  # c: nullable int
+            float(rng.randrange(0, 1000)) / 10.0,
+            rng.choice(["red", "green", "blue", "teal", None]),
+        )
+        for i in range(N_LEFT)
+    ]
+    right = [
+        (i, rng.randrange(0, 20), "name-%d" % (i % 7))
+        for i in range(N_RIGHT)
+    ]
+    server = Server(ServerConfig(start_buffer_governor=False,
+                                 initial_pool_pages=512))
+    conn = server.connect()
+    conn.execute(
+        "CREATE TABLE l (a INT PRIMARY KEY, b INT, c INT, d DOUBLE, "
+        "e VARCHAR(10))"
+    )
+    conn.execute("CREATE TABLE r (x INT PRIMARY KEY, y INT, z VARCHAR(10))")
+    server.load_table("l", left)
+    server.load_table("r", right)
+    conn.execute("CREATE INDEX l_b ON l (b)")
+    return conn, left, right
+
+
+def run_engine(conn, sql):
+    return sorted(conn.execute(sql).rows, key=repr)
+
+
+# --------------------------------------------------------------------- #
+# reference implementation helpers
+# --------------------------------------------------------------------- #
+
+def ref_filter(rows, predicate):
+    return [row for row in rows if predicate(row)]
+
+
+def ref_sorted(rows):
+    return sorted(rows, key=repr)
+
+
+# --------------------------------------------------------------------- #
+# hand-rolled differential cases over the random data
+# --------------------------------------------------------------------- #
+
+class TestFiltersDifferential:
+    PREDICATES = [
+        ("b = 7", lambda row: row[1] == 7),
+        ("b <> 7", lambda row: row[1] != 7),
+        ("c IS NULL", lambda row: row[2] is None),
+        ("c IS NOT NULL", lambda row: row[2] is not None),
+        ("c > 25", lambda row: row[2] is not None and row[2] > 25),
+        ("d BETWEEN 20 AND 60",
+         lambda row: 20 <= row[3] <= 60),
+        ("b IN (1, 3, 5, 19)", lambda row: row[1] in (1, 3, 5, 19)),
+        ("e LIKE 'g%'",
+         lambda row: row[4] is not None and row[4].startswith("g")),
+        ("e = 'red' OR b < 3",
+         lambda row: row[4] == "red" or row[1] < 3),
+        ("NOT b = 4 AND c <= 40",
+         lambda row: row[1] != 4 and (row[2] is not None and row[2] <= 40)),
+        ("b * 2 + 1 > 20", lambda row: row[1] * 2 + 1 > 20),
+    ]
+
+    @pytest.mark.parametrize("sql_pred,py_pred", PREDICATES,
+                             ids=[p[0] for p in PREDICATES])
+    def test_where(self, db, sql_pred, py_pred):
+        conn, left, __ = db
+        engine = run_engine(conn, "SELECT a FROM l WHERE " + sql_pred)
+        reference = ref_sorted([(row[0],) for row in ref_filter(left, py_pred)])
+        assert engine == reference
+
+
+class TestJoinsDifferential:
+    def test_inner_join(self, db):
+        conn, left, right = db
+        engine = run_engine(
+            conn,
+            "SELECT l.a, r.x FROM l JOIN r ON l.b = r.y WHERE l.d > 50",
+        )
+        reference = ref_sorted([
+            (lrow[0], rrow[0])
+            for lrow in left if lrow[3] > 50
+            for rrow in right if lrow[1] == rrow[1]
+        ])
+        assert engine == reference
+
+    def test_left_join_with_null_extension(self, db):
+        conn, left, right = db
+        engine = run_engine(
+            conn,
+            "SELECT l.a, r.x FROM l LEFT JOIN r "
+            "ON l.b = r.y AND r.x < 10 WHERE l.a < 30",
+        )
+        reference = []
+        for lrow in left:
+            if not lrow[0] < 30:
+                continue
+            matches = [
+                rrow for rrow in right
+                if lrow[1] == rrow[1] and rrow[0] < 10
+            ]
+            if matches:
+                reference.extend((lrow[0], rrow[0]) for rrow in matches)
+            else:
+                reference.append((lrow[0], None))
+        assert engine == ref_sorted(reference)
+
+    def test_semi_join_in_subquery(self, db):
+        conn, left, right = db
+        engine = run_engine(
+            conn,
+            "SELECT a FROM l WHERE b IN (SELECT y FROM r WHERE x < 8)",
+        )
+        keys = {rrow[1] for rrow in right if rrow[0] < 8}
+        reference = ref_sorted([(row[0],) for row in left if row[1] in keys])
+        assert engine == reference
+
+    def test_anti_join_not_exists(self, db):
+        conn, left, right = db
+        engine = run_engine(
+            conn,
+            "SELECT x FROM r WHERE NOT EXISTS "
+            "(SELECT 1 FROM l WHERE l.b = r.y AND l.d > 90)",
+        )
+        heavy = {lrow[1] for lrow in left if lrow[3] > 90}
+        reference = ref_sorted([
+            (rrow[0],) for rrow in right if rrow[1] not in heavy
+        ])
+        assert engine == reference
+
+    def test_self_join(self, db):
+        conn, left, __ = db
+        engine = run_engine(
+            conn,
+            "SELECT p.a, q.a FROM l p, l q "
+            "WHERE p.b = q.b AND p.a < q.a AND p.b = 3",
+        )
+        threes = [row for row in left if row[1] == 3]
+        reference = ref_sorted([
+            (p[0], q[0]) for p in threes for q in threes if p[0] < q[0]
+        ])
+        assert engine == reference
+
+
+class TestAggregationDifferential:
+    def test_group_by_count_sum(self, db):
+        conn, left, __ = db
+        engine = run_engine(
+            conn, "SELECT b, COUNT(*), SUM(d) FROM l GROUP BY b"
+        )
+        reference = {}
+        for row in left:
+            entry = reference.setdefault(row[1], [0, 0.0])
+            entry[0] += 1
+            entry[1] += row[3]
+        expected = ref_sorted([
+            (key, count, pytest.approx(total))
+            for key, (count, total) in reference.items()
+        ])
+        assert len(engine) == len(expected)
+        for (gb, gc, gs), (rb, rc, rs) in zip(engine, expected):
+            assert (gb, gc) == (rb, rc)
+            assert gs == rs
+
+    def test_count_skips_nulls(self, db):
+        conn, left, __ = db
+        engine = conn.execute("SELECT COUNT(c), COUNT(*) FROM l").rows[0]
+        non_null = sum(1 for row in left if row[2] is not None)
+        assert engine == (non_null, len(left))
+
+    def test_count_distinct(self, db):
+        conn, left, __ = db
+        engine = conn.execute("SELECT COUNT(DISTINCT e) FROM l").rows[0][0]
+        assert engine == len({row[4] for row in left if row[4] is not None})
+
+    def test_min_max_avg(self, db):
+        conn, left, __ = db
+        engine = conn.execute(
+            "SELECT MIN(d), MAX(d), AVG(d) FROM l WHERE b = 5"
+        ).rows[0]
+        values = [row[3] for row in left if row[1] == 5]
+        assert engine[0] == min(values)
+        assert engine[1] == max(values)
+        assert engine[2] == pytest.approx(sum(values) / len(values))
+
+    def test_having(self, db):
+        conn, left, __ = db
+        engine = run_engine(
+            conn, "SELECT b FROM l GROUP BY b HAVING COUNT(*) >= 8"
+        )
+        counts = {}
+        for row in left:
+            counts[row[1]] = counts.get(row[1], 0) + 1
+        reference = ref_sorted([
+            (key,) for key, count in counts.items() if count >= 8
+        ])
+        assert engine == reference
+
+    def test_group_by_join(self, db):
+        conn, left, right = db
+        engine = run_engine(
+            conn,
+            "SELECT r.z, COUNT(*) FROM l JOIN r ON l.b = r.y GROUP BY r.z",
+        )
+        counts = {}
+        for lrow in left:
+            for rrow in right:
+                if lrow[1] == rrow[1]:
+                    counts[rrow[2]] = counts.get(rrow[2], 0) + 1
+        assert engine == ref_sorted(list(counts.items()))
+
+
+class TestOrderingDifferential:
+    def test_order_by_limit(self, db):
+        conn, left, __ = db
+        engine = conn.execute(
+            "SELECT a, d FROM l ORDER BY d DESC, a ASC LIMIT 10"
+        ).rows
+        reference = sorted(
+            [(row[0], row[3]) for row in left],
+            key=lambda pair: (-pair[1], pair[0]),
+        )[:10]
+        assert engine == reference
+
+    def test_distinct(self, db):
+        conn, left, __ = db
+        engine = run_engine(conn, "SELECT DISTINCT b FROM l")
+        assert engine == ref_sorted([(b,) for b in {row[1] for row in left}])
+
+    def test_order_by_nulls_first(self, db):
+        conn, left, __ = db
+        engine = conn.execute("SELECT c FROM l ORDER BY c LIMIT 5").rows
+        n_nulls = sum(1 for row in left if row[2] is None)
+        assert all(row[0] is None for row in engine[: min(5, n_nulls)])
+
+
+class TestDmlDifferential:
+    def test_update_then_verify(self, db):
+        conn, left, __ = db
+        conn.execute("BEGIN")
+        conn.execute("UPDATE l SET d = d + 1000 WHERE b = 2")
+        engine = conn.execute(
+            "SELECT COUNT(*) FROM l WHERE d >= 1000"
+        ).rows[0][0]
+        reference = sum(1 for row in left if row[1] == 2)
+        conn.execute("ROLLBACK")
+        assert engine == reference
+        # Rollback restored the original values.
+        assert conn.execute(
+            "SELECT COUNT(*) FROM l WHERE d >= 1000"
+        ).rows[0][0] == 0

@@ -1,0 +1,187 @@
+"""Property-based differential testing with randomly generated predicates.
+
+Hypothesis builds random boolean predicate trees over a fixed table; each
+is rendered to SQL for the engine and to a Python closure for the
+reference.  SQL three-valued logic is mirrored in the reference via
+None-propagating operators.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Server, ServerConfig
+
+ROWS = [
+    (
+        i,
+        (i * 7) % 23,
+        None if i % 9 == 0 else (i * 3) % 40,
+        float((i * 13) % 97),
+    )
+    for i in range(150)
+]
+
+
+@pytest.fixture(scope="module")
+def conn():
+    server = Server(ServerConfig(start_buffer_governor=False,
+                                 initial_pool_pages=512))
+    connection = server.connect()
+    connection.execute(
+        "CREATE TABLE t (a INT PRIMARY KEY, b INT, c INT, d DOUBLE)"
+    )
+    server.load_table("t", ROWS)
+    return connection
+
+
+# --------------------------------------------------------------------- #
+# predicate tree generation: (sql_text, python_eval) pairs
+# --------------------------------------------------------------------- #
+
+_COLUMNS = {"a": 0, "b": 1, "c": 2, "d": 3}
+
+
+def _tv_compare(op, left, right):
+    """Three-valued comparison: None operands yield None."""
+    if left is None or right is None:
+        return None
+    return {
+        "=": left == right,
+        "<>": left != right,
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }[op]
+
+
+def _tv_and(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def _tv_or(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def _tv_not(a):
+    return None if a is None else not a
+
+
+@st.composite
+def comparison(draw):
+    column = draw(st.sampled_from(sorted(_COLUMNS)))
+    op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    value = draw(st.integers(min_value=-5, max_value=100))
+    index = _COLUMNS[column]
+    sql = "%s %s %d" % (column, op, value)
+    return sql, (lambda row, i=index, o=op, v=value: _tv_compare(o, row[i], v))
+
+
+@st.composite
+def null_check(draw):
+    column = draw(st.sampled_from(sorted(_COLUMNS)))
+    negated = draw(st.booleans())
+    index = _COLUMNS[column]
+    if negated:
+        return (
+            "%s IS NOT NULL" % column,
+            lambda row, i=index: row[i] is not None,
+        )
+    return "%s IS NULL" % column, (lambda row, i=index: row[i] is None)
+
+
+@st.composite
+def between(draw):
+    column = draw(st.sampled_from(sorted(_COLUMNS)))
+    low = draw(st.integers(min_value=-5, max_value=60))
+    width = draw(st.integers(min_value=0, max_value=50))
+    index = _COLUMNS[column]
+    sql = "%s BETWEEN %d AND %d" % (column, low, low + width)
+    return sql, (
+        lambda row, i=index, lo=low, hi=low + width:
+        None if row[i] is None else lo <= row[i] <= hi
+    )
+
+
+@st.composite
+def in_list(draw):
+    column = draw(st.sampled_from(sorted(_COLUMNS)))
+    values = draw(st.lists(st.integers(min_value=0, max_value=50),
+                           min_size=1, max_size=5))
+    index = _COLUMNS[column]
+    sql = "%s IN (%s)" % (column, ", ".join(map(str, values)))
+    return sql, (
+        lambda row, i=index, vs=tuple(values):
+        None if row[i] is None else row[i] in vs
+    )
+
+
+def leaf():
+    return st.one_of(comparison(), null_check(), between(), in_list())
+
+
+@st.composite
+def predicate(draw, depth=2):
+    if depth == 0:
+        return draw(leaf())
+    kind = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if kind == "leaf":
+        return draw(leaf())
+    if kind == "not":
+        sql, fn = draw(predicate(depth=depth - 1))
+        return "NOT (%s)" % sql, (lambda row, f=fn: _tv_not(f(row)))
+    left_sql, left_fn = draw(predicate(depth=depth - 1))
+    right_sql, right_fn = draw(predicate(depth=depth - 1))
+    if kind == "and":
+        return (
+            "(%s) AND (%s)" % (left_sql, right_sql),
+            lambda row, a=left_fn, b=right_fn: _tv_and(a(row), b(row)),
+        )
+    return (
+        "(%s) OR (%s)" % (left_sql, right_sql),
+        lambda row, a=left_fn, b=right_fn: _tv_or(a(row), b(row)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicate())
+def test_random_predicates_match_reference(conn, pred):
+    sql_pred, py_pred = pred
+    engine = sorted(
+        conn.execute("SELECT a FROM t WHERE " + sql_pred).rows
+    )
+    reference = sorted(
+        (row[0],) for row in ROWS if py_pred(row) is True
+    )
+    assert engine == reference, "divergence on WHERE %s" % sql_pred
+
+
+@settings(max_examples=25, deadline=None)
+@given(predicate(), st.sampled_from(["a", "b", "c", "d"]))
+def test_random_predicates_with_aggregation(conn, pred, group_column):
+    sql_pred, py_pred = pred
+    engine = sorted(
+        conn.execute(
+            "SELECT %s, COUNT(*) FROM t WHERE %s GROUP BY %s"
+            % (group_column, sql_pred, group_column)
+        ).rows,
+        key=repr,
+    )
+    index = _COLUMNS[group_column]
+    counts = {}
+    for row in ROWS:
+        if py_pred(row) is True:
+            counts[row[index]] = counts.get(row[index], 0) + 1
+    reference = sorted(counts.items(), key=repr)
+    assert engine == reference, "divergence on GROUP BY with WHERE %s" % sql_pred

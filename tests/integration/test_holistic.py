@@ -1,0 +1,154 @@
+"""The paper's thesis test: the self-management features work *in concert*.
+
+"It is important to note that these technologies work in concert to offer
+the level of self-management and adaptiveness that embedded application
+software requires.  It is, in our view, impossible to achieve effective
+self-management by considering these technologies in isolation."
+
+One scenario on one memory-squeezed simulated machine exercises, at the
+same time: the buffer-pool governor reacting to a competing process,
+statistics feedback refining estimates, the plan cache training on
+procedure calls, adaptive memory-governed operators spilling, interleaved
+cursors with stealable heaps, DML with transactions, and a crash with
+log-based recovery at the end — all while every query keeps returning
+correct answers.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.buffer import GovernorConfig
+from repro.common import MiB, MINUTE
+from repro.engine import FiberScheduler
+
+
+@pytest.fixture(scope="module")
+def world():
+    server = Server(ServerConfig(
+        total_memory=64 * MiB,
+        initial_pool_pages=512,       # 2 MiB
+        multiprogramming_level=8,
+        adaptive_mpl=True,
+        governor=GovernorConfig(upper_bound_bytes=48 * MiB,
+                                lower_bound_bytes=1 * MiB),
+        start_buffer_governor=False,  # polled manually for determinism
+    ))
+    conn = server.connect()
+    conn.execute(
+        "CREATE TABLE account (id INT PRIMARY KEY, branch INT, "
+        "balance DOUBLE, pad VARCHAR(40))"
+    )
+    conn.execute(
+        "CREATE TABLE branch (id INT PRIMARY KEY, region VARCHAR(12))"
+    )
+    server.load_table(
+        "account",
+        [(i, i % 40, float(1000 + i % 500), "pad-%024d" % i)
+         for i in range(20000)],
+    )
+    server.load_table("branch", [(i, "region-%d" % (i % 4)) for i in range(40)])
+    conn.execute(
+        "CREATE PROCEDURE branch_report(b) AS "
+        "SELECT COUNT(*), SUM(a.balance) FROM account a, branch br "
+        "WHERE a.branch = br.id AND br.id = b"
+    )
+    competitor = server.os.spawn("co-resident-app")
+    return server, conn, competitor
+
+
+def test_holistic_day_in_the_life(world):
+    server, conn, competitor = world
+    governor = server.buffer_governor
+
+    # --- Phase 1: morning OLTP under a quiet machine -------------------- #
+    for minute in range(5):
+        for i in range(20):
+            key = (minute * 37 + i * 13) % 20000
+            conn.execute(
+                "SELECT balance FROM account WHERE id = %d" % key
+            )
+            conn.execute(
+                "UPDATE account SET balance = balance + 1 WHERE id = %d" % key
+            )
+        conn.execute("CALL branch_report(%d)" % (minute % 40))
+        governor.poll_once()
+        server.clock.advance(1 * MINUTE)
+    pool_quiet = server.pool.size_bytes()
+    assert pool_quiet > 2 * MiB  # the governor grew into free memory
+
+    # --- Phase 2: a co-resident app squeezes the machine ----------------- #
+    # Hard squeeze: free memory must fall below what even the eq. (1)
+    # db-size-capped pool occupies.
+    competitor.set_allocation(54 * MiB)
+    report_answers = []
+    for minute in range(5):
+        result = conn.execute(
+            "SELECT br.region, COUNT(*), SUM(a.balance) FROM account a "
+            "JOIN branch br ON a.branch = br.id GROUP BY br.region "
+            "ORDER BY br.region"
+        )
+        assert len(result) == 4  # the big aggregation stays correct
+        report_answers.append(result.rows)
+        governor.poll_once()
+        server.clock.advance(1 * MINUTE)
+    pool_squeezed = server.pool.size_bytes()
+    assert pool_squeezed < pool_quiet  # the pool yielded memory
+    # Identical answers under memory pressure (modulo the OLTP updates
+    # having stopped): the last two reporting runs saw identical data.
+    assert report_answers[-1] == report_answers[-2]
+
+    # --- Phase 3: interleaved cursors while still squeezed --------------- #
+    scheduler = FiberScheduler(batch_size=16)
+    scheduler.add("sweep", conn.open_cursor(
+        "SELECT id FROM account WHERE balance > 1400 ORDER BY id"
+    ))
+    scheduler.add("branches", conn.open_cursor(
+        "SELECT id FROM branch ORDER BY id"
+    ))
+    results = scheduler.run()
+    assert results["branches"] == [(i,) for i in range(40)]
+    assert results["sweep"] == sorted(results["sweep"])
+
+    # --- Phase 4: the plan cache has trained on the procedure ------------ #
+    for i in range(10):
+        conn.execute("CALL branch_report(%d)" % (i % 40))
+    assert conn.plan_cache.is_cached("proc:branch_report")
+    assert conn.plan_cache.hits > 0
+
+    # --- Phase 5: statistics feedback refined the histograms ------------- #
+    # Point lookups went through the PK index; the reporting cursor's
+    # ``balance > 1400`` sweep is the scan that fed the histogram.
+    histogram = server.stats.histogram("account", 2)
+    assert histogram is not None and histogram.feedback_updates > 0
+
+    # --- Phase 6: pressure lifts; the pool recovers ----------------------- #
+    competitor.set_allocation(0)
+    for __ in range(4):
+        conn.execute("SELECT COUNT(*) FROM account WHERE branch = 7")
+        governor.poll_once()
+        server.clock.advance(1 * MINUTE)
+    assert server.pool.size_bytes() > pool_squeezed
+
+    # --- Phase 7: transactional work, a crash, and recovery --------------- #
+    conn.execute("BEGIN")
+    conn.execute("UPDATE account SET balance = 0 WHERE id = 0")
+    conn.execute("COMMIT")
+    conn.execute("BEGIN")
+    conn.execute("UPDATE account SET balance = -1 WHERE id = 1")
+    conn._txn_id = None  # the in-flight transaction dies with the crash
+    balance_before = conn.execute(
+        "SELECT COUNT(*), SUM(balance) FROM account WHERE id > 1"
+    ).rows
+    server.simulate_crash_and_recover()
+    assert conn.execute(
+        "SELECT balance FROM account WHERE id = 0"
+    ).rows == [(0.0,)]                       # committed change survived
+    assert conn.execute(
+        "SELECT balance FROM account WHERE id = 1"
+    ).rows[0][0] > 0                         # uncommitted change lost
+    assert conn.execute(
+        "SELECT COUNT(*), SUM(balance) FROM account WHERE id > 1"
+    ).rows == balance_before                 # everything else intact
+
+    # The whole day ran on one simulated machine without manual tuning.
+    assert server.statements_executed > 200

@@ -1,0 +1,128 @@
+"""Unit tests for the DTT-based cost model."""
+
+import pytest
+
+from repro.common import KiB
+from repro.dtt import default_dtt_model
+from repro.optimizer import CostModel, CostModelContext
+
+
+@pytest.fixture
+def model():
+    context = CostModelContext(
+        default_dtt_model(), page_size=4 * KiB, pool_pages=256,
+        soft_limit_pages=64,
+    )
+    return CostModel(context)
+
+
+class TestScans:
+    def test_resident_scan_has_no_io(self, model):
+        hot = model.seq_scan(100, 1000, 0, resident_fraction=1.0)
+        cold = model.seq_scan(100, 1000, 0, resident_fraction=0.0)
+        assert hot < cold
+
+    def test_scan_scales_with_pages(self, model):
+        small = model.seq_scan(10, 100, 0, 0.0)
+        large = model.seq_scan(1000, 10_000, 0, 0.0)
+        assert large > 10 * small
+
+    def test_predicates_add_cpu(self, model):
+        plain = model.seq_scan(10, 1000, 0, 1.0)
+        filtered = model.seq_scan(10, 1000, 3, 1.0)
+        assert filtered > plain
+
+    def test_selective_index_beats_scan(self, model):
+        # 0.1% of a large table via a well-clustered index vs full scan.
+        scan = model.seq_scan(5000, 500_000, 1, 0.0)
+        index = model.index_scan(
+            index_height=3, index_leaf_pages=500, table_pages=5000,
+            matching_rows=500, clustering_fraction=0.9,
+            resident_fraction=0.0,
+        )
+        assert index < scan
+
+    def test_unselective_index_loses_to_scan(self, model):
+        # Fetching 80% of rows through an unclustered index thrashes.
+        scan = model.seq_scan(5000, 500_000, 1, 0.0)
+        index = model.index_scan(
+            index_height=3, index_leaf_pages=500, table_pages=5000,
+            matching_rows=400_000, clustering_fraction=0.0,
+            resident_fraction=0.0,
+        )
+        assert index > scan
+
+    def test_clustering_reduces_fetch_cost(self, model):
+        clustered = model.row_fetches(10_000, 5000, 0.95, 0.0)
+        scattered = model.row_fetches(10_000, 5000, 0.05, 0.0)
+        assert clustered < scattered
+
+
+class TestJoins:
+    def test_hash_join_in_memory_is_cpu_only(self, model):
+        fits = model.hash_join(
+            build_rows=100, probe_rows=1000, build_row_bytes=40,
+            memory_pages=64, output_rows=1000,
+        )
+        # All CPU: well under a single random I/O.
+        assert fits < model.ctx.read_us(1000) * 5
+
+    def test_hash_join_spills_past_quota(self, model):
+        fits = model.hash_join(10_000, 10_000, 40, memory_pages=1000,
+                               output_rows=10_000)
+        spills = model.hash_join(10_000, 10_000, 40, memory_pages=10,
+                                 output_rows=10_000)
+        assert spills > fits
+
+    def test_nlj_scales_with_outer(self, model):
+        narrow = model.nested_loop_join(10, 500.0, 1, 100)
+        wide = model.nested_loop_join(10_000, 500.0, 1, 100)
+        assert wide > 100 * narrow
+
+    def test_index_nl_join_beats_nlj_for_selective_probes(self, model):
+        cold = model.index_probe(3, 100, 1000, 1.0, 0.9, 0.5)
+        warm = model.index_probe(3, 100, 1000, 1.0, 0.9, 1.0)
+        inner_scan = model.seq_scan(1000, 100_000, 1, 0.5)
+        inlj = model.index_nl_join(1000, cold, warm, warmup_pages=550,
+                                   output_rows=1000)
+        nlj = model.nested_loop_join(1000, inner_scan, 1, 1000)
+        assert inlj < nlj
+
+    def test_index_nl_join_saturates_after_warmup(self, model):
+        cold = model.index_probe(3, 100, 1000, 1.0, 0.9, 0.0)
+        warm = model.index_probe(3, 100, 1000, 1.0, 0.9, 1.0)
+        few = model.index_nl_join(100, cold, warm, warmup_pages=1100,
+                                  output_rows=100)
+        many = model.index_nl_join(10_000, cold, warm, warmup_pages=1100,
+                                   output_rows=10_000)
+        # The first ~1100 probes are cold; the rest run at warm cost, so
+        # 100x the probes costs far less than 100x the price.
+        assert many < few * 100
+        assert warm < cold
+
+
+class TestMemoryIntensive:
+    def test_sort_external_costs_more(self, model):
+        in_memory = model.sort(10_000, 64, memory_pages=1000)
+        external = model.sort(10_000, 64, memory_pages=4)
+        assert external > in_memory
+
+    def test_group_by_spill(self, model):
+        fits = model.hash_group_by(100_000, 100, 32, memory_pages=64)
+        spills = model.hash_group_by(100_000, 500_000, 32, memory_pages=4)
+        assert spills > fits
+
+    def test_sort_of_single_row_trivial(self, model):
+        assert model.sort(1, 64, 10) < 1.0
+
+
+class TestContext:
+    def test_optimistic_half_pool(self, model):
+        # A table half the pool size is considered fully buffered.
+        assert model.ctx.optimistic_resident_fraction(100) == 1.0
+        # A huge table gets pool/2 of its pages.
+        assert model.ctx.optimistic_resident_fraction(1280) == pytest.approx(0.1)
+
+    def test_read_write_shortcuts(self, model):
+        assert model.ctx.read_us(1) < model.ctx.read_us(1000)
+        assert model.ctx.write_us(1000) < model.ctx.read_us(1000)

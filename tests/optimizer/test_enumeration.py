@@ -1,0 +1,102 @@
+"""Unit tests for enumeration internals (governor, improvement events)."""
+
+import math
+
+import pytest
+
+from repro.optimizer.enumeration import (
+    EnumerationStats,
+    JoinEnumerator,
+    OptimizerGovernor,
+    REDISTRIBUTION_IMPROVEMENT,
+)
+
+
+class TestGovernorQuota:
+    def test_governor_halves(self):
+        governor = OptimizerGovernor(1000, mode="governor")
+        assert governor.child_quota(1000, 0) == 500
+        assert governor.child_quota(500, 1) == 250
+
+    def test_fifo_hands_everything(self):
+        governor = OptimizerGovernor(1000, mode="fifo")
+        assert governor.child_quota(1000, 0) == 1000
+
+    def test_minimum_one(self):
+        governor = OptimizerGovernor(10, mode="governor")
+        assert governor.child_quota(1, 5) == 1
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            OptimizerGovernor(10, mode="random")
+
+
+class TestImprovementDetection:
+    def make_enum(self):
+        class Block:
+            quantifiers = []
+            conjuncts = []
+
+        return JoinEnumerator.__new__(JoinEnumerator), Block()
+
+    def test_twenty_percent_improvement_triggers_redistribution(self):
+        enum, block = self.make_enum()
+        enum.block = block
+        enum.stats = EnumerationStats()
+        enum._best_steps = None
+        enum._best_cost = math.inf
+        enum._redistribute_requested = False
+        enum._complete(["plan-a"], 1000.0)
+        assert enum.stats.improvements == 0  # first plan: no event
+        enum._complete(["plan-b"], 1000.0 * (1 - REDISTRIBUTION_IMPROVEMENT))
+        assert enum.stats.improvements == 1
+        assert enum._redistribute_requested
+
+    def test_small_improvement_updates_best_quietly(self):
+        enum, block = self.make_enum()
+        enum.block = block
+        enum.stats = EnumerationStats()
+        enum._best_steps = None
+        enum._best_cost = math.inf
+        enum._redistribute_requested = False
+        enum._complete(["plan-a"], 1000.0)
+        enum._complete(["plan-b"], 950.0)  # only 5% better
+        assert enum._best_cost == 950.0
+        assert enum.stats.improvements == 0
+        assert not enum._redistribute_requested
+
+    def test_worse_plan_ignored(self):
+        enum, block = self.make_enum()
+        enum.block = block
+        enum.stats = EnumerationStats()
+        enum._best_steps = None
+        enum._best_cost = math.inf
+        enum._redistribute_requested = False
+        enum._complete(["plan-a"], 1000.0)
+        enum._complete(["plan-b"], 2000.0)
+        assert enum._best_cost == 1000.0
+        assert enum._best_steps == ["plan-a"]
+
+    def test_first_plan_cost_recorded(self):
+        enum, block = self.make_enum()
+        enum.block = block
+        enum.stats = EnumerationStats()
+        enum._best_steps = None
+        enum._best_cost = math.inf
+        enum._redistribute_requested = False
+        enum._complete(["p"], 777.0)
+        assert enum.stats.first_plan_cost == 777.0
+        enum._complete(["q"], 500.0)
+        assert enum.stats.first_plan_cost == 777.0
+
+
+class TestStatsMemoryAccounting:
+    def test_peak_memory_tracks_depth_and_candidates(self):
+        stats = EnumerationStats()
+        stats.note_memory(depth=10, candidate_count=5)
+        first = stats.peak_memory_bytes
+        stats.note_memory(depth=100, candidate_count=50)
+        assert stats.peak_memory_bytes > first
+        stats.note_memory(depth=1, candidate_count=1)
+        assert stats.peak_memory_bytes > first  # peak is sticky
+        assert stats.max_depth == 100

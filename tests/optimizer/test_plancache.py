@@ -1,0 +1,108 @@
+"""Unit tests for the plan cache (training period + decaying verification)."""
+
+from repro.optimizer import PlanCache
+from repro.optimizer.plancache import plan_signature
+
+
+class FakeResult:
+    def __init__(self, signature):
+        self.signature = signature
+
+
+def make_optimizer(signatures):
+    """An optimize_fn that returns queued signatures (last repeats)."""
+    state = {"i": 0}
+
+    def optimize():
+        index = min(state["i"], len(signatures) - 1)
+        state["i"] += 1
+        return FakeResult(signatures[index])
+
+    return optimize, state
+
+
+def sig(result):
+    return result.signature
+
+
+def test_training_period_optimizes_every_time():
+    cache = PlanCache(training_period=3)
+    optimize, state = make_optimizer(["A"])
+    for __ in range(3):
+        cache.execute_plan_for("q1", optimize, sig)
+    assert state["i"] == 3
+    assert cache.is_cached("q1")
+
+
+def test_cached_plan_reused_after_training():
+    cache = PlanCache(training_period=3, verify_schedule=(100,))
+    optimize, state = make_optimizer(["A"])
+    for __ in range(10):
+        cache.execute_plan_for("q1", optimize, sig)
+    # 3 training optimizations, then pure cache hits.
+    assert state["i"] == 3
+    assert cache.hits == 7
+
+
+def test_unstable_plans_never_cached():
+    cache = PlanCache(training_period=3)
+    optimize, state = make_optimizer(["A", "B", "A", "B", "A", "B"])
+    for __ in range(6):
+        cache.execute_plan_for("q1", optimize, sig)
+    assert not cache.is_cached("q1")
+    assert state["i"] == 6  # optimized every time
+
+
+def test_verification_schedule_decays():
+    cache = PlanCache(training_period=2, verify_schedule=(4, 8, 16))
+    optimize, state = make_optimizer(["A"])
+    for __ in range(20):
+        cache.execute_plan_for("q1", optimize, sig)
+    # 2 training + 3 verification optimizations.
+    assert state["i"] == 5
+    assert cache.verifications == 3
+
+
+def test_stale_plan_detected_on_verify():
+    cache = PlanCache(training_period=2, verify_schedule=(4,))
+    # Plan changes after training (statistics drifted).
+    optimize, state = make_optimizer(["A", "A", "B", "B", "B", "B"])
+    results = [cache.execute_plan_for("q1", optimize, sig) for __ in range(8)]
+    assert cache.invalidations == 1
+    # After invalidation the new plan is served.
+    assert results[-1].signature == "B"
+
+
+def test_lru_eviction():
+    cache = PlanCache(training_period=1, max_entries=2)
+    optimize, __ = make_optimizer(["A"])
+    cache.execute_plan_for("q1", optimize, sig)
+    cache.execute_plan_for("q2", optimize, sig)
+    cache.execute_plan_for("q3", optimize, sig)
+    assert cache.entry_count() == 2
+    assert not cache.is_cached("q1")
+
+
+def test_per_statement_isolation():
+    cache = PlanCache(training_period=2)
+    opt_a, state_a = make_optimizer(["A"])
+    opt_b, state_b = make_optimizer(["B"])
+    for __ in range(4):
+        cache.execute_plan_for("qa", opt_a, sig)
+        cache.execute_plan_for("qb", opt_b, sig)
+    assert cache.is_cached("qa")
+    assert cache.is_cached("qb")
+    assert state_a["i"] == 2
+    assert state_b["i"] == 2
+
+
+def test_plan_signature_walks_tree():
+    from repro.optimizer import OptimizerResult, SeqScanPlan
+
+    class Q:
+        alias = "t"
+
+    plan = SeqScanPlan(Q(), [])
+    result = OptimizerResult(plan)
+    assert "SeqScan" in plan_signature(result)
+    assert plan_signature(OptimizerResult(None)) == "<none>"

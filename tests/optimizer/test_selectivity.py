@@ -1,0 +1,209 @@
+"""Unit tests for the selectivity estimator."""
+
+import pytest
+
+from repro.buffer import BufferPool
+from repro.catalog import Catalog, Column, ForeignKey, IndexSchema, TableSchema
+from repro.common import SimClock
+from repro.optimizer import SelectivityEstimator
+from repro.optimizer.selectivity import (
+    DEFAULT_EQ,
+    DEFAULT_JOIN,
+    DEFAULT_LIKE,
+    DEFAULT_RANGE,
+)
+from repro.sql import Binder, parse_statement
+from repro.stats import StatisticsManager
+from repro.storage import FlashDisk, Volume
+from repro.storage.btree import BTree
+from repro.storage.rowstore import TableStorage
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    volume = Volume(FlashDisk(clock, 200_000))
+    pool = BufferPool(volume.create_file("temp"), capacity_pages=256)
+    catalog = Catalog()
+    emp = catalog.add_table(TableSchema(
+        "emp",
+        [
+            Column("id", "INT", nullable=False),
+            Column("dept_id", "INT"),
+            Column("name", "VARCHAR"),
+        ],
+        primary_key=("id",),
+    ))
+    dept = catalog.add_table(TableSchema(
+        "dept",
+        [Column("id", "INT", nullable=False), Column("dname", "VARCHAR")],
+        primary_key=("id",),
+    ))
+    emp.foreign_keys.append(ForeignKey(["dept_id"], "dept", ["id"]))
+    emp.storage = TableStorage(emp, volume.create_file("emp"), pool)
+    dept.storage = TableStorage(dept, volume.create_file("dept"), pool)
+    for i in range(1000):
+        emp.storage.insert((i, i % 20, "name-%d" % i))
+    for i in range(20):
+        dept.storage.insert((i, "dept-%d" % i))
+    manager = StatisticsManager(catalog)
+    estimator = SelectivityEstimator(manager, catalog)
+    return catalog, manager, estimator
+
+
+def bind_where(catalog, sql_where, table="emp"):
+    binder = Binder(catalog)
+    block = binder.bind(parse_statement(
+        "SELECT 1 FROM %s WHERE %s" % (table, sql_where)
+    ))
+    return block.conjuncts[0].expr, block.quantifiers[0]
+
+
+class TestDefaults:
+    """Magic numbers when no statistics exist."""
+
+    def test_eq_default(self, env):
+        catalog, __, estimator = env
+        expr, quantifier = bind_where(catalog, "dept_id = 3")
+        assert estimator.local_selectivity(expr, quantifier) == DEFAULT_EQ
+
+    def test_range_default(self, env):
+        catalog, __, estimator = env
+        expr, quantifier = bind_where(catalog, "dept_id > 3")
+        assert estimator.local_selectivity(expr, quantifier) == DEFAULT_RANGE
+
+    def test_like_default(self, env):
+        catalog, __, estimator = env
+        expr, quantifier = bind_where(catalog, "name LIKE '%x%'")
+        assert estimator.local_selectivity(expr, quantifier) == DEFAULT_LIKE
+
+    def test_is_null_on_not_null_column_is_zero(self, env):
+        catalog, __, estimator = env
+        expr, quantifier = bind_where(catalog, "id IS NULL")
+        assert estimator.local_selectivity(expr, quantifier) == 0.0
+
+
+class TestWithHistograms:
+    def test_eq_uses_histogram(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["dept_id"])
+        expr, quantifier = bind_where(catalog, "dept_id = 3")
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.05, rel=0.05
+        )
+
+    def test_range_uses_histogram(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["id"])
+        expr, quantifier = bind_where(catalog, "id < 250")
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.25, abs=0.08
+        )
+
+    def test_flipped_comparison(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["id"])
+        expr, quantifier = bind_where(catalog, "250 > id")
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.25, abs=0.08
+        )
+
+    def test_not_equals_complements(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["dept_id"])
+        expr, quantifier = bind_where(catalog, "dept_id <> 3")
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.95, rel=0.05
+        )
+
+    def test_in_list_sums(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["dept_id"])
+        expr, quantifier = bind_where(catalog, "dept_id IN (1, 2, 3)")
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.15, rel=0.1
+        )
+
+    def test_or_combines(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["dept_id"])
+        expr, quantifier = bind_where(catalog, "dept_id = 1 OR dept_id = 2")
+        selectivity = estimator.local_selectivity(expr, quantifier)
+        assert selectivity == pytest.approx(0.05 + 0.05 - 0.0025, rel=0.1)
+
+    def test_not_complements(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["dept_id"])
+        expr, quantifier = bind_where(catalog, "NOT dept_id = 3")
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.95, rel=0.05
+        )
+
+    def test_parameter_falls_to_density(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["dept_id"])
+        expr, quantifier = bind_where(catalog, "dept_id = ?")
+        # 20 distinct values: density ~ 1/20.
+        assert estimator.local_selectivity(expr, quantifier) == pytest.approx(
+            0.05, rel=0.2
+        )
+
+    def test_like_prefix_uses_histogram(self, env):
+        catalog, manager, estimator = env
+        manager.build_statistics("emp", ["name"])
+        expr, quantifier = bind_where(catalog, "name LIKE 'name-1%'")
+        selectivity = estimator.local_selectivity(expr, quantifier)
+        # 111 of 1000 names start with "name-1".
+        assert 0.02 < selectivity < 0.4
+
+
+class TestJoinSelectivity:
+    def bind_join(self, catalog):
+        binder = Binder(catalog)
+        block = binder.bind(parse_statement(
+            "SELECT 1 FROM emp e, dept d WHERE e.dept_id = d.id"
+        ))
+        conjunct = block.conjuncts[0]
+        return conjunct, block.quantifiers[0], block.quantifiers[1]
+
+    def test_ri_constraint_wins(self, env):
+        catalog, __, estimator = env
+        conjunct, emp_q, dept_q = self.bind_join(catalog)
+        # FK -> PK: selectivity = 1 / |dept|.
+        assert estimator.join_conjunct_selectivity(
+            conjunct, emp_q, dept_q
+        ) == pytest.approx(1 / 20)
+
+    def test_histogram_join_without_ri(self, env):
+        catalog, manager, estimator = env
+        catalog.table("emp").foreign_keys.clear()
+        manager.build_statistics("emp", ["dept_id"])
+        manager.build_statistics("dept", ["id"])
+        conjunct, emp_q, dept_q = self.bind_join(catalog)
+        selectivity = estimator.join_conjunct_selectivity(conjunct, emp_q, dept_q)
+        assert selectivity == pytest.approx(1 / 20, rel=0.5)
+
+    def test_index_distinct_fallback(self, env):
+        catalog, __, estimator = env
+        catalog.table("emp").foreign_keys.clear()
+        clock = SimClock()
+        volume = Volume(FlashDisk(clock, 50_000))
+        pool = BufferPool(volume.create_file("t"), 128)
+        index = IndexSchema("dept_pk2", "dept", ["id"])
+        index.btree = BTree(volume.create_file("i"), pool)
+        for i in range(20):
+            from repro.storage.rowstore import RowId
+            index.btree.insert((i,), RowId(0, i))
+        catalog.add_index(index)
+        conjunct, emp_q, dept_q = self.bind_join(catalog)
+        assert estimator.join_conjunct_selectivity(
+            conjunct, emp_q, dept_q
+        ) == pytest.approx(1 / 20)
+
+    def test_default_join_without_any_stats(self, env):
+        catalog, __, estimator = env
+        catalog.table("emp").foreign_keys.clear()
+        conjunct, emp_q, dept_q = self.bind_join(catalog)
+        assert estimator.join_conjunct_selectivity(
+            conjunct, emp_q, dept_q
+        ) == DEFAULT_JOIN

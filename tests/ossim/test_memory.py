@@ -1,0 +1,119 @@
+"""Unit tests for the simulated operating system."""
+
+import pytest
+
+from repro.common import MiB, SimClock
+from repro.ossim import OperatingSystem
+from repro.ossim.memory import WorkingSetUnavailable
+
+
+def make_os(total=256 * MiB, **kwargs):
+    return OperatingSystem(total, **kwargs)
+
+
+def test_usable_excludes_kernel_reserve():
+    os = make_os(256 * MiB, kernel_reserve=8 * MiB)
+    assert os.usable_memory == 248 * MiB
+
+
+def test_total_must_exceed_reserve():
+    with pytest.raises(ValueError):
+        OperatingSystem(4 * MiB, kernel_reserve=8 * MiB)
+
+
+def test_spawn_and_allocate():
+    os = make_os()
+    proc = os.spawn("app")
+    proc.allocate(10 * MiB)
+    assert proc.allocated == 10 * MiB
+    assert os.total_allocated() == 10 * MiB
+
+
+def test_allocate_negative_frees():
+    os = make_os()
+    proc = os.spawn("app")
+    proc.allocate(10 * MiB)
+    proc.allocate(-4 * MiB)
+    assert proc.allocated == 6 * MiB
+
+
+def test_cannot_free_below_zero():
+    proc = make_os().spawn("app")
+    with pytest.raises(ValueError):
+        proc.allocate(-1)
+
+
+def test_set_allocation_absolute():
+    proc = make_os().spawn("app")
+    proc.set_allocation(12 * MiB)
+    assert proc.allocated == 12 * MiB
+    with pytest.raises(ValueError):
+        proc.set_allocation(-1)
+
+
+def test_working_set_fully_resident_when_memory_fits():
+    os = make_os(256 * MiB)
+    proc = os.spawn("db")
+    proc.allocate(100 * MiB)
+    assert os.working_set(proc) == 100 * MiB
+
+
+def test_free_memory_accounts_residents():
+    os = make_os(256 * MiB, kernel_reserve=8 * MiB)
+    proc = os.spawn("db")
+    proc.allocate(100 * MiB)
+    assert os.free_memory() == 148 * MiB
+
+
+def test_overcommit_trims_proportionally():
+    os = make_os(108 * MiB, kernel_reserve=8 * MiB)  # 100 MiB usable
+    a = os.spawn("a")
+    b = os.spawn("b")
+    a.allocate(150 * MiB)
+    b.allocate(50 * MiB)
+    # Demand is 200 MiB for 100 MiB usable: everyone keeps half.
+    assert os.working_set(a) == 75 * MiB
+    assert os.working_set(b) == 25 * MiB
+    assert os.free_memory() == 0
+
+
+def test_pressure_metric():
+    os = make_os(108 * MiB, kernel_reserve=8 * MiB)
+    proc = os.spawn("p")
+    assert os.memory_pressure() == 0.0
+    proc.allocate(50 * MiB)
+    assert os.memory_pressure() == pytest.approx(0.5)
+    proc.allocate(200 * MiB)
+    assert os.memory_pressure() == pytest.approx(1.0)
+
+
+def test_ce_flavour_cannot_report_working_set():
+    os = make_os(supports_working_set=False)
+    proc = os.spawn("db")
+    proc.allocate(MiB)
+    with pytest.raises(WorkingSetUnavailable):
+        os.working_set(proc)
+    # Free memory is still available on CE.
+    assert os.free_memory() > 0
+
+
+def test_scripted_process_follows_schedule():
+    clock = SimClock()
+    os = make_os()
+    proc = os.spawn_scripted(
+        "burst", clock, [(100, 30 * MiB), (200, 5 * MiB), (300, 0)]
+    )
+    assert proc.allocated == 0
+    clock.advance(100)
+    assert proc.allocated == 30 * MiB
+    clock.advance(100)
+    assert proc.allocated == 5 * MiB
+    clock.advance(100)
+    assert proc.allocated == 0
+
+
+def test_processes_snapshot():
+    os = make_os()
+    os.spawn("a")
+    os.spawn("b")
+    assert [process.name for process in os.processes()] == ["a", "b"]

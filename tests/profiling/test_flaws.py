@@ -1,0 +1,111 @@
+"""Unit tests for the design-flaw analyzers."""
+
+from repro import Server, ServerConfig
+from repro.profiling import (
+    ClientSideJoinDetector,
+    FlawAnalyzer,
+    OptionSettingDetector,
+    RepeatedStatementDetector,
+    Tracer,
+)
+
+
+def traced_server():
+    server = Server(ServerConfig(start_buffer_governor=False))
+    server.tracer = Tracer()
+    conn = server.connect()
+    conn.execute("CREATE TABLE item (id INT PRIMARY KEY, price DOUBLE)")
+    conn.execute("CREATE TABLE orders (id INT PRIMARY KEY, item_id INT)")
+    for i in range(30):
+        conn.execute("INSERT INTO item VALUES (%d, %f)" % (i, float(i)))
+    return server, conn
+
+
+class TestClientSideJoin:
+    def test_detects_constant_loop(self):
+        server, conn = traced_server()
+        # The classic client-side join: one query per id in a loop.
+        for i in range(30):
+            conn.execute("SELECT price FROM item WHERE id = %d" % i)
+        flaws = ClientSideJoinDetector(min_repetitions=20).detect(
+            server.tracer, server.catalog
+        )
+        assert len(flaws) == 1
+        assert flaws[0].kind == "client-side-join"
+        assert "single" in flaws[0].recommendation
+
+    def test_ignores_few_repetitions(self):
+        server, conn = traced_server()
+        for i in range(5):
+            conn.execute("SELECT price FROM item WHERE id = %d" % i)
+        flaws = ClientSideJoinDetector(min_repetitions=20).detect(
+            server.tracer, server.catalog
+        )
+        assert flaws == []
+
+    def test_ignores_identical_repeats(self):
+        # Same constants every time: that's a repeated statement, not a
+        # client-side join.
+        server, conn = traced_server()
+        for __ in range(30):
+            conn.execute("SELECT price FROM item WHERE id = 7")
+        flaws = ClientSideJoinDetector(min_repetitions=20).detect(
+            server.tracer, server.catalog
+        )
+        assert flaws == []
+
+    def test_ignores_dml(self):
+        server, conn = traced_server()
+        for i in range(30, 60):
+            conn.execute("INSERT INTO orders VALUES (%d, %d)" % (i, i % 30))
+        flaws = ClientSideJoinDetector(min_repetitions=20).detect(
+            server.tracer, server.catalog
+        )
+        assert flaws == []
+
+
+class TestRepeatedStatement:
+    def test_detects_verbatim_repeats(self):
+        server, conn = traced_server()
+        for __ in range(60):
+            conn.execute("SELECT COUNT(*) FROM item")
+        flaws = RepeatedStatementDetector(min_repetitions=50).detect(
+            server.tracer, server.catalog
+        )
+        assert len(flaws) == 1
+        assert flaws[0].kind == "repeated-statement"
+
+
+class TestOptionSettings:
+    def test_detects_bad_option(self):
+        server, conn = traced_server()
+        conn.execute("SET OPTION optimization_goal = 'fastest-please'")
+        flaws = OptionSettingDetector().detect(server.tracer, server.catalog)
+        assert len(flaws) == 1
+        assert flaws[0].severity == "critical"
+
+    def test_accepts_good_option(self):
+        server, conn = traced_server()
+        conn.execute("SET OPTION optimization_goal = 'first-row'")
+        flaws = OptionSettingDetector().detect(server.tracer, server.catalog)
+        assert flaws == []
+
+    def test_unknown_options_ignored(self):
+        server, conn = traced_server()
+        conn.execute("SET OPTION some_custom_option = 'whatever'")
+        flaws = OptionSettingDetector().detect(server.tracer, server.catalog)
+        assert flaws == []
+
+
+class TestAnalyzer:
+    def test_all_detectors_run_and_sorted(self):
+        server, conn = traced_server()
+        conn.execute("SET OPTION optimization_goal = 'bogus'")
+        for i in range(30):
+            conn.execute("SELECT price FROM item WHERE id = %d" % i)
+        flaws = FlawAnalyzer().analyze(server.tracer, server.catalog)
+        kinds = [flaw.kind for flaw in flaws]
+        assert "option-setting" in kinds
+        assert "client-side-join" in kinds
+        # critical first
+        assert flaws[0].severity == "critical"

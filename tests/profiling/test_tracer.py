@@ -1,0 +1,86 @@
+"""Unit tests for request tracing."""
+
+from repro import Server, ServerConfig
+from repro.profiling import Tracer
+from repro.profiling.tracer import normalize_statement
+
+
+class TestNormalization:
+    def test_numbers_become_placeholders(self):
+        template, constants = normalize_statement(
+            "SELECT a FROM t WHERE id = 42 AND x > 3.5"
+        )
+        assert template == "SELECT a FROM t WHERE id = ? AND x > ?"
+        assert constants == ("42", "3.5")
+
+    def test_strings_become_placeholders(self):
+        template, constants = normalize_statement(
+            "SELECT a FROM t WHERE name = 'bob'"
+        )
+        assert template == "SELECT a FROM t WHERE name = ?"
+        assert constants == ("'bob'",)
+
+    def test_same_shape_same_template(self):
+        t1, __ = normalize_statement("SELECT a FROM t WHERE id = 1")
+        t2, __c = normalize_statement("SELECT a FROM t WHERE id = 999")
+        assert t1 == t2
+
+    def test_whitespace_normalized(self):
+        t1, __ = normalize_statement("SELECT a\n  FROM t")
+        assert t1 == "SELECT a FROM t"
+
+
+class TestTracer:
+    def make_traced_server(self):
+        server = Server(ServerConfig(start_buffer_governor=False))
+        server.tracer = Tracer()
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))")
+        conn.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        return server, conn
+
+    def test_events_recorded(self):
+        server, conn = self.make_traced_server()
+        before = len(server.tracer)
+        conn.execute("SELECT * FROM t WHERE id = 1")
+        assert len(server.tracer) == before + 1
+        event = server.tracer.events[-1]
+        assert event.template == "SELECT * FROM t WHERE id = ?"
+        assert event.rows == 1
+        assert event.elapsed_us >= 0
+
+    def test_templates_grouping(self):
+        server, conn = self.make_traced_server()
+        for i in range(5):
+            conn.execute("SELECT v FROM t WHERE id = %d" % i)
+        groups = server.tracer.templates()
+        assert len(groups["SELECT v FROM t WHERE id = ?"]) == 5
+
+    def test_capacity_cap(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.record("SELECT %d" % i, 0, 1, 0, 0, 0)
+        assert len(tracer) == 3
+
+    def test_save_to_database(self):
+        server, conn = self.make_traced_server()
+        conn.execute("SELECT * FROM t")
+        conn.execute("SELECT v FROM t WHERE id = 2")
+        tracer = server.tracer
+        server.tracer = None  # stop tracing while persisting
+        saved = tracer.save_to_database(conn)
+        assert saved == len(tracer.events)
+        stored = conn.execute("SELECT COUNT(*) FROM profiling_trace")
+        assert stored.rows == [(saved,)]
+
+    def test_save_to_separate_database(self):
+        server, conn = self.make_traced_server()
+        conn.execute("SELECT * FROM t")
+        tracer = server.tracer
+        # "storing the trace data on a database on a separate physical
+        # machine" — a second server entirely.
+        other = Server(ServerConfig(start_buffer_governor=False))
+        other_conn = other.connect()
+        tracer.save_to_database(other_conn)
+        count = other_conn.execute("SELECT COUNT(*) FROM profiling_trace")
+        assert count.rows[0][0] == len(tracer.events)

@@ -1,0 +1,126 @@
+"""Unit tests for the Greenwald quantile sketch."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import GreenwaldSketch
+
+
+def test_epsilon_bounds():
+    with pytest.raises(ValueError):
+        GreenwaldSketch(epsilon=0)
+    with pytest.raises(ValueError):
+        GreenwaldSketch(epsilon=0.5)
+
+
+def test_empty_sketch_rejects_queries():
+    sketch = GreenwaldSketch()
+    with pytest.raises(ValueError):
+        sketch.quantile(0.5)
+    with pytest.raises(ValueError):
+        sketch.boundaries(4)
+
+
+def test_quantile_fraction_bounds():
+    sketch = GreenwaldSketch()
+    sketch.insert(1.0)
+    with pytest.raises(ValueError):
+        sketch.quantile(-0.1)
+    with pytest.raises(ValueError):
+        sketch.quantile(1.1)
+
+
+def test_single_value():
+    sketch = GreenwaldSketch()
+    sketch.insert(42.0)
+    assert sketch.quantile(0.0) == 42.0
+    assert sketch.quantile(1.0) == 42.0
+
+
+def test_median_of_uniform_stream():
+    sketch = GreenwaldSketch(epsilon=0.01)
+    values = list(range(10_000))
+    random.Random(0).shuffle(values)
+    for value in values:
+        sketch.insert(value)
+    median = sketch.quantile(0.5)
+    assert abs(median - 5000) < 10_000 * 0.03  # within 3 eps
+
+
+def test_extremes_are_exact():
+    sketch = GreenwaldSketch(epsilon=0.05)
+    values = list(range(1000))
+    random.Random(1).shuffle(values)
+    for value in values:
+        sketch.insert(value)
+    assert sketch.quantile(0.0) == 0
+    assert sketch.quantile(1.0) == 999
+
+
+def test_summary_much_smaller_than_stream():
+    sketch = GreenwaldSketch(epsilon=0.02)
+    for value in range(20_000):
+        sketch.insert(float(value))
+    assert sketch.summary_size() < 2000  # heavy compression
+
+
+def test_boundaries_are_monotone():
+    sketch = GreenwaldSketch(epsilon=0.01)
+    rng = random.Random(2)
+    for __ in range(5000):
+        sketch.insert(rng.gauss(0, 1))
+    bounds = sketch.boundaries(10)
+    assert len(bounds) == 11
+    assert bounds == sorted(bounds)
+
+
+def test_boundaries_need_bucket():
+    sketch = GreenwaldSketch()
+    sketch.insert(1)
+    with pytest.raises(ValueError):
+        sketch.boundaries(0)
+
+
+def test_skewed_stream_boundaries_concentrate():
+    sketch = GreenwaldSketch(epsilon=0.01)
+    rng = random.Random(3)
+    # 90% of mass near zero, long tail to 1000.
+    for __ in range(9000):
+        sketch.insert(rng.uniform(0, 10))
+    for __ in range(1000):
+        sketch.insert(rng.uniform(10, 1000))
+    bounds = sketch.boundaries(10)
+    # Equi-depth: most boundaries land in the dense region.
+    dense = sum(1 for b in bounds if b <= 10.5)
+    assert dense >= 8
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=500))
+def test_property_quantiles_within_value_range(values):
+    sketch = GreenwaldSketch(epsilon=0.05)
+    for value in values:
+        sketch.insert(value)
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        q = sketch.quantile(fraction)
+        assert min(values) <= q <= max(values)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=50, max_size=400))
+def test_property_rank_error_bounded(values):
+    epsilon = 0.1
+    sketch = GreenwaldSketch(epsilon=epsilon)
+    for value in values:
+        sketch.insert(value)
+    ordered = sorted(values)
+    n = len(values)
+    for fraction in (0.25, 0.5, 0.75):
+        estimate = sketch.quantile(fraction)
+        # Rank of the estimate must be within ~2*epsilon*n of the target.
+        lo_rank = max(0, int((fraction - 2 * epsilon) * n) - 1)
+        hi_rank = min(n - 1, int((fraction + 2 * epsilon) * n) + 1)
+        assert ordered[lo_rank] <= estimate <= ordered[hi_rank]

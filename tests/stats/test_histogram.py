@@ -1,0 +1,213 @@
+"""Unit tests for self-managing column histograms."""
+
+import random
+
+import pytest
+
+from repro.stats import ColumnHistogram
+from repro.stats.histogram import MAX_SINGLETONS
+
+
+def uniform_ints(n, lo=0, hi=1000, seed=0):
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for __ in range(n)]
+
+
+class TestBuild:
+    def test_empty_column(self):
+        hist = ColumnHistogram.build("INT", [])
+        assert hist.total_count() == 0
+        assert hist.estimate_eq(5) == 0.0
+
+    def test_all_nulls(self):
+        hist = ColumnHistogram.build("INT", [None] * 10)
+        assert hist.estimate_null() == 1.0
+
+    def test_low_cardinality_compressed(self):
+        # <= 100 distinct values: everything becomes a singleton bucket.
+        values = [i % 10 for i in range(1000)]
+        hist = ColumnHistogram.build("INT", values)
+        assert hist.is_compressed
+        assert hist.singleton_count == 10
+        assert hist.bucket_count == 0
+
+    def test_high_cardinality_gets_buckets(self):
+        values = uniform_ints(5000, 0, 100_000)
+        hist = ColumnHistogram.build("INT", values)
+        assert hist.bucket_count > 1
+        assert hist.singleton_count <= MAX_SINGLETONS
+
+    def test_skewed_values_become_singletons(self):
+        # One value is 20% of the column: must be a singleton.
+        values = uniform_ints(4000, 0, 100_000, seed=1) + [777_777] * 1000
+        hist = ColumnHistogram.build("INT", values)
+        assert hist.estimate_eq(777_777) == pytest.approx(0.2, rel=0.05)
+
+    def test_total_count_matches_input(self):
+        values = uniform_ints(2000) + [None] * 100
+        hist = ColumnHistogram.build("INT", values)
+        assert hist.total_count() == pytest.approx(2100, rel=0.01)
+
+
+class TestEstimation:
+    @pytest.fixture
+    def hist(self):
+        return ColumnHistogram.build("INT", uniform_ints(5000, 0, 10_000))
+
+    def test_eq_null_is_zero(self, hist):
+        assert hist.estimate_eq(None) == 0.0
+
+    def test_eq_outside_domain_is_zero(self, hist):
+        assert hist.estimate_eq(999_999) == 0.0
+
+    def test_eq_inside_uses_density(self, hist):
+        estimate = hist.estimate_eq(5000)
+        # ~5000 rows over ~4xxx distinct: density near 1/distinct.
+        assert 0.00001 < estimate < 0.01
+
+    def test_range_full_domain_is_one(self, hist):
+        assert hist.estimate_range(0, 10_000) == pytest.approx(1.0, abs=0.1)
+
+    def test_range_half_domain(self, hist):
+        estimate = hist.estimate_range(0, 5000)
+        assert estimate == pytest.approx(0.5, abs=0.12)
+
+    def test_range_empty(self, hist):
+        assert hist.estimate_range(20_000, 30_000) == pytest.approx(0.0, abs=0.01)
+
+    def test_range_inverted_is_zero(self, hist):
+        assert hist.estimate_range(100, 50) == 0.0
+
+    def test_open_ranges(self, hist):
+        low_only = hist.estimate_range(low=7500)
+        high_only = hist.estimate_range(high=2500)
+        assert low_only == pytest.approx(0.25, abs=0.12)
+        assert high_only == pytest.approx(0.25, abs=0.12)
+
+    def test_exclusive_bounds_shrink_range(self, hist):
+        inclusive = hist.estimate_range(1000, 1000)
+        exclusive = hist.estimate_range(1000, 1000, low_inclusive=False)
+        assert exclusive <= inclusive
+
+    def test_null_fraction(self):
+        values = uniform_ints(900) + [None] * 100
+        hist = ColumnHistogram.build("INT", values)
+        assert hist.estimate_null() == pytest.approx(0.1, abs=0.02)
+
+    def test_string_prefix_like(self):
+        words = ["apple", "apricot", "banana", "cherry", "date"] * 200
+        extra = ["w%04d" % i for i in range(1000)]  # force bucket mode
+        hist = ColumnHistogram.build("VARCHAR", words + extra)
+        ap_fraction = hist.estimate_like_prefix("ap")
+        # 400 of 2000 values start with "ap".
+        assert ap_fraction == pytest.approx(0.2, abs=0.1)
+
+    def test_like_empty_prefix_is_one(self):
+        hist = ColumnHistogram.build("VARCHAR", ["a", "b"])
+        assert hist.estimate_like_prefix("") == 1.0
+
+
+class TestFeedback:
+    def test_eq_feedback_promotes_singleton(self):
+        values = uniform_ints(5000, 0, 100_000, seed=2)
+        hist = ColumnHistogram.build("INT", values)
+        target = values[0]
+        before = hist.estimate_eq(target)
+        # Execution observed this value matches 500 of 5000 rows (10%).
+        hist.feedback_eq(target, 500)
+        after = hist.estimate_eq(target)
+        assert after == pytest.approx(0.1, rel=0.1)
+        assert after > before
+
+    def test_eq_feedback_updates_existing_singleton(self):
+        values = [7] * 500 + uniform_ints(4500, 100, 100_000, seed=3)
+        hist = ColumnHistogram.build("INT", values)
+        hist.feedback_eq(7, 1000)
+        assert hist.estimate_eq(7) == pytest.approx(
+            1000 / hist.total_count(), rel=0.01
+        )
+
+    def test_range_feedback_corrects_estimate(self):
+        # Build on uniform data, then the "true" distribution shifts: the
+        # range [0, 1000] actually matches far more rows than estimated.
+        hist = ColumnHistogram.build("INT", uniform_ints(5000, 0, 10_000, seed=4))
+        before = hist.estimate_range(0, 1000)
+        hist.feedback_range(0, 1000, observed_count=3000)
+        after = hist.estimate_range(0, 1000)
+        assert before == pytest.approx(0.1, abs=0.05)
+        assert after > before
+        assert after == pytest.approx(
+            3000 / hist.total_count(), rel=0.15
+        )
+
+    def test_range_feedback_outside_domain_seeds_bucket(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(1000, 0, 100, seed=5))
+        hist.feedback_range(5000, 6000, observed_count=500)
+        assert hist.estimate_range(5000, 6000) > 0.2
+
+    def test_null_feedback(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(1000))
+        hist.feedback_null(250)
+        assert hist.estimate_null() == pytest.approx(0.2, abs=0.02)
+
+    def test_feedback_counter(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(100))
+        hist.feedback_eq(1, 2)
+        hist.feedback_range(0, 10, 5)
+        assert hist.feedback_updates == 2
+
+
+class TestDmlMaintenance:
+    def test_insert_grows_counts(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(1000, 0, 1000, seed=6))
+        before = hist.total_count()
+        for value in uniform_ints(100, 0, 1000, seed=7):
+            hist.note_insert(value)
+        assert hist.total_count() == pytest.approx(before + 100, rel=0.01)
+
+    def test_insert_null(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(100))
+        hist.note_insert(None)
+        assert hist.null_count == 1
+
+    def test_insert_singleton_value(self):
+        values = [5] * 50 + uniform_ints(950, 100, 100_000, seed=8)
+        hist = ColumnHistogram.build("INT", values)
+        before = hist.estimate_eq(5)
+        for __ in range(50):
+            hist.note_insert(5)
+        assert hist.estimate_eq(5) > before
+
+    def test_delete_shrinks(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(1000, 0, 1000, seed=9))
+        before = hist.total_count()
+        hist.note_delete(500)
+        assert hist.total_count() < before
+
+    def test_delete_singleton_to_zero_removes_it(self):
+        values = [3] * 30 + list(range(1000, 4000))
+        hist = ColumnHistogram.build("INT", values)
+        for __ in range(30):
+            hist.note_delete(3)
+        assert hist.estimate_eq(3) <= hist.density() + 1e-9
+
+    def test_insert_outside_domain_extends(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(1000, 0, 100, seed=10))
+        hist.note_insert(10_000)
+        assert hist.estimate_range(9000, 11_000) > 0.0
+
+
+class TestDynamicBuckets:
+    def test_bucket_count_expands_under_drift(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(2000, 0, 1000, seed=11))
+        before = hist.bucket_count
+        # All new data lands in one narrow region.
+        for value in uniform_ints(4000, 400, 410, seed=12):
+            hist.note_insert(value)
+        assert hist.bucket_count > before
+
+    def test_bucket_count_bounded(self):
+        hist = ColumnHistogram.build("INT", uniform_ints(2000, 0, 1000, seed=13))
+        for value in uniform_ints(20_000, 0, 1_000_000, seed=14):
+            hist.note_insert(value)
+        assert hist.bucket_count <= 4 * hist.target_buckets + 2

@@ -1,0 +1,82 @@
+"""Unit tests for on-the-fly join histograms."""
+
+import random
+
+import pytest
+
+from repro.stats import ColumnHistogram, join_selectivity
+from repro.stats.joinhist import join_cardinality
+
+
+def build(values, type_name="INT"):
+    return ColumnHistogram.build(type_name, values)
+
+
+def test_empty_sides():
+    left = build([])
+    right = build([1, 2, 3])
+    assert join_selectivity(left, right) == 0.0
+
+
+def test_pk_fk_join_selectivity():
+    # dept(id): 50 distinct keys; emp(dept_id): 5000 rows uniform over them.
+    rng = random.Random(0)
+    dept_ids = list(range(50))
+    emp_fk = [rng.choice(dept_ids) for __ in range(5000)]
+    left = build(emp_fk)
+    right = build(dept_ids)
+    selectivity = join_selectivity(left, right)
+    # True: each emp row matches exactly 1 dept row -> 5000 pairs of
+    # 5000*50 cross product = 1/50.
+    assert selectivity == pytest.approx(1 / 50, rel=0.5)
+
+
+def test_disjoint_domains_no_matches():
+    rng = random.Random(1)
+    left = build([rng.randint(0, 1000) for __ in range(2000)])
+    right = build([rng.randint(50_000, 60_000) for __ in range(2000)])
+    assert join_selectivity(left, right) == pytest.approx(0.0, abs=1e-4)
+
+
+def test_identical_low_cardinality_columns():
+    values = [i % 10 for i in range(1000)]
+    left = build(values)
+    right = build(values)
+    # Every value matches 100 rows on the other side: 10 * 100 * 100 pairs
+    # over 1000*1000 = 0.1.
+    assert join_selectivity(left, right) == pytest.approx(0.1, rel=0.1)
+
+
+def test_skew_dominated_join():
+    # A single hot key on both sides dominates the join size.
+    left = build([42] * 900 + list(range(1000, 1100)))
+    right = build([42] * 500 + list(range(5000, 5500)))
+    selectivity = join_selectivity(left, right)
+    expected = (900 * 500) / (1000 * 1000)
+    assert selectivity == pytest.approx(expected, rel=0.1)
+
+
+def test_cardinality_helper():
+    values = [i % 10 for i in range(100)]
+    left = build(values)
+    right = build(values)
+    assert join_cardinality(left, right) == pytest.approx(
+        join_selectivity(left, right) * 100 * 100
+    )
+
+
+def test_selectivity_bounded():
+    rng = random.Random(2)
+    left = build([rng.randint(0, 5) for __ in range(100)])
+    right = build([rng.randint(0, 5) for __ in range(100)])
+    assert 0.0 <= join_selectivity(left, right) <= 1.0
+
+
+def test_high_cardinality_bucket_join():
+    rng = random.Random(3)
+    left = build([rng.randint(0, 100_000) for __ in range(5000)])
+    right = build([rng.randint(0, 100_000) for __ in range(5000)])
+    selectivity = join_selectivity(left, right)
+    # Uniform over ~100k values: expect roughly 1/100k (within an order of
+    # magnitude given sketch noise).
+    assert 1e-7 < selectivity < 1e-3

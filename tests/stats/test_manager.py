@@ -1,0 +1,148 @@
+"""Unit tests for the statistics manager."""
+
+import pytest
+
+from repro.buffer import BufferPool
+from repro.catalog import Catalog, Column, ProcedureSchema, TableSchema
+from repro.common import SimClock
+from repro.stats import StatisticsManager
+from repro.storage import FlashDisk, Volume
+from repro.storage.rowstore import TableStorage
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    volume = Volume(FlashDisk(clock, 200_000))
+    pool = BufferPool(volume.create_file("temp"), capacity_pages=128)
+    catalog = Catalog()
+    table = catalog.add_table(TableSchema(
+        "emp",
+        [
+            Column("id", "INT"),
+            Column("dept_id", "INT"),
+            Column("bio", "LONG VARCHAR"),
+        ],
+    ))
+    table.storage = TableStorage(table, volume.create_file("emp"), pool)
+    catalog.add_procedure(ProcedureSchema("p", (), "SELECT id FROM emp"))
+    manager = StatisticsManager(catalog)
+    return catalog, table, manager
+
+
+def load_rows(table, n=500):
+    for i in range(n):
+        table.storage.insert((i, i % 10, "bio text %d" % i))
+
+
+class TestBuild:
+    def test_build_all_columns(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp")
+        assert manager.histogram("emp", 0) is not None
+        assert manager.histogram("emp", 1) is not None
+        # Long strings get the string infrastructure, not a histogram.
+        assert manager.histogram("emp", 2) is None
+        assert manager.string_stats("emp", 2) is not None
+
+    def test_build_specific_columns(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["dept_id"])
+        assert manager.histogram("emp", 1) is not None
+        assert manager.histogram("emp", 0) is None
+
+    def test_built_histogram_estimates(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["dept_id"])
+        hist = manager.histogram("emp", 1)
+        assert hist.estimate_eq(3) == pytest.approx(0.1, rel=0.05)
+
+
+class TestFeedback:
+    def test_eq_feedback_creates_histogram_lazily(self, env):
+        __, table, manager = env
+        load_rows(table)
+        assert manager.histogram("emp", 1) is None
+        manager.feedback_eq("emp", 1, value=3, matched=50, scanned=500,
+                            table_rows=500)
+        hist = manager.histogram("emp", 1)
+        assert hist is not None
+        assert hist.built_by if hasattr(hist, "built_by") else True
+
+    def test_feedback_scales_partial_scans(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["dept_id"])
+        # Observed 10 matches in a 100-row sample of a 500-row table.
+        manager.feedback_eq("emp", 1, value=7, matched=10, scanned=100,
+                            table_rows=500)
+        hist = manager.histogram("emp", 1)
+        assert hist.estimate_eq(7) == pytest.approx(50 / hist.total_count(), rel=0.1)
+
+    def test_like_feedback_goes_to_string_stats(self, env):
+        __, table, manager = env
+        manager.feedback_like("emp", 2, "%text%", matched=100, scanned=500,
+                              table_rows=500)
+        stats = manager.string_stats("emp", 2)
+        assert stats.estimate_like("%text%") == pytest.approx(0.2)
+
+    def test_range_feedback(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["id"])
+        manager.feedback_range("emp", 0, low=0, high=99, matched=400,
+                               scanned=500, table_rows=500)
+        hist = manager.histogram("emp", 0)
+        assert hist.estimate_range(0, 99) == pytest.approx(0.8, abs=0.15)
+
+    def test_null_feedback(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["id"])
+        manager.feedback_null("emp", 0, matched=100, scanned=500, table_rows=500)
+        assert manager.histogram("emp", 0).estimate_null() == pytest.approx(
+            100 / 600, rel=0.2
+        )
+
+
+class TestDmlHooks:
+    def test_insert_updates_tracked_columns(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["dept_id"])
+        hist = manager.histogram("emp", 1)
+        before = hist.total_count()
+        manager.note_insert("emp", (999, 3, "x"))
+        assert hist.total_count() == pytest.approx(before + 1)
+
+    def test_delete_updates(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["dept_id"])
+        hist = manager.histogram("emp", 1)
+        before = hist.total_count()
+        manager.note_delete("emp", (0, 0, "bio"))
+        assert hist.total_count() < before
+
+    def test_update_is_delete_plus_insert(self, env):
+        __, table, manager = env
+        load_rows(table)
+        manager.build_statistics("emp", ["dept_id"])
+        hist = manager.histogram("emp", 1)
+        before_eq = hist.estimate_eq(0)
+        manager.note_update("emp", (0, 0, "b"), (0, 9, "b"))
+        assert hist.estimate_eq(0) <= before_eq
+
+    def test_untracked_table_ignored(self, env):
+        __, __t, manager = env
+        manager.note_insert("other_table", (1, 2, 3))  # no crash
+
+
+def test_procedure_stats_created_on_demand(env):
+    __, __t, manager = env
+    stats = manager.procedure_stats("p")
+    assert stats.invocations == 0
+    assert manager.procedure_stats("p") is stats

@@ -1,0 +1,67 @@
+"""Unit tests for stored-procedure statistics."""
+
+import pytest
+
+from repro.stats import ProcedureStats
+from repro.stats.procstats import MAX_PARAMETER_ENTRIES
+
+
+def test_defaults_before_any_invocation():
+    stats = ProcedureStats(default_cardinality=50, default_cpu_us=500)
+    cpu, cardinality = stats.estimate()
+    assert (cpu, cardinality) == (500, 50)
+
+
+def test_first_record_sets_averages():
+    stats = ProcedureStats()
+    stats.record((1,), cpu_us=2000, cardinality=20)
+    cpu, cardinality = stats.estimate()
+    assert cpu == pytest.approx(2000)
+    assert cardinality == pytest.approx(20)
+
+
+def test_moving_average_converges():
+    stats = ProcedureStats()
+    for __ in range(50):
+        stats.record((1,), cpu_us=1000, cardinality=10)
+    cpu, cardinality = stats.estimate()
+    assert cpu == pytest.approx(1000, rel=0.01)
+    assert cardinality == pytest.approx(10, rel=0.01)
+
+
+def test_divergent_parameters_get_own_entry():
+    stats = ProcedureStats()
+    # Establish a baseline of small results.
+    for __ in range(5):
+        stats.record(("small",), cpu_us=1000, cardinality=10)
+    # A parameter value with wildly larger results diverges.
+    stats.record(("huge",), cpu_us=50_000, cardinality=5000)
+    assert stats.parameter_specific_entries == 1
+    __, cardinality = stats.estimate(("huge",))
+    assert cardinality == pytest.approx(5000)
+    # The baseline estimate is not destroyed by the outlier.
+    __, base_cardinality = stats.estimate(("small",))
+    assert base_cardinality < 5000
+
+
+def test_similar_parameters_share_moving_average():
+    stats = ProcedureStats()
+    for i in range(10):
+        stats.record((i,), cpu_us=1000 + i, cardinality=10)
+    assert stats.parameter_specific_entries == 0
+
+
+def test_parameter_entries_capped():
+    stats = ProcedureStats()
+    for __ in range(3):
+        stats.record(("base",), cpu_us=100, cardinality=1)
+    for i in range(MAX_PARAMETER_ENTRIES + 10):
+        stats.record(("big-%d" % i,), cpu_us=100_000 + i, cardinality=10_000 + i)
+    assert stats.parameter_specific_entries <= MAX_PARAMETER_ENTRIES
+
+
+def test_invocation_count():
+    stats = ProcedureStats()
+    stats.record((), 10, 1)
+    stats.record((), 20, 2)
+    assert stats.invocations == 2

@@ -1,0 +1,88 @@
+"""Unit tests for long-string statistics (predicate + word buckets)."""
+
+import pytest
+
+from repro.stats import StringStatistics
+from repro.stats.stringstats import (
+    DEFAULT_SELECTIVITY,
+    LIKE,
+    MAX_PREDICATE_BUCKETS,
+    MAX_WORD_BUCKETS,
+)
+
+
+def test_unobserved_predicate_returns_none():
+    stats = StringStatistics()
+    assert stats.estimate_predicate("=", "anything") is None
+
+
+def test_observed_equality_recalled():
+    stats = StringStatistics()
+    stats.observe_predicate("=", "hello world", 0.02)
+    assert stats.estimate_predicate("=", "hello world") == pytest.approx(0.02)
+
+
+def test_like_exact_pattern_recalled():
+    stats = StringStatistics()
+    stats.observe_predicate(LIKE, "%error%", 0.15)
+    assert stats.estimate_like("%error%") == pytest.approx(0.15)
+
+
+def test_like_word_bucket_estimation():
+    # "many applications perform string searches using a LIKE pattern
+    # intended to match a 'word' somewhere in the string"
+    stats = StringStatistics()
+    stats.observe_predicate(LIKE, "%timeout%", 0.10)
+    # A different pattern containing the same word uses the word bucket.
+    assert stats.estimate_like("%timeout occurred%") == pytest.approx(
+        0.10, rel=0.01
+    )
+
+
+def test_like_multiple_words_independence():
+    stats = StringStatistics()
+    stats.observe_predicate(LIKE, "%alpha%", 0.2)
+    stats.observe_predicate(LIKE, "%beta%", 0.5)
+    assert stats.estimate_like("%alpha beta%") == pytest.approx(0.1)
+
+
+def test_like_unknown_pattern_default():
+    stats = StringStatistics()
+    assert stats.estimate_like("%never seen%") == DEFAULT_SELECTIVITY
+
+
+def test_observe_value_seeds_word_buckets():
+    stats = StringStatistics()
+    stats.observe_value("shipping label printed")
+    assert stats.word_bucket_count == 3
+    # Seeded words carry no selectivity until a predicate observes one.
+    assert stats.estimate_like("%label%") == DEFAULT_SELECTIVITY
+
+
+def test_observe_none_value_is_noop():
+    stats = StringStatistics()
+    stats.observe_value(None)
+    assert stats.word_bucket_count == 0
+
+
+def test_predicate_buckets_capped_lru():
+    stats = StringStatistics()
+    for i in range(MAX_PREDICATE_BUCKETS + 50):
+        stats.observe_predicate("=", "value-%d" % i, 0.01)
+    assert stats.predicate_bucket_count == MAX_PREDICATE_BUCKETS
+    # The oldest observation was evicted.
+    assert stats.estimate_predicate("=", "value-0") is None
+    assert stats.estimate_predicate("=", "value-%d" % (MAX_PREDICATE_BUCKETS + 49)) is not None
+
+
+def test_word_buckets_capped():
+    stats = StringStatistics()
+    for i in range(MAX_WORD_BUCKETS + 100):
+        stats.observe_value("word%d" % i)
+    assert stats.word_bucket_count == MAX_WORD_BUCKETS
+
+
+def test_word_matching_case_insensitive():
+    stats = StringStatistics()
+    stats.observe_predicate(LIKE, "%ERROR%", 0.3)
+    assert stats.estimate_like("%error%") == pytest.approx(0.3)

@@ -1,0 +1,105 @@
+"""Unit tests for simulated disk devices."""
+
+import pytest
+
+from repro.common import KiB, SimClock
+from repro.dtt import default_dtt_model, flash_dtt_model
+from repro.storage import FlashDisk, ModelBackedDisk, RotationalDisk
+
+
+def test_disk_requires_pages():
+    with pytest.raises(ValueError):
+        FlashDisk(SimClock(), 0)
+
+
+def test_read_charges_clock():
+    clock = SimClock()
+    disk = FlashDisk(clock, 100, read_us=390)
+    cost = disk.read_page(0)
+    assert cost == 390
+    assert clock.now == 390
+    assert disk.reads == 1
+
+
+def test_write_charges_clock():
+    clock = SimClock()
+    disk = FlashDisk(clock, 100, write_us=1180)
+    disk.write_page(5)
+    assert clock.now == 1180
+    assert disk.writes == 1
+
+
+def test_out_of_range_rejected():
+    disk = FlashDisk(SimClock(), 10)
+    with pytest.raises(ValueError):
+        disk.read_page(10)
+    with pytest.raises(ValueError):
+        disk.write_page(-1)
+
+
+def test_reset_counters():
+    disk = FlashDisk(SimClock(), 10)
+    disk.read_page(1)
+    disk.write_page(2)
+    disk.reset_counters()
+    assert (disk.reads, disk.writes, disk.busy_us) == (0, 0, 0)
+
+
+class TestRotationalDisk:
+    def test_sequential_reads_are_cheap(self):
+        clock = SimClock()
+        disk = RotationalDisk(clock, 100_000)
+        disk.read_page(0)
+        sequential = disk.read_page(1)  # head is right before page 1
+        assert sequential < 200  # transfer only, no seek/rotation
+
+    def test_long_seek_costs_more_than_short(self):
+        clock = SimClock()
+        disk = RotationalDisk(clock, 1_000_000, seed=7)
+        short_costs = []
+        long_costs = []
+        pos = 0
+        for __ in range(40):
+            disk.read_page(pos)
+            short_costs.append(disk.read_page(pos + 100))
+            disk.read_page(pos)
+            long_costs.append(disk.read_page(pos + 900_000))
+            pos = 0
+        assert sum(long_costs) / len(long_costs) > sum(short_costs) / len(short_costs)
+
+    def test_writes_cheaper_than_reads_when_random(self):
+        clock = SimClock()
+        disk = RotationalDisk(clock, 1_000_000, seed=3)
+        read_total = 0.0
+        write_total = 0.0
+        for i in range(60):
+            disk.read_page(0)
+            read_total += disk.read_page(500_000 + i)
+            disk.read_page(0)
+            write_total += disk.write_page(500_000 + i)
+        assert write_total < read_total
+
+    def test_deterministic_given_seed(self):
+        def run():
+            disk = RotationalDisk(SimClock(), 10_000, seed=42)
+            return [disk.read_page(page) for page in (0, 5000, 100, 9000)]
+
+        assert run() == run()
+
+
+class TestModelBackedDisk:
+    def test_costs_match_model(self):
+        model = default_dtt_model()
+        clock = SimClock()
+        disk = ModelBackedDisk(clock, 10_000, model, page_size=4 * KiB)
+        disk.read_page(0)
+        # Head sits after page 0; reading page 1000 is distance 999.
+        cost = disk.read_page(1000)
+        assert cost == pytest.approx(model.cost_us("read", 4 * KiB, 999))
+
+    def test_sequential_access_uses_band_one(self):
+        model = flash_dtt_model()
+        disk = ModelBackedDisk(SimClock(), 100, model)
+        disk.read_page(0)
+        cost = disk.read_page(1)
+        assert cost == pytest.approx(model.cost_us("read", 4 * KiB, 1))

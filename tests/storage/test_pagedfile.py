@@ -1,0 +1,117 @@
+"""Unit tests for volumes and paged files."""
+
+import pytest
+
+from repro.common import SimClock
+from repro.common.errors import ReproError
+from repro.storage import FlashDisk, Volume
+from repro.storage.pagedfile import EXTENT_PAGES
+
+
+@pytest.fixture
+def volume():
+    return Volume(FlashDisk(SimClock(), 10_000))
+
+
+def test_create_files_get_distinct_ids(volume):
+    a = volume.create_file("a")
+    b = volume.create_file("b")
+    assert a.file_id != b.file_id
+    assert volume.file(a.file_id) is a
+    assert {f.name for f in volume.files()} == {"a", "b"}
+
+
+def test_allocate_pages_dense_from_zero(volume):
+    f = volume.create_file("t")
+    assert [f.allocate_page() for __ in range(3)] == [0, 1, 2]
+    assert f.page_count == 3
+
+
+def test_write_read_roundtrip(volume):
+    f = volume.create_file("t")
+    page = f.allocate_page()
+    f.write(page, {"rows": [1, 2, 3]})
+    assert f.read(page) == {"rows": [1, 2, 3]}
+
+
+def test_io_charges_device_time(volume):
+    f = volume.create_file("t")
+    page = f.allocate_page()
+    before = volume.disk.clock.now
+    f.write(page, "payload")
+    f.read(page)
+    assert volume.disk.clock.now > before
+    assert volume.disk.reads == 1
+    assert volume.disk.writes == 1
+
+
+def test_pages_within_file_are_contiguous(volume):
+    f = volume.create_file("t")
+    pages = [f.allocate_page() for __ in range(EXTENT_PAGES)]
+    globals_ = [f.global_page(p) for p in pages]
+    assert globals_ == list(range(globals_[0], globals_[0] + EXTENT_PAGES))
+
+
+def test_two_files_get_disjoint_extents(volume):
+    a = volume.create_file("a")
+    b = volume.create_file("b")
+    pa = a.allocate_page()
+    pb = b.allocate_page()
+    assert a.global_page(pa) != b.global_page(pb)
+
+
+def test_free_page_reused(volume):
+    f = volume.create_file("t")
+    first = f.allocate_page()
+    f.allocate_page()
+    f.free_page(first)
+    assert f.page_count == 1
+    assert f.allocate_page() == first
+
+
+def test_truncate_releases_extents(volume):
+    f = volume.create_file("t")
+    for __ in range(EXTENT_PAGES + 1):
+        f.allocate_page()
+    used_before = volume.used_pages()
+    f.truncate()
+    assert f.page_count == 0
+    assert volume.used_pages() < used_before
+    # Extents are recycled by the next allocation.
+    g = volume.create_file("g")
+    g.allocate_page()
+    assert volume.used_pages() <= used_before
+
+
+def test_out_of_range_page_rejected(volume):
+    f = volume.create_file("t")
+    with pytest.raises(ValueError):
+        f.read(0)
+    f.allocate_page()
+    with pytest.raises(ValueError):
+        f.global_page(1)
+
+
+def test_volume_full_raises():
+    volume = Volume(FlashDisk(SimClock(), EXTENT_PAGES))  # room for 1 extent
+    f = volume.create_file("t")
+    for __ in range(EXTENT_PAGES):
+        f.allocate_page()
+    with pytest.raises(ReproError):
+        f.allocate_page()
+
+
+def test_size_bytes(volume):
+    f = volume.create_file("t")
+    f.allocate_page()
+    f.allocate_page()
+    assert f.size_bytes == 2 * volume.disk.page_size
+
+
+def test_peek_does_not_charge_io(volume):
+    f = volume.create_file("t")
+    page = f.allocate_page()
+    f.write(page, "data")
+    reads_before = volume.disk.reads
+    assert volume.peek_payload(f.global_page(page)) == "data"
+    assert volume.disk.reads == reads_before

@@ -1,0 +1,97 @@
+"""Unit tests for workload generators."""
+
+import collections
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.workloads import (
+    chain_join_sql,
+    load_chain_schema,
+    load_kv_table,
+    load_star_schema,
+    point_query_stream,
+    range_query_stream,
+    star_join_sql,
+    zipf_choices,
+)
+
+
+def make_server():
+    return Server(ServerConfig(start_buffer_governor=False,
+                               initial_pool_pages=2048))
+
+
+class TestZipf:
+    def test_uniform_when_zero_skew(self):
+        draws = zipf_choices(10, 0.0, 10_000, seed=1)
+        counts = collections.Counter(draws)
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_skew_concentrates_low_keys(self):
+        draws = zipf_choices(100, 1.2, 10_000, seed=2)
+        counts = collections.Counter(draws)
+        assert counts[0] > counts.get(50, 0) * 5
+
+    def test_deterministic(self):
+        assert zipf_choices(10, 1.0, 100, seed=3) == zipf_choices(10, 1.0, 100, seed=3)
+
+    def test_range(self):
+        assert all(0 <= v < 7 for v in zipf_choices(7, 0.5, 500))
+
+
+class TestKvWorkload:
+    def test_load_and_query(self):
+        server = make_server()
+        conn = load_kv_table(server, n_rows=500, n_distinct_values=10)
+        assert conn.execute("SELECT COUNT(*) FROM kv").rows == [(500,)]
+        queries = point_query_stream("kv", "k", [1, 2, 3])
+        for sql in queries:
+            assert len(conn.execute(sql)) == 1
+
+    def test_range_stream(self):
+        server = make_server()
+        conn = load_kv_table(server, n_rows=200)
+        for sql in range_query_stream("kv", "k", [(0, 49), (50, 99)]):
+            assert conn.execute(sql).rows[0][0] == 50
+
+    def test_histograms_built_on_load(self):
+        server = make_server()
+        load_kv_table(server, n_rows=300, n_distinct_values=10)
+        assert server.stats.histogram("kv", 1) is not None
+
+
+class TestStarSchema:
+    def test_load_and_join(self):
+        server = make_server()
+        dims = (("dim_a", 10), ("dim_b", 5))
+        conn = load_star_schema(server, n_facts=200, dims=dims)
+        result = conn.execute(star_join_sql(dims))
+        assert result.rows == [(200,)]
+
+    def test_filtered_star_join(self):
+        server = make_server()
+        dims = (("dim_a", 10),)
+        conn = load_star_schema(server, n_facts=100, dims=dims)
+        result = conn.execute(
+            star_join_sql(dims, filters=["dim_a.id = 3"])
+        )
+        assert result.rows[0][0] > 0
+
+
+class TestChainSchema:
+    def test_chain_join_small(self):
+        server = make_server()
+        conn = load_chain_schema(server, n_tables=4, rows_per_table=4)
+        result = conn.execute(chain_join_sql(4))
+        # Each row joins exactly one row in the next table.
+        assert result.rows == [(4,)]
+
+    def test_single_table_chain(self):
+        server = make_server()
+        conn = load_chain_schema(server, n_tables=1, rows_per_table=3)
+        assert conn.execute(chain_join_sql(1)).rows == [(3,)]
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ValueError):
+            load_chain_schema(make_server(), n_tables=0)
