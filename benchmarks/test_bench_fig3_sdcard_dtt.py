@@ -7,8 +7,8 @@ read/write curves must be flat across band sizes, with writes costlier
 than reads (erase-before-write).
 """
 
-from repro.common import KiB, SimClock
-from repro.dtt import approximate_write_curve, calibrate_read_curve
+from repro.common import SimClock
+from repro.dtt import calibrate_read_curve
 from repro.storage import FlashDisk
 
 from conftest import print_table

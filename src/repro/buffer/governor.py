@@ -81,6 +81,7 @@ class BufferGovernor:
         database_size_fn,
         heap_size_fn=None,
         config=None,
+        metrics=None,
     ):
         self.clock = clock
         self.os = os
@@ -95,6 +96,15 @@ class BufferGovernor:
         self._last_database_size = database_size_fn()
         self._last_free_memory = None
         self._running = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_polls = metrics.counter("governor.polls")
+            self._m_actions = {
+                action: metrics.counter("governor.action.%s" % action)
+                for action in (GROW, SHRINK, HOLD_DEADBAND, HOLD_NO_MISSES,
+                               HOLD)
+            }
+            self._m_pool_bytes = metrics.gauge("governor.pool_bytes")
         self._sync_process_allocation()
 
     # ------------------------------------------------------------------ #
@@ -155,6 +165,10 @@ class BufferGovernor:
             interval_us=interval,
         )
         self.history.append(sample)
+        if self._metrics is not None:
+            self._m_polls.inc()
+            self._m_actions[action].inc()
+            self._m_pool_bytes.set(self.pool.size_bytes())
         if self._fast_polls_left > 0:
             self._fast_polls_left -= 1
         self._note_database_growth()

@@ -37,6 +37,32 @@ class BufferPool:
     # introspection
     # ------------------------------------------------------------------ #
 
+    #: Cumulative counters published through the metrics registry.
+    METRIC_COUNTERS = (
+        "hits", "misses", "evictions", "writebacks", "heap_spills",
+        "heap_unspills",
+    )
+
+    def attach_metrics(self, registry):
+        """Publish the pool's counters and levels as ``pool.*`` probes.
+
+        Probes read the live attributes at snapshot time, so the hot
+        fetch path stays free of metric bookkeeping.
+        """
+        for name in self.METRIC_COUNTERS:
+            registry.register_probe(
+                "pool.%s" % name, lambda n=name: getattr(self, n)
+            )
+        registry.register_probe(
+            "pool.capacity_pages", lambda: self.capacity_pages
+        )
+        registry.register_probe("pool.used_pages", lambda: self.used_pages)
+        registry.register_probe("pool.pinned_frames", self.pinned_count)
+        registry.register_probe(
+            "pool.lookaside_depth",
+            lambda: getattr(self.policy, "lookaside_depth", lambda: 0)(),
+        )
+
     @property
     def used_pages(self):
         """Frames currently resident."""

@@ -84,9 +84,14 @@ class GClockPolicy(ReplacementPolicy):
 
     def on_remove(self, frame):
         try:
-            self._ring.remove(frame)
+            index = self._ring.index(frame)
         except ValueError:
-            pass
+            return
+        del self._ring[index]
+        # Removing a frame below the hand shifts the ring left under it;
+        # follow the shift or the hand silently skips the next frame.
+        if index < self._hand:
+            self._hand -= 1
         if self._hand >= len(self._ring):
             self._hand = 0
 

@@ -17,6 +17,7 @@ reproducing the fiber model's concurrency without OS threads.
 from repro.buffer import Heap
 from repro.common.errors import ExecutionError
 from repro.exec import ExecutionContext, Executor
+from repro.exec.instrument import ExecStatsCollector
 from repro.sql import Binder, ast, parse_statement
 
 
@@ -38,11 +39,15 @@ class Cursor:
             server.pool, server.temp_file, server.stats, server.clock,
             self._task, params,
             feedback_enabled=server.config.feedback_enabled,
+            metrics=server.metrics,
         )
+        self.exec_stats = ExecStatsCollector()
         executor = Executor(
             plan_block_fn=optimizer.optimize_select,
             bind_recursive_arm_fn=self._binder.bind_recursive_arm,
+            exec_stats=self.exec_stats,
         )
+        server.metrics.counter("cursors.opened").inc()
         self._rows = executor.run(self._result, self._ctx)
         #: Cursor state lives in a heap, per Section 2.1; it is unlocked
         #: whenever the cursor is suspended between fetches.
@@ -95,6 +100,13 @@ class Cursor:
     @property
     def exhausted(self):
         return self._exhausted
+
+    def explain(self, analyze=False):
+        """The cursor's plan; with ``analyze=True``, annotated with the
+        per-operator actuals accumulated by the fetches so far."""
+        if analyze:
+            return self.exec_stats.render(self._result.plan)
+        return self._result.explain()
 
     def close(self):
         if self._closed:

@@ -18,6 +18,7 @@ from repro.dtt import calibrate_device, default_dtt_model
 from repro.dtt.model import DTTModel
 from repro.exec import ExecutionContext, Executor, MemoryGovernor
 from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.instrument import ExecStatsCollector
 from repro.optimizer import (
     CostModelContext,
     Optimizer,
@@ -26,6 +27,7 @@ from repro.optimizer import (
 from repro.optimizer.costmodel import OPTIMIZER_NODE_US
 from repro.optimizer.plancache import plan_signature
 from repro.ossim import OperatingSystem
+from repro.profiling.metrics import MetricsRegistry
 from repro.sql import Binder, ast, parse_statement
 from repro.stats import StatisticsManager
 from repro.storage import ModelBackedDisk, TransactionLog, Volume
@@ -59,12 +61,15 @@ class Result:
     """Rows plus execution metadata."""
 
     def __init__(self, rows=None, columns=None, plan_result=None, notes=None,
-                 rowcount=0):
+                 rowcount=0, exec_stats=None):
         self.rows = rows if rows is not None else []
         self.columns = columns if columns is not None else []
         self.plan_result = plan_result
         self.notes = notes if notes is not None else {}
         self.rowcount = rowcount
+        #: Per-operator actuals (an ExecStatsCollector) when the statement
+        #: ran through the instrumented executor.
+        self.exec_stats = exec_stats
 
     def __iter__(self):
         return iter(self.rows)
@@ -72,9 +77,14 @@ class Result:
     def __len__(self):
         return len(self.rows)
 
-    def explain(self):
+    def explain(self, analyze=False):
+        """The plan tree; with ``analyze=True``, annotated per operator
+        with actual rows in/out, pages touched, elapsed simulated µs,
+        spill events, and adaptive fallbacks taken."""
         if self.plan_result is None:
             return "<no plan>"
+        if analyze and self.exec_stats is not None:
+            return self.exec_stats.render(self.plan_result.plan)
         return self.plan_result.explain()
 
 
@@ -91,6 +101,9 @@ class Server:
     def __init__(self, config=None, clock=None, os=None, disk=None):
         self.config = config if config is not None else ServerConfig()
         self.clock = clock if clock is not None else SimClock()
+        #: Server-wide performance counters (paper Section 5's counter
+        #: half); every engine component publishes through this registry.
+        self.metrics = MetricsRegistry(self.clock)
         self.os = os if os is not None else OperatingSystem(
             self.config.total_memory,
             supports_working_set=self.config.supports_working_set,
@@ -108,6 +121,7 @@ class Server:
         self.temp_file = self.volume.create_file("temp")
         self.log_file = self.volume.create_file("txn.log")
         self.pool = BufferPool(self.temp_file, self.config.initial_pool_pages)
+        self.pool.attach_metrics(self.metrics)
         self.catalog = Catalog()
         self.catalog.dtt_model = default_dtt_model(self.config.page_size)
         self.stats = StatisticsManager(self.catalog)
@@ -123,12 +137,14 @@ class Server:
             // self.config.page_size,
             multiprogramming_level=self.config.multiprogramming_level,
             adaptive=self.config.adaptive_mpl,
+            metrics=self.metrics,
         )
         self.buffer_governor = BufferGovernor(
             self.clock, self.os, self.process, self.pool,
             database_size_fn=self.database_size_bytes,
             heap_size_fn=lambda: 0,
             config=self.config.governor,
+            metrics=self.metrics,
         )
         self._connections = 0
         self._running = False
@@ -137,6 +153,15 @@ class Server:
         self.tracer = None
         #: observability
         self.statements_executed = 0
+        self.metrics.register_probe(
+            "server.database_size_bytes", self.database_size_bytes
+        )
+        self.metrics.register_probe(
+            "server.connections", lambda: self._connections
+        )
+        self._m_statements = self.metrics.counter("statements.executed")
+        self._m_failed = self.metrics.counter("statements.failed")
+        self._m_elapsed = self.metrics.histogram("statements.elapsed_us")
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -263,6 +288,7 @@ class Server:
             self._make_estimator(),
             context,
             quota=quota,
+            metrics=self.metrics,
         )
 
     # ------------------------------------------------------------------ #
@@ -352,7 +378,7 @@ class Connection:
 
     def __init__(self, server):
         self.server = server
-        self.plan_cache = PlanCache()
+        self.plan_cache = PlanCache(metrics=server.metrics)
         self._txn_id = None
         self._closed = False
         self.last_plan = None
@@ -394,31 +420,56 @@ class Connection:
     def execute(self, sql, params=None):
         if self._closed:
             raise ExecutionError("connection is closed")
-        tracer = self.server.tracer
-        if tracer is None:
-            return self._execute(sql, params)
-        start_us = self.server.clock.now
-        misses_before = self.server.pool.misses
-        hits_before = self.server.pool.hits
-        result = self._execute(sql, params)
-        tracer.record(
-            sql,
-            start_us=start_us,
-            elapsed_us=self.server.clock.now - start_us,
-            rows=result.rowcount if result.rowcount else len(result.rows),
-            pool_misses=self.server.pool.misses - misses_before,
-            pool_hits=self.server.pool.hits - hits_before,
-            plan_signature=(
-                type(result.plan_result.plan).__name__
-                if result.plan_result is not None and result.plan_result.plan
-                else ""
-            ),
-        )
-        return result
+        server = self.server
+        tracer = server.tracer
+        start_us = server.clock.now
+        misses_before = server.pool.misses
+        hits_before = server.pool.hits
+        result = None
+        error = None
+        try:
+            result = self._execute(sql, params)
+            return result
+        except Exception as exc:
+            # Failed statements must show up in the trace too — an
+            # application profile that silently omits errors sends the
+            # consultant hunting in the wrong place.
+            error = "%s: %s" % (type(exc).__name__, exc)
+            server._m_failed.inc()
+            raise
+        finally:
+            elapsed_us = server.clock.now - start_us
+            server._m_elapsed.observe(elapsed_us)
+            if tracer is not None:
+                if result is not None:
+                    rows = (
+                        result.rowcount if result.rowcount
+                        else len(result.rows)
+                    )
+                    plan_sig = (
+                        type(result.plan_result.plan).__name__
+                        if result.plan_result is not None
+                        and result.plan_result.plan
+                        else ""
+                    )
+                else:
+                    rows = 0
+                    plan_sig = ""
+                tracer.record(
+                    sql,
+                    start_us=start_us,
+                    elapsed_us=elapsed_us,
+                    rows=rows,
+                    pool_misses=server.pool.misses - misses_before,
+                    pool_hits=server.pool.hits - hits_before,
+                    plan_signature=plan_sig,
+                    error=error,
+                )
 
     def _execute(self, sql, params=None):
         statement = parse_statement(sql)
         self.server.statements_executed += 1
+        self.server._m_statements.inc()
         if isinstance(statement, ast.SelectStatement):
             return self._execute_select(statement, params)
         if isinstance(statement, ast.InsertStatement):
@@ -499,10 +550,13 @@ class Connection:
         ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
+            metrics=server.metrics,
         )
+        collector = ExecStatsCollector()
         executor = Executor(
             plan_block_fn=lambda b: optimizer.optimize_select(b),
             bind_recursive_arm_fn=binder.bind_recursive_arm,
+            exec_stats=collector,
         )
         try:
             rows = None
@@ -528,7 +582,8 @@ class Connection:
         finally:
             server.memory_governor.end_task(task)
         return Result(
-            rows, block.output_columns(), result, ctx.notes, len(rows)
+            rows, block.output_columns(), result, ctx.notes, len(rows),
+            exec_stats=collector,
         )
 
     # -- DML ------------------------------------------------------------------ #
@@ -675,6 +730,7 @@ class Connection:
         ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
+            metrics=server.metrics,
         )
         executor = Executor(
             plan_block_fn=lambda b: optimizer.optimize_select(b),

@@ -132,6 +132,12 @@ class HashGroupByOp(Operator):
         self._engage_fallback()
         return before - self._memory.pages_held
 
+    def spill_event_count(self):
+        return 1 if self.fallback_engaged else 0
+
+    def adaptive_event_count(self):
+        return 1 if self.fallback_engaged else 0
+
     def execute(self, ctx):
         self._ctx = ctx
         self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
@@ -291,6 +297,12 @@ class HashDistinctOp(Operator):
     def memory_pages(self):
         return self._memory.pages_held if self._memory is not None else 0
 
+    def spill_event_count(self):
+        return 1 if self.fallback_engaged else 0
+
+    def adaptive_event_count(self):
+        return 1 if self.fallback_engaged else 0
+
     def execute(self, ctx):
         self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
         seen = set()
@@ -341,6 +353,9 @@ class SortOp(Operator):
     def memory_pages(self):
         return self._memory.pages_held if self._memory is not None else 0
 
+    def spill_event_count(self):
+        return self.runs_spilled
+
     def execute(self, ctx):
         self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
         current = []
@@ -351,6 +366,7 @@ class SortOp(Operator):
                 ctx.charge(CPU_SORT_FACTOR_US * 4)
                 if self._memory.would_exceed_soft(row_bytes) and current:
                     runs.append(self._spill_run(ctx, current))
+                    self.runs_spilled += 1
                     current = []
                     self._memory.release_all()
                 current.append(env)
@@ -361,7 +377,6 @@ class SortOp(Operator):
                 for env in current:
                     yield env
                 return
-            self.runs_spilled = len(runs)
             streams = [
                 ((key_of(env), index, env) for env in self._read_run(run))
                 for index, run in enumerate(runs)

@@ -31,7 +31,7 @@ class ExecutionContext:
     """Everything operators need at run time."""
 
     def __init__(self, pool, temp_file, stats, clock, task, params=None,
-                 feedback_enabled=True):
+                 feedback_enabled=True, metrics=None):
         self.pool = pool
         self.temp_file = temp_file
         self.stats = stats
@@ -39,6 +39,7 @@ class ExecutionContext:
         self.task = task
         self.params = params
         self.feedback_enabled = feedback_enabled
+        self.metrics = metrics
         self.cte_tables = {}
         self.notes = {}
 
@@ -63,7 +64,7 @@ class ExecutionContext:
     def with_params(self, params):
         clone = ExecutionContext(
             self.pool, self.temp_file, self.stats, self.clock, self.task,
-            params, self.feedback_enabled,
+            params, self.feedback_enabled, metrics=self.metrics,
         )
         clone.cte_tables = self.cte_tables
         clone.notes = self.notes
@@ -79,9 +80,14 @@ class Executor:
     [strategy] for each recursive iteration").
     """
 
-    def __init__(self, plan_block_fn=None, bind_recursive_arm_fn=None):
+    def __init__(self, plan_block_fn=None, bind_recursive_arm_fn=None,
+                 exec_stats=None):
         self.plan_block_fn = plan_block_fn
         self.bind_recursive_arm_fn = bind_recursive_arm_fn
+        #: Optional :class:`~repro.exec.instrument.ExecStatsCollector`;
+        #: when set, every built operator is wrapped so EXPLAIN ANALYZE
+        #: has per-operator actuals.
+        self.exec_stats = exec_stats
 
     # ------------------------------------------------------------------ #
     # execution
@@ -89,6 +95,8 @@ class Executor:
 
     def run(self, result, ctx):
         """Execute an OptimizerResult for a SELECT; yields result tuples."""
+        if ctx.metrics is not None:
+            ctx.metrics.counter("exec.queries").inc()
         if result.recursive_cte is not None:
             self._materialize_cte(result.recursive_cte, ctx)
         operator = self.build(result.plan, depth=0)
@@ -125,6 +133,15 @@ class Executor:
     # ------------------------------------------------------------------ #
 
     def build(self, plan, depth=0):
+        """Build (and, when collecting stats, instrument) one plan node."""
+        operator = self._build_operator(plan, depth)
+        if self.exec_stats is not None:
+            from repro.exec.instrument import InstrumentedOp
+
+            return InstrumentedOp(operator, self.exec_stats.stats_for(plan))
+        return operator
+
+    def _build_operator(self, plan, depth):
         if isinstance(plan, p.SeqScanPlan):
             return SeqScanOp(plan.quantifier, plan.local_conjuncts)
         if isinstance(plan, p.IndexScanPlan):

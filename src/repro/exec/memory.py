@@ -103,7 +103,7 @@ class MemoryGovernor:
     ADAPT_WINDOW = 16
 
     def __init__(self, pool, max_pool_pages, multiprogramming_level=4,
-                 adaptive=False):
+                 adaptive=False, metrics=None):
         self.pool = pool
         self.max_pool_pages = int(max_pool_pages)
         self.multiprogramming_level = max(1, int(multiprogramming_level))
@@ -114,6 +114,24 @@ class MemoryGovernor:
         self._window_soft_hits = 0
         self._window_peak_concurrency = 0
         self.mpl_changes = []  # [(completed tasks, old level, new level)]
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_tasks = metrics.counter("memgov.tasks_completed")
+            self._m_soft_hits = metrics.counter("memgov.soft_limit_hits")
+            self._m_mpl_changes = metrics.counter("memgov.mpl_changes")
+            metrics.register_probe(
+                "memgov.active_tasks", lambda: len(self._tasks)
+            )
+            metrics.register_probe(
+                "memgov.multiprogramming_level",
+                lambda: self.multiprogramming_level,
+            )
+            metrics.register_probe(
+                "memgov.soft_limit_pages", self.soft_limit_pages
+            )
+            metrics.register_probe(
+                "memgov.hard_limit_pages", self.hard_limit_pages
+            )
 
     # -- task lifecycle ------------------------------------------------------ #
 
@@ -130,6 +148,10 @@ class MemoryGovernor:
         self._tasks.pop(task.task_id, None)
         self._window_tasks += 1
         self._window_soft_hits += task.soft_limit_hits
+        if self._metrics is not None:
+            self._m_tasks.inc()
+            if task.soft_limit_hits:
+                self._m_soft_hits.inc(task.soft_limit_hits)
         if self.adaptive and self._window_tasks >= self.ADAPT_WINDOW:
             self.adapt_multiprogramming_level()
 
@@ -157,6 +179,8 @@ class MemoryGovernor:
             self.mpl_changes.append(
                 (self._window_tasks, old_level, self.multiprogramming_level)
             )
+            if self._metrics is not None:
+                self._m_mpl_changes.inc()
         self._window_tasks = 0
         self._window_soft_hits = 0
         self._window_peak_concurrency = len(self._tasks)

@@ -36,6 +36,16 @@ class Operator:
     def relinquish_memory(self):
         return 0
 
+    # observability protocol (read by the EXPLAIN ANALYZE instrumentation)
+
+    def spill_event_count(self):
+        """Cumulative temp-file spill events this operator has taken."""
+        return 0
+
+    def adaptive_event_count(self):
+        """Cumulative adaptive fallbacks/strategy switches taken."""
+        return 0
+
 
 class SingleRowOp(Operator):
     """One empty environment (FROM-less SELECT)."""
@@ -254,6 +264,11 @@ class NLJoinOp(Operator):
         self.conjuncts = conjuncts
         #: Quantifiers supplied by the right child (for NULL extension).
         self.right_quantifiers = right_quantifiers
+        #: Whether the materialized inner input overflowed to the temp file.
+        self.inner_spilled = False
+
+    def spill_event_count(self):
+        return 1 if self.inner_spilled else 0
 
     def execute(self, ctx):
         inner = SpillableBuffer(ctx)
@@ -261,6 +276,7 @@ class NLJoinOp(Operator):
             for env in self.right.execute(ctx):
                 inner.append(env)
             inner.seal()
+            self.inner_spilled = inner.spilled
             for left_env in self.left.execute(ctx):
                 matched = False
                 for right_env in inner.scan():
@@ -374,6 +390,7 @@ class HashJoinOp(Operator):
         self.partitions_evicted = 0
         self.switched_to_alternate = False
         self.build_row_count = 0
+        self.probe_rows_spilled = 0
         self._memory = None
         self._partitions = None
         self._spills = None
@@ -384,6 +401,14 @@ class HashJoinOp(Operator):
     @property
     def memory_pages(self):
         return self._memory.pages_held if self._memory is not None else 0
+
+    # -- observability protocol ------------------------------------------- #
+
+    def spill_event_count(self):
+        return self.partitions_evicted
+
+    def adaptive_event_count(self):
+        return 1 if self.switched_to_alternate else 0
 
     def relinquish_memory(self):
         """Evict the largest in-memory partition to the temp file."""
@@ -519,6 +544,7 @@ class HashJoinOp(Operator):
                         ctx.temp_file, self._row_bytes, ctx.pool.page_size
                     )
                 probe_spills[index].append((key, left_env))
+                self.probe_rows_spilled += 1
                 continue
             yield from self._emit_matches(
                 ctx, left_env, key, self._partitions[index]

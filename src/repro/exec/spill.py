@@ -136,6 +136,11 @@ class SpillableBuffer:
             self._spill.finish_writing()
         self._sealed = True
 
+    @property
+    def spilled(self):
+        """Whether any rows overflowed to the temporary file."""
+        return self._spill is not None
+
     def __len__(self):
         return len(self._in_memory) + (
             self._spill.row_count if self._spill is not None else 0

@@ -66,7 +66,7 @@ class Optimizer:
     """Cost-based optimizer over one catalog + statistics + cost context."""
 
     def __init__(self, catalog, estimator, cost_context, quota=DEFAULT_QUOTA,
-                 governor_mode="governor"):
+                 governor_mode="governor", metrics=None):
         self.catalog = catalog
         self.estimator = estimator
         self.cost_context = cost_context
@@ -74,6 +74,7 @@ class Optimizer:
         self.quota = quota
         self.governor_mode = governor_mode
         self.last_stats = None
+        self.metrics = metrics
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -96,6 +97,12 @@ class Optimizer:
         recursive_cte = block.with_recursive
         plan, cost, stats = self._optimize_block(block, quota)
         self.last_stats = stats
+        if self.metrics is not None:
+            self.metrics.counter("optimizer.optimizations").inc()
+            if stats is not None:
+                self.metrics.counter("optimizer.nodes_visited").inc(
+                    stats.nodes_visited
+                )
         return OptimizerResult(
             plan, block, stats, cost=cost, recursive_cte=recursive_cte
         )
@@ -108,6 +115,8 @@ class Optimizer:
         local = list(bound.conjuncts)
         access = self._heuristic_access(quantifier, local)
         access.est_rows = max(1.0, quantifier.schema.row_count * 0.1)
+        if self.metrics is not None:
+            self.metrics.counter("optimizer.bypassed").inc()
         return OptimizerResult(access, bypassed=True)
 
     def _heuristic_access(self, quantifier, conjuncts):

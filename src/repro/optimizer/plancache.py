@@ -15,7 +15,10 @@ import collections
 TRAINING_PERIOD = 3
 
 #: Verification schedule after training: re-optimize at these use counts
-#: (decaying logarithmic scale: checks become exponentially rarer).
+#: (decaying logarithmic scale: checks become exponentially rarer).  Past
+#: the last entry the schedule keeps doubling unboundedly — see
+#: :meth:`PlanCache._due_for_verification` — so a long-lived cached plan
+#: is never pinned stale forever.
 VERIFY_SCHEDULE = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
 #: Cached plans per connection (LRU beyond this).
@@ -43,7 +46,7 @@ class PlanCache:
 
     def __init__(self, training_period=TRAINING_PERIOD,
                  verify_schedule=VERIFY_SCHEDULE,
-                 max_entries=MAX_CACHED_PLANS):
+                 max_entries=MAX_CACHED_PLANS, metrics=None):
         self.training_period = training_period
         self.verify_schedule = tuple(verify_schedule)
         self.max_entries = max_entries
@@ -53,6 +56,27 @@ class PlanCache:
         self.optimizations = 0
         self.verifications = 0
         self.invalidations = 0
+        self._metrics = metrics
+
+    def _count(self, name, n=1):
+        """Bump both the local experiment counter and the shared registry."""
+        setattr(self, name, getattr(self, name) + n)
+        if self._metrics is not None:
+            self._metrics.counter("plancache." + name).inc(n)
+
+    def _due_for_verification(self, uses):
+        """Whether a cached plan must be re-verified at this use count.
+
+        The configured schedule covers the early life of a plan; beyond
+        its last entry the "decaying logarithmic scale" keeps doubling
+        (every power-of-two use count), so no plan is pinned forever.
+        """
+        if uses in self.verify_schedule:
+            return True
+        last = self.verify_schedule[-1] if self.verify_schedule else 0
+        if uses <= last:
+            return False
+        return uses >= 4 and (uses & (uses - 1)) == 0
 
     def execute_plan_for(self, statement_key, optimize_fn, signature_fn):
         """The cache protocol: returns an OptimizerResult.
@@ -73,16 +97,16 @@ class PlanCache:
 
         if entry.trained:
             entry.uses_since_cache += 1
-            if entry.uses_since_cache in self.verify_schedule:
+            if self._due_for_verification(entry.uses_since_cache):
                 # Periodic freshness check: re-optimize and compare.
-                self.verifications += 1
+                self._count("verifications")
                 entry.verifications += 1
-                self.optimizations += 1
+                self._count("optimizations")
                 result = optimize_fn()
                 signature = signature_fn(result)
                 if signature != entry.signatures[-1]:
                     # Stale: drop back into training with the new plan.
-                    self.invalidations += 1
+                    self._count("invalidations")
                     entry.invalidations += 1
                     entry.trained = False
                     entry.signatures = [signature]
@@ -91,11 +115,11 @@ class PlanCache:
                     return result
                 entry.result = result
                 return result
-            self.hits += 1
+            self._count("hits")
             return entry.result
 
         # Training: optimize and compare with prior plans.
-        self.optimizations += 1
+        self._count("optimizations")
         result = optimize_fn()
         signature = signature_fn(result)
         entry.signatures.append(signature)

@@ -5,6 +5,9 @@ An integrated toolset advising on database and application design:
 * :mod:`~repro.profiling.tracer` — captures a detailed trace of server
   activity (statements, timings, counters) that can be stored into any
   database for analysis;
+* :mod:`~repro.profiling.metrics` — the server-wide performance-counter
+  registry (counters, gauges, bounded histograms) every engine component
+  publishes through;
 * :mod:`~repro.profiling.flaws` — a database of commonly seen design
   flaws, including the **client-side join** detector ("many identical
   statements arrive from an application, differing only by some constant
@@ -15,6 +18,12 @@ An integrated toolset advising on database and application design:
   recommends creations and removals.
 """
 
+from repro.profiling.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.profiling.tracer import TraceEvent, Tracer
 from repro.profiling.flaws import (
     ClientSideJoinDetector,
@@ -30,6 +39,10 @@ from repro.profiling.consultant import (
 )
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "Tracer",
     "TraceEvent",
     "FlawAnalyzer",

@@ -23,11 +23,16 @@ TraceEvent = collections.namedtuple(
         "pool_misses",
         "pool_hits",
         "plan_signature",
+        "error",
     ],
+    defaults=(None,),
 )
 
-_NUMBER = re.compile(r"\b\d+(?:\.\d+)?\b")
-_STRING = re.compile(r"'(?:[^']|'')*'")
+#: One combined alternation so constants come back in statement order.
+#: (Two sequential passes — strings, then numbers — would reorder mixed
+#: literals: ``a = 5 AND b = 'x'`` must yield ``('5', "'x'")``.)  The
+#: string arm is first so digits inside quotes never match the number arm.
+_LITERAL = re.compile(r"'(?:[^']|'')*'|\b\d+(?:\.\d+)?\b")
 
 
 def normalize_statement(sql):
@@ -35,41 +40,45 @@ def normalize_statement(sql):
 
     The template is what the client-side-join detector groups by — two
     statements "differing only by some constant value used in a predicate"
-    share a template.
+    share a template.  Constants are returned in left-to-right statement
+    order regardless of kind.
     """
     constants = []
 
-    def keep_string(match):
+    def keep(match):
         constants.append(match.group(0))
         return "?"
 
-    def keep_number(match):
-        constants.append(match.group(0))
-        return "?"
-
-    no_strings = _STRING.sub(keep_string, sql)
-    template = _NUMBER.sub(keep_number, no_strings)
+    template = _LITERAL.sub(keep, sql)
     return " ".join(template.split()), tuple(constants)
 
 
 class Tracer:
-    """Collects trace events; attach via ``server.tracer = Tracer(...)``."""
+    """Collects trace events; attach via ``server.tracer = Tracer(...)``.
+
+    The event store is a ring buffer: at capacity the *oldest* events are
+    dropped (a long run's trace shows recent activity, not just startup)
+    and ``dropped`` counts how many were lost.  Sequence numbers are
+    assigned before insertion, so they stay monotonic across wraparound.
+    """
 
     def __init__(self, capacity=100_000):
         self.capacity = capacity
-        self.events = []
+        self.events = collections.deque(maxlen=capacity)
+        self.dropped = 0
         self._sequence = 0
 
     def record(self, sql, start_us, elapsed_us, rows, pool_misses,
-               pool_hits, plan_signature=""):
+               pool_hits, plan_signature="", error=None):
         template, constants = normalize_statement(sql)
         event = TraceEvent(
             self._sequence, sql, template, constants, start_us, elapsed_us,
-            rows, pool_misses, pool_hits, plan_signature,
+            rows, pool_misses, pool_hits, plan_signature, error,
         )
         self._sequence += 1
-        if len(self.events) < self.capacity:
-            self.events.append(event)
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
         return event
 
     def __len__(self):
@@ -89,7 +98,8 @@ class Tracer:
     TRACE_TABLE_DDL = (
         "CREATE TABLE profiling_trace ("
         "seq INT PRIMARY KEY, template VARCHAR(200), start_us INT, "
-        "elapsed_us INT, result_rows INT, pool_misses INT, pool_hits INT)"
+        "elapsed_us INT, result_rows INT, pool_misses INT, pool_hits INT, "
+        "error VARCHAR(200))"
     )
 
     def save_to_database(self, connection, table_created=False):
@@ -100,9 +110,9 @@ class Tracer:
         """
         if not table_created:
             connection.execute(self.TRACE_TABLE_DDL)
-        for event in self.events:
+        for event in list(self.events):
             connection.execute(
-                "INSERT INTO profiling_trace VALUES (?, ?, ?, ?, ?, ?, ?)",
+                "INSERT INTO profiling_trace VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
                 params=[
                     event.sequence,
                     event.template[:200],
@@ -111,6 +121,7 @@ class Tracer:
                     int(event.rows),
                     int(event.pool_misses),
                     int(event.pool_hits),
+                    event.error[:200] if event.error is not None else None,
                 ],
             )
         return len(self.events)

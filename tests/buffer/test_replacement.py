@@ -90,6 +90,44 @@ class TestGClock:
         # heap was evicted already: the queue entry is stale and skipped.
         assert policy.choose_victim({other}, 3) is other
 
+    def test_remove_below_hand_keeps_hand_on_same_frame(self):
+        # Regression: removing a frame below the hand shifted the ring
+        # left under it, so the hand silently skipped the next frame and
+        # the sweep stopped being fair.
+        policy = GClockPolicy()
+        a = make_frame(key=1)
+        b = make_frame(key=2)
+        c = make_frame(key=3)
+        for tick, frame in enumerate((a, b, c), start=1):
+            policy.on_insert(frame, tick)
+        policy._hand = 1  # the hand points at b
+        policy.on_remove(a)
+        assert policy._ring[policy._hand] is b
+        # With equal scores the sweep's first victim is the frame under
+        # the hand — b, not the skipped-over c.
+        assert policy.choose_victim({b, c}, 10) is b
+
+    def test_remove_above_hand_leaves_hand_alone(self):
+        policy = GClockPolicy()
+        a = make_frame(key=1)
+        b = make_frame(key=2)
+        c = make_frame(key=3)
+        for tick, frame in enumerate((a, b, c), start=1):
+            policy.on_insert(frame, tick)
+        policy._hand = 1
+        policy.on_remove(c)  # above the hand: indexes below are unmoved
+        assert policy._ring[policy._hand] is b
+
+    def test_remove_last_frame_wraps_hand(self):
+        policy = GClockPolicy()
+        a = make_frame(key=1)
+        b = make_frame(key=2)
+        policy.on_insert(a, 1)
+        policy.on_insert(b, 2)
+        policy._hand = 1
+        policy.on_remove(b)
+        assert policy._hand == 0
+
     def test_rapid_rereference_does_not_inflate_score(self):
         # Adjacent references during a table scan must not pump the score.
         policy = GClockPolicy()

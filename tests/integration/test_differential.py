@@ -6,7 +6,6 @@ executor) and by a transparent Python implementation of the same
 semantics.  Any divergence is a bug in some layer of the stack.
 """
 
-import itertools
 import random
 
 import pytest

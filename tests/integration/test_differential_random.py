@@ -6,7 +6,6 @@ reference.  SQL three-valued logic is mirrored in the reference via
 None-propagating operators.
 """
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,7 +1,5 @@
 """End-to-end SQL correctness tests through the full engine stack."""
 
-import datetime
-
 import pytest
 
 from repro import Server, ServerConfig

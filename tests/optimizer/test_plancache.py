@@ -73,6 +73,36 @@ def test_stale_plan_detected_on_verify():
     assert results[-1].signature == "B"
 
 
+def test_verification_continues_past_schedule_end():
+    # Regression: verification used to stop entirely after the last
+    # schedule entry (use 1024), so a plan gone stale at use 1500 was
+    # served forever.  The schedule now keeps doubling.
+    cache = PlanCache(training_period=2, verify_schedule=(4, 8))
+    calls = {"n": 0}
+
+    def optimize():
+        # The "right" plan flips after call 1500 (statistics drifted).
+        return FakeResult("A" if calls["n"] < 1500 else "B")
+
+    results = []
+    for __ in range(2100):
+        calls["n"] += 1
+        results.append(cache.execute_plan_for("q1", optimize, sig))
+    # Doubling continues: 16, 32, ..., 1024, 2048 are all verified.
+    assert cache.verifications >= 10
+    assert cache.invalidations == 1
+    assert results[-1].signature == "B"
+
+
+def test_power_of_two_verification_points():
+    # Uses 4, 8, ..., 2048 trigger verification; nothing in between does.
+    cache = PlanCache(training_period=0, verify_schedule=(4, 8))
+    verified_at = [
+        uses for uses in range(1, 2500) if cache._due_for_verification(uses)
+    ]
+    assert verified_at == [4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+
+
 def test_lru_eviction():
     cache = PlanCache(training_period=1, max_entries=2)
     optimize, __ = make_optimizer(["A"])

@@ -1,0 +1,168 @@
+"""Metrics registry unit tests plus server-level counter coverage."""
+
+import pytest
+
+from repro.common import SimClock
+from repro.engine import Server, ServerConfig
+from repro.profiling.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# --------------------------------------------------------------------- #
+# primitives
+# --------------------------------------------------------------------- #
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_bounded_buckets(self):
+        hist = Histogram("h", bounds=(10, 100))
+        for value in (5, 10, 50, 5000):
+            hist.observe(value)
+        # <=10, <=100, overflow
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.total == 5065
+        assert hist.min == 5
+        assert hist.max == 5000
+
+    def test_snapshot_names_buckets(self):
+        hist = Histogram("h", bounds=(10, 100))
+        hist.observe(7)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"le_10": 1, "le_100": 0, "overflow": 0}
+        assert snap["count"] == 1
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+class TestMetricsRegistry:
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.register_probe("x", lambda: 1)
+
+    def test_probe_is_evaluated_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"n": 1}
+        registry.register_probe("probe", lambda: state["n"])
+        assert registry.snapshot()["probe"] == 1
+        state["n"] = 42
+        assert registry.snapshot()["probe"] == 42
+        assert registry.value("probe") == 42
+
+    def test_snapshot_is_sorted_and_stamped_with_sim_time(self):
+        clock = SimClock()
+        registry = MetricsRegistry(clock)
+        registry.counter("zz").inc(2)
+        registry.gauge("aa").set(1)
+        clock.advance(123)
+        snap = registry.snapshot()
+        assert snap["snapshot_at_us"] == 123
+        names = [k for k in snap if k != "snapshot_at_us"]
+        assert names == sorted(names)
+        assert snap["zz"] == 2
+        assert snap["aa"] == 1
+
+    def test_names_lists_every_registered_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.register_probe("a", lambda: 0)
+        assert registry.names() == ["a", "b"]
+
+
+# --------------------------------------------------------------------- #
+# the server publishes through one registry
+# --------------------------------------------------------------------- #
+
+class TestServerMetrics:
+    def test_engine_components_publish_counters(self):
+        server = Server(ServerConfig(start_buffer_governor=False))
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))")
+        server.load_table("t", [(i, i * 2) for i in range(50)])
+        conn.execute("SELECT v FROM t WHERE id = 7")
+        conn.execute("SELECT COUNT(*) FROM t")
+        snap = server.metrics.snapshot()
+        # statement layer
+        assert snap["statements.executed"] >= 3
+        assert snap["statements.elapsed_us"]["count"] >= 3
+        # executor + optimizer
+        assert snap["exec.queries"] == 2
+        assert snap["optimizer.optimizations"] == 2
+        assert snap["optimizer.nodes_visited"] > 0
+        # buffer pool probes reflect the live pool
+        assert snap["pool.hits"] == server.pool.hits
+        assert snap["pool.misses"] == server.pool.misses
+        assert snap["pool.capacity_pages"] == server.pool.capacity_pages
+        # memory governor probes
+        assert snap["memgov.multiprogramming_level"] == (
+            server.config.multiprogramming_level
+        )
+        assert snap["memgov.tasks_completed"] >= 2
+        conn.close()
+
+    def test_plan_cache_and_failure_counters(self):
+        server = Server(ServerConfig(start_buffer_governor=False))
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+        conn.execute(
+            "CREATE PROCEDURE p () AS SELECT id FROM t WHERE id = 1"
+        )
+        for __ in range(6):
+            conn.execute("CALL p()")
+        with pytest.raises(Exception):
+            conn.execute("SELECT nope FROM missing_table")
+        snap = server.metrics.snapshot()
+        assert snap["plancache.optimizations"] >= 1
+        assert snap["plancache.hits"] >= 1
+        assert snap["statements.failed"] == 1
+        conn.close()
+
+    def test_buffer_governor_publishes_poll_counters(self):
+        server = Server(ServerConfig(start_buffer_governor=True))
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+        server.load_table("t", [(i,) for i in range(200)])
+        for __ in range(5):
+            conn.execute("SELECT COUNT(*) FROM t")
+            server.clock.advance(60_000_000)
+        snap = server.metrics.snapshot()
+        assert snap["governor.polls"] >= 1
+        assert snap["governor.pool_bytes"] > 0
+        conn.close()

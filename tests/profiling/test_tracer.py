@@ -29,6 +29,25 @@ class TestNormalization:
         t1, __ = normalize_statement("SELECT a\n  FROM t")
         assert t1 == "SELECT a FROM t"
 
+    def test_mixed_literals_keep_statement_order(self):
+        # Regression: the old two-pass implementation collected every
+        # string before any number, so the constants came back out of
+        # statement order (and numbers inside strings were re-replaced).
+        template, constants = normalize_statement(
+            "SELECT a FROM t WHERE id = 5 AND name = 'x' AND age > 30"
+        )
+        assert template == (
+            "SELECT a FROM t WHERE id = ? AND name = ? AND age > ?"
+        )
+        assert constants == ("5", "'x'", "30")
+
+    def test_numbers_inside_strings_stay_inside_strings(self):
+        template, constants = normalize_statement(
+            "SELECT a FROM t WHERE name = 'agent 007' AND id = 7"
+        )
+        assert template == "SELECT a FROM t WHERE name = ? AND id = ?"
+        assert constants == ("'agent 007'", "7")
+
 
 class TestTracer:
     def make_traced_server(self):
@@ -61,6 +80,38 @@ class TestTracer:
         for i in range(10):
             tracer.record("SELECT %d" % i, 0, 1, 0, 0, 0)
         assert len(tracer) == 3
+
+    def test_ring_buffer_keeps_most_recent_events(self):
+        # Regression: at capacity the tracer used to drop the *newest*
+        # events, so a long profiling run kept only its warm-up.
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.record("SELECT %d" % i, 0, 1, 0, 0, 0)
+        assert [event.sequence for event in tracer.events] == [7, 8, 9]
+        assert [event.constants for event in tracer.events] == [
+            ("7",), ("8",), ("9",),
+        ]
+        assert tracer.dropped == 7
+
+    def test_failed_statement_appears_in_trace_with_error(self):
+        server, conn = self.make_traced_server()
+        before = len(server.tracer)
+        try:
+            conn.execute("INSERT INTO t VALUES (1, 'dup')")  # dup pk
+        except Exception:
+            pass
+        else:  # pragma: no cover - the insert must fail
+            raise AssertionError("expected duplicate-key failure")
+        assert len(server.tracer) == before + 1
+        event = server.tracer.events[-1]
+        assert event.template == "INSERT INTO t VALUES (?, ?)"
+        assert event.error is not None
+        assert "duplicate" in event.error
+        assert event.elapsed_us >= 0
+        assert event.rows == 0
+        # successful statements keep a clean error field
+        conn.execute("SELECT * FROM t WHERE id = 1")
+        assert server.tracer.events[-1].error is None
 
     def test_save_to_database(self):
         server, conn = self.make_traced_server()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.catalog import Catalog, Column, ProcedureSchema, TableSchema
 from repro.common.errors import CatalogError, SqlTypeError
-from repro.sql import Binder, ast, parse_statement
+from repro.sql import Binder, parse_statement
 from repro.sql.binder import (
     BoundDelete,
     BoundInsert,
