@@ -1,0 +1,11 @@
+"""Correctness tooling: static invariant lints + runtime sanitizers.
+
+``python -m repro.analysis src/`` runs the SIM lint suite; see
+:mod:`repro.analysis.lint` for the framework, :mod:`repro.analysis.rules`
+for the rules, and :mod:`repro.analysis.sanitizers` for the runtime
+debug-mode checks wired into :class:`repro.engine.server.Server`.
+"""
+
+from repro.analysis.lint import Linter, Violation, main
+
+__all__ = ["Linter", "Violation", "main"]

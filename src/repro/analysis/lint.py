@@ -1,0 +1,284 @@
+"""A pyflakes-style AST lint framework for engine invariants.
+
+The paper's thesis is that self-management works only when every
+subsystem obeys shared accounting invariants — pinned frames, governor
+quotas, one simulated clock.  Generic linters cannot see those
+conventions, so this module provides a small visitor framework on which
+repo-specific rules (:mod:`repro.analysis.rules`) are registered:
+
+* each rule is a class with ``visit_<NodeType>`` methods, exactly like
+  :class:`ast.NodeVisitor`, registered through :func:`register`;
+* one walk of each module's AST dispatches every node to every active
+  rule (pyflakes-style: rules never re-walk the tree themselves);
+* nodes carry ``.parent`` links and rules receive a
+  :class:`ModuleContext` (dotted module name, source lines), so checks
+  like "the next sibling statement must be a ``try/finally``" are cheap;
+* ``# noqa`` / ``# noqa: SIM003`` comments suppress findings per line.
+
+Run it as ``python -m repro.analysis src/`` — output is
+``file:line:col: RULE message`` and the exit code is 0 only on a clean
+tree, so it slots next to ruff in CI.
+"""
+
+import ast
+import os
+import re
+
+#: rule_id -> rule class, in registration order.
+RULE_REGISTRY = {}
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+def register(cls):
+    """Class decorator adding a rule to the global registry."""
+    rule_id = cls.rule_id
+    if rule_id in RULE_REGISTRY:
+        raise ValueError("duplicate rule id %r" % (rule_id,))
+    RULE_REGISTRY[rule_id] = cls
+    return cls
+
+
+class Violation:
+    """One finding: where, which rule, and why."""
+
+    __slots__ = ("path", "line", "col", "rule_id", "message")
+
+    def __init__(self, path, line, col, rule_id, message):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.rule_id = rule_id
+        self.message = message
+
+    def render(self):
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.col, self.rule_id, self.message
+        )
+
+    def __repr__(self):
+        return "Violation(%s)" % (self.render(),)
+
+
+class ModuleContext:
+    """What a rule may know about the module being checked."""
+
+    def __init__(self, path, module_name, source):
+        self.path = path
+        self.module_name = module_name
+        self.source = source
+        self.lines = source.splitlines()
+
+    def in_package(self, *prefixes):
+        """Whether the module lives under any of the dotted ``prefixes``."""
+        for prefix in prefixes:
+            if self.module_name == prefix or self.module_name.startswith(
+                prefix + "."
+            ):
+                return True
+        return False
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` and ``summary`` and define
+    ``visit_<NodeType>`` methods; :meth:`report` records a violation at a
+    node.  A rule may opt out of whole modules by overriding
+    :meth:`applies_to`.
+    """
+
+    rule_id = None
+    summary = None
+
+    def __init__(self, context, reporter):
+        self.context = context
+        self._reporter = reporter
+
+    @classmethod
+    def applies_to(cls, context):
+        return True
+
+    def report(self, node, message):
+        self._reporter(
+            Violation(
+                self.context.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0) + 1,
+                self.rule_id,
+                message,
+            )
+        )
+
+
+class Linter:
+    """Walks one module's AST, dispatching nodes to every active rule."""
+
+    def __init__(self, select=None):
+        self.select = set(select) if select is not None else None
+
+    def _active_rules(self, context, reporter):
+        rules = []
+        for rule_id, cls in RULE_REGISTRY.items():
+            if self.select is not None and rule_id not in self.select:
+                continue
+            if cls.applies_to(context):
+                rules.append(cls(context, reporter))
+        return rules
+
+    def check_source(self, source, path="<string>", module_name=None):
+        """Lint one source string; returns a list of :class:`Violation`."""
+        if module_name is None:
+            module_name = module_name_for(path)
+        context = ModuleContext(path, module_name, source)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Violation(
+                    path, exc.lineno or 1, (exc.offset or 0) + 1, "E901",
+                    "syntax error: %s" % (exc.msg,),
+                )
+            ]
+        violations = []
+        rules = self._active_rules(context, violations.append)
+        if not rules:
+            return []
+        # One walk: set parent links and dispatch to per-type handlers.
+        handlers = {}
+
+        def handlers_for(node_type):
+            cached = handlers.get(node_type)
+            if cached is None:
+                method = "visit_%s" % (node_type.__name__,)
+                cached = [
+                    getattr(rule, method)
+                    for rule in rules
+                    if hasattr(rule, method)
+                ]
+                handlers[node_type] = cached
+            return cached
+
+        stack = [tree]
+        tree.parent = None
+        while stack:
+            node = stack.pop()
+            for handler in handlers_for(type(node)):
+                handler(node)
+            for child in ast.iter_child_nodes(node):
+                child.parent = node
+                stack.append(child)
+        return self._apply_noqa(context, violations)
+
+    def check_file(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        return self.check_source(source, path=path)
+
+    def check_paths(self, paths):
+        """Lint files and directories (recursively); returns violations
+        sorted by (path, line, col, rule)."""
+        violations = []
+        for path in paths:
+            if os.path.isdir(path):
+                for root, dirs, files in os.walk(path):
+                    dirs.sort()
+                    for name in sorted(files):
+                        if name.endswith(".py"):
+                            violations.extend(
+                                self.check_file(os.path.join(root, name))
+                            )
+            else:
+                violations.extend(self.check_file(path))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        return violations
+
+    # ------------------------------------------------------------------ #
+    # suppression
+    # ------------------------------------------------------------------ #
+
+    def _apply_noqa(self, context, violations):
+        kept = []
+        for violation in violations:
+            if violation.line <= len(context.lines):
+                match = _NOQA_RE.search(context.lines[violation.line - 1])
+                if match is not None:
+                    codes = match.group("codes")
+                    if codes is None:
+                        continue  # bare noqa: suppress everything
+                    suppressed = {
+                        code.strip().upper()
+                        for code in codes.split(",")
+                        if code.strip()
+                    }
+                    if violation.rule_id in suppressed:
+                        continue
+            kept.append(violation)
+        return kept
+
+
+def module_name_for(path):
+    """Dotted module name for ``path`` (rooted at the ``repro`` package,
+    when the file lives under one)."""
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    parts = normalized.split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return ".".join(parts) if parts else "<module>"
+
+
+def main(argv=None):
+    """CLI: ``python -m repro.analysis [--select RULES] [--list-rules]
+    paths...`` — prints findings, returns the exit code (0 clean, 1
+    violations found, 2 usage error)."""
+    import argparse
+
+    # The import registers the rules as a side effect.
+    from repro.analysis import rules as _rules  # noqa
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Engine-invariant lint suite (SIM rules).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in sorted(RULE_REGISTRY.items()):
+            print("%s  %s" % (rule_id, cls.summary))
+        return 0
+    if not args.paths:
+        parser.print_usage()
+        return 2
+    for path in args.paths:
+        if not os.path.exists(path):
+            print("error: no such path: %s" % (path,))
+            return 2
+    select = None
+    if args.select:
+        select = [code.strip().upper() for code in args.select.split(",")]
+        unknown = [code for code in select if code not in RULE_REGISTRY]
+        if unknown:
+            print("error: unknown rule(s): %s" % (", ".join(unknown),))
+            return 2
+    linter = Linter(select=select)
+    violations = linter.check_paths(args.paths)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            "%d violation%s found"
+            % (len(violations), "" if len(violations) == 1 else "s")
+        )
+        return 1
+    return 0

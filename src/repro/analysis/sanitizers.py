@@ -1,0 +1,343 @@
+"""Runtime sanitizers: debug-mode invariant checks for the engine.
+
+The static SIM rules (:mod:`repro.analysis.rules`) prove what the AST can
+show; these sanitizers check the invariants only execution can reach:
+
+* **pin leaks** — :class:`SanitizedBufferPool` records the call site of
+  every pin and the server asserts zero pinned frames at each statement
+  boundary, reporting where the leaked pins were taken;
+* **governor accounting** — :class:`SanitizedTask` cross-checks
+  ``used_pages`` against the registered consumers' ``memory_pages`` after
+  every allocate/release, and :class:`SanitizedMemoryGovernor` asserts a
+  finished task holds nothing;
+* **one clock** — :class:`SanitizedSimClock` asserts monotonicity;
+* **replacement sanity** — :class:`SanitizedGClockPolicy` asserts hand
+  validity on every sweep (the exact invariant whose violation caused the
+  PR 1 hand-drift bug).
+
+Enable them with ``Server(sanitize=True)``, the ``REPRO_SANITIZE``
+environment variable, or :func:`set_sanitizers_enabled` (the pytest
+fixture in ``tests/conftest.py`` turns them on for the whole suite).
+They are assertions, not recovery: a failure raises
+:class:`SanitizerError` at the first observation of a broken invariant.
+"""
+
+import os
+import sys
+
+from repro.buffer.pool import BufferPool
+from repro.buffer.replacement import GClockPolicy
+from repro.common.clock import SimClock
+from repro.exec.memory import MemoryGovernor, Task
+
+# --------------------------------------------------------------------- #
+# enablement
+# --------------------------------------------------------------------- #
+
+_enabled = os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "no")
+
+
+def sanitizers_enabled():
+    """Whether debug-mode sanitizers default to on (``REPRO_SANITIZE``)."""
+    return _enabled
+
+
+def set_sanitizers_enabled(value):
+    """Flip the process-wide default; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+# --------------------------------------------------------------------- #
+# errors
+# --------------------------------------------------------------------- #
+
+
+class SanitizerError(AssertionError):
+    """An engine invariant was observed broken at runtime."""
+
+
+class PinLeakError(SanitizerError):
+    """Frames were still pinned at a statement boundary."""
+
+
+class QuotaAccountingError(SanitizerError):
+    """Task page accounting and consumer registry disagree."""
+
+
+class ClockError(SanitizerError):
+    """The simulated clock moved backwards."""
+
+
+class ReplacementError(SanitizerError):
+    """The GClock hand or victim left its valid range."""
+
+
+def _call_site():
+    """The innermost caller outside the pool/sanitizer plumbing."""
+    frame = sys._getframe(1)
+    skip = (os.sep + "pool.py", os.sep + "sanitizers.py")
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith(skip):
+            return "%s:%d in %s" % (
+                filename, frame.f_lineno, frame.f_code.co_name
+            )
+        frame = frame.f_back
+    return "<unknown>"
+
+
+# --------------------------------------------------------------------- #
+# pin-leak detector
+# --------------------------------------------------------------------- #
+
+
+class SanitizedBufferPool(BufferPool):
+    """A BufferPool that remembers who pinned what.
+
+    Every pin-acquiring call records its (non-pool) call site; unpins pop
+    them.  :meth:`assert_no_pins` raises :class:`PinLeakError` naming the
+    origin sites of any surviving pins — the statement-boundary check the
+    server runs after every execute/fetch when sanitizing.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pin_sites = {}  # frame key -> [call site, ...]
+
+    def _record_pin(self, frame):
+        self._pin_sites.setdefault(frame.key, []).append(_call_site())
+
+    def fetch(self, file, page_no, kind=None):
+        if kind is None:
+            frame = super().fetch(file, page_no)
+        else:
+            frame = super().fetch(file, page_no, kind)
+        self._record_pin(frame)
+        return frame
+
+    def new_page(self, file, kind=None, payload=None):
+        if kind is None:
+            frame = super().new_page(file, payload=payload)
+        else:
+            frame = super().new_page(file, kind, payload=payload)
+        self._record_pin(frame)
+        return frame
+
+    def allocate_heap_frame(self, heap_ref, payload=None):
+        frame = super().allocate_heap_frame(heap_ref, payload)
+        self._record_pin(frame)
+        return frame
+
+    def unspill_heap_frame(self, heap_ref, temp_page):
+        frame = super().unspill_heap_frame(heap_ref, temp_page)
+        self._record_pin(frame)
+        return frame
+
+    def repin(self, frame):
+        super().repin(frame)
+        self._record_pin(frame)
+
+    def unpin(self, frame, dirty=False):
+        super().unpin(frame, dirty=dirty)
+        sites = self._pin_sites.get(frame.key)
+        if sites:
+            sites.pop()
+        if frame.pin_count == 0:
+            self._pin_sites.pop(frame.key, None)
+
+    def release_frame(self, frame):
+        super().release_frame(frame)
+        self._pin_sites.pop(frame.key, None)
+
+    def discard(self, file):
+        super().discard(file)
+        for key in list(self._pin_sites):
+            if key not in self._frames:
+                del self._pin_sites[key]
+
+    # -- the statement-boundary check ---------------------------------- #
+
+    def pin_origins(self):
+        """``{frame key: [origin site, ...]}`` for every pinned frame."""
+        origins = {}
+        for key, frame in self._frames.items():
+            if frame.pinned:
+                origins[key] = list(self._pin_sites.get(key, []))
+        return origins
+
+    def assert_no_pins(self, context="statement end"):
+        pinned = [f for f in self._frames.values() if f.pinned]
+        if not pinned:
+            return
+        details = []
+        for frame in pinned:
+            sites = self._pin_sites.get(frame.key) or ["<unrecorded>"]
+            details.append(
+                "%r held %d pin%s, taken at: %s"
+                % (
+                    frame.key,
+                    frame.pin_count,
+                    "" if frame.pin_count == 1 else "s",
+                    "; ".join(sites),
+                )
+            )
+        raise PinLeakError(
+            "pin leak at %s: %d frame%s still pinned — %s"
+            % (
+                context,
+                len(pinned),
+                "" if len(pinned) == 1 else "s",
+                " | ".join(details),
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# governor accounting cross-check
+# --------------------------------------------------------------------- #
+
+
+class SanitizedTask(Task):
+    """A Task that audits its page accounting after every transition.
+
+    Registered consumers' ``memory_pages`` must never exceed
+    ``used_pages`` (unregistered allocations — spill buffers, sort runs in
+    flight — legitimately make the task total larger, never smaller), and
+    a release may not return more pages than the task holds: both are the
+    signatures of double-release / lost-registration bugs that
+    ``Task.release``'s clamp would otherwise silently absorb.
+    """
+
+    def _audit(self, event):
+        consumer_pages = sum(
+            consumer.memory_pages for __, consumer in self._consumers
+        )
+        if consumer_pages > self.used_pages:
+            raise QuotaAccountingError(
+                "task %d accounting mismatch after %s: registered consumers"
+                " hold %d pages but used_pages=%d (origin: %s)"
+                % (
+                    self.task_id, event, consumer_pages, self.used_pages,
+                    _call_site(),
+                )
+            )
+
+    def allocate(self, pages):
+        super().allocate(pages)
+        self._audit("allocate(%d)" % (pages,))
+
+    def release(self, pages):
+        if int(pages) > self.used_pages:
+            raise QuotaAccountingError(
+                "task %d over-release: release(%d) with used_pages=%d "
+                "(origin: %s)"
+                % (self.task_id, int(pages), self.used_pages, _call_site())
+            )
+        super().release(pages)
+        self._audit("release(%d)" % (pages,))
+
+    def unregister_consumer(self, consumer):
+        super().unregister_consumer(consumer)
+        self._audit("unregister_consumer")
+
+
+class SanitizedMemoryGovernor(MemoryGovernor):
+    """Issues :class:`SanitizedTask` and audits task teardown.
+
+    A statement that finishes — normally or by unwinding through
+    ``MemoryQuotaExceededError`` — must leave its task with zero pages
+    and no registered consumers, or the governor's ``active_requests``
+    and quota formulas drift for every later statement.
+    """
+
+    def begin_task(self):
+        task = SanitizedTask(self, self._next_task_id)
+        self._tasks[task.task_id] = task
+        self._next_task_id += 1
+        self._window_peak_concurrency = max(
+            self._window_peak_concurrency, len(self._tasks)
+        )
+        return task
+
+    def end_task(self, task):
+        stale = [
+            type(consumer).__name__ for __, consumer in task._consumers
+        ]
+        if task.used_pages != 0 or stale:
+            raise QuotaAccountingError(
+                "task %d torn down dirty: used_pages=%d, stale consumers=%r"
+                % (task.task_id, task.used_pages, stale)
+            )
+        super().end_task(task)
+
+
+# --------------------------------------------------------------------- #
+# clock and replacement-policy sanitizers
+# --------------------------------------------------------------------- #
+
+
+class SanitizedSimClock(SimClock):
+    """Asserts the virtual clock never observes time moving backwards."""
+
+    def __init__(self, start=0):
+        super().__init__(start)
+        self._watermark = self._now
+
+    def advance(self, delta_us):
+        if self._now < self._watermark:
+            raise ClockError(
+                "clock moved backwards: now=%d < watermark=%d"
+                % (self._now, self._watermark)
+            )
+        super().advance(delta_us)
+        if self._now < self._watermark:
+            raise ClockError(
+                "advance(%r) moved the clock backwards: now=%d < "
+                "watermark=%d" % (delta_us, self._now, self._watermark)
+            )
+        self._watermark = self._now
+
+
+class SanitizedGClockPolicy(GClockPolicy):
+    """Asserts the clock hand and chosen victims stay valid.
+
+    The PR 1 hand-drift bug (`on_remove` forgetting to shift the hand)
+    produced exactly the states these checks reject: a hand past the end
+    of the ring, or a victim that is pinned or no longer resident.
+    """
+
+    def _check_hand(self, event):
+        if not (0 <= self._hand <= len(self._ring)):
+            raise ReplacementError(
+                "GClock hand out of range after %s: hand=%d, ring size=%d"
+                % (event, self._hand, len(self._ring))
+            )
+
+    def on_insert(self, frame, tick):
+        super().on_insert(frame, tick)
+        self._check_hand("on_insert")
+
+    def on_remove(self, frame):
+        super().on_remove(frame)
+        self._check_hand("on_remove")
+        if frame in self._ring:
+            raise ReplacementError(
+                "removed frame %r still in the GClock ring" % (frame,)
+            )
+
+    def choose_victim(self, frames, tick):
+        self._check_hand("sweep start")
+        victim = super().choose_victim(frames, tick)
+        self._check_hand("sweep end")
+        if victim.pinned:
+            raise ReplacementError(
+                "GClock chose a pinned victim: %r" % (victim,)
+            )
+        if victim not in frames:
+            raise ReplacementError(
+                "GClock chose a non-resident victim: %r" % (victim,)
+            )
+        return victim

@@ -1,5 +1,7 @@
 """The heterogeneous buffer pool."""
 
+import contextlib
+
 from repro.buffer.frames import Frame, PageKind
 from repro.buffer.replacement import GClockPolicy
 from repro.common.errors import BufferPoolExhaustedError
@@ -142,6 +144,15 @@ class BufferPool:
         self._frames[frame.key] = frame
         self.policy.on_insert(frame, self._tick)
         return frame
+
+    @contextlib.contextmanager
+    def pin_guard(self, frame, dirty=False):
+        """Scope a pinned frame: the pin is released on exit, error paths
+        included.  ``with pool.pin_guard(pool.fetch(...)) as frame: ...``"""
+        try:
+            yield frame
+        finally:
+            self.unpin(frame, dirty=dirty)
 
     def unpin(self, frame, dirty=False):
         """Release one pin; ``dirty`` marks the payload as modified."""

@@ -87,6 +87,10 @@ class Cursor:
             return rows
         finally:
             self.heap.unlock()  # suspend: our pages become stealable
+            if self._server.sanitize:
+                # Suspended cursors hold no pins: their heaps are unlocked
+                # and stealable between FETCH requests.
+                self._server.pool.assert_no_pins("cursor suspend")
 
     def fetchall(self):
         """Everything remaining."""
@@ -116,6 +120,8 @@ class Cursor:
         self.heap.free()
         self._rows.close()
         self._server.memory_governor.end_task(self._task)
+        if self._server.sanitize:
+            self._server.pool.assert_no_pins("cursor close")
 
 
 class FiberScheduler:

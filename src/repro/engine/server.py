@@ -2,6 +2,7 @@
 
 import dataclasses
 
+from repro.analysis import sanitizers
 from repro.buffer import BufferGovernor, BufferPool, GovernorConfig
 from repro.catalog import (
     Catalog,
@@ -98,9 +99,22 @@ def connect(server=None, **config_kwargs):
 class Server:
     """One database server instance over a simulated machine."""
 
-    def __init__(self, config=None, clock=None, os=None, disk=None):
+    def __init__(self, config=None, clock=None, os=None, disk=None,
+                 sanitize=None):
         self.config = config if config is not None else ServerConfig()
-        self.clock = clock if clock is not None else SimClock()
+        #: Debug mode: wrap the pool, governor, clock, and replacement
+        #: policy in the runtime sanitizers of :mod:`repro.analysis`.
+        #: ``None`` defers to the ``REPRO_SANITIZE`` process default
+        #: (the test suite turns it on via a fixture).
+        if sanitize is None:
+            sanitize = sanitizers.sanitizers_enabled()
+        self.sanitize = bool(sanitize)
+        if clock is None:
+            clock = (
+                sanitizers.SanitizedSimClock() if self.sanitize
+                else SimClock()
+            )
+        self.clock = clock
         #: Server-wide performance counters (paper Section 5's counter
         #: half); every engine component publishes through this registry.
         self.metrics = MetricsRegistry(self.clock)
@@ -120,7 +134,15 @@ class Server:
         self.volume = Volume(disk)
         self.temp_file = self.volume.create_file("temp")
         self.log_file = self.volume.create_file("txn.log")
-        self.pool = BufferPool(self.temp_file, self.config.initial_pool_pages)
+        if self.sanitize:
+            self.pool = sanitizers.SanitizedBufferPool(
+                self.temp_file, self.config.initial_pool_pages,
+                policy=sanitizers.SanitizedGClockPolicy(),
+            )
+        else:
+            self.pool = BufferPool(
+                self.temp_file, self.config.initial_pool_pages
+            )
         self.pool.attach_metrics(self.metrics)
         self.catalog = Catalog()
         self.catalog.dtt_model = default_dtt_model(self.config.page_size)
@@ -131,7 +153,11 @@ class Server:
         self.lock_manager = LockManager(
             self.volume.create_file("locks"), self.pool
         )
-        self.memory_governor = MemoryGovernor(
+        governor_cls = (
+            sanitizers.SanitizedMemoryGovernor if self.sanitize
+            else MemoryGovernor
+        )
+        self.memory_governor = governor_cls(
             self.pool,
             max_pool_pages=self.config.governor.upper_bound_bytes
             // self.config.page_size,
@@ -465,6 +491,10 @@ class Connection:
                     plan_signature=plan_sig,
                     error=error,
                 )
+            if server.sanitize:
+                # Statement boundary: every pin taken while executing this
+                # statement must have been released, even on error paths.
+                server.pool.assert_no_pins("statement end")
 
     def _execute(self, sql, params=None):
         statement = parse_statement(sql)

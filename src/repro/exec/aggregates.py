@@ -119,14 +119,19 @@ class HashGroupByOp(Operator):
         self._memory = None
         self._groups = None
         self._fallback = None
+        self._emitting = False
 
     @property
     def memory_pages(self):
         return self._memory.pages_held if self._memory is not None else 0
 
     def relinquish_memory(self):
-        """Asked by the governor to free memory: engage the fallback."""
-        if self._groups is None or self.fallback_engaged:
+        """Asked by the governor to free memory: engage the fallback.
+
+        Declined while the groups are being emitted — the dict is under
+        iteration and cannot be drained into the temp table.
+        """
+        if self._groups is None or self.fallback_engaged or self._emitting:
             return 0
         before = self._memory.pages_held
         self._engage_fallback()
@@ -165,6 +170,7 @@ class HashGroupByOp(Operator):
                     self._memory.add(group_bytes)
                 for state in states:
                     state.accumulate(env, ctx.params)
+            self._emitting = True
             yield from self._emit(ctx)
         finally:
             ctx.task.unregister_consumer(self)
@@ -288,14 +294,27 @@ class HashDistinctOp(Operator):
     """Duplicate elimination over projected tuples, spilling via an
     indexed temp structure when the soft limit is reached."""
 
+    ROW_BYTES = 48
+
     def __init__(self, child):
         self.child = child
         self.fallback_engaged = False
         self._memory = None
+        self._ctx = None
+        self._seen = None
+        self._fallback_index = None
 
     @property
     def memory_pages(self):
         return self._memory.pages_held if self._memory is not None else 0
+
+    def relinquish_memory(self):
+        """Asked by the governor to free memory: engage the fallback."""
+        if self._seen is None or self.fallback_engaged:
+            return 0
+        before = self._memory.pages_held
+        self._engage_fallback()
+        return before - self._memory.pages_held
 
     def spill_event_count(self):
         return 1 if self.fallback_engaged else 0
@@ -304,75 +323,102 @@ class HashDistinctOp(Operator):
         return 1 if self.fallback_engaged else 0
 
     def execute(self, ctx):
+        self._ctx = ctx
         self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
-        seen = set()
-        fallback_index = None
-        row_bytes = 48
+        self._seen = set()
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
         try:
             for row in self.child.execute(ctx):
                 ctx.charge(CPU_HASH_BUILD_US)
                 key = tuple(row)
-                if key in seen:
+                if key in self._seen:
                     continue
-                if fallback_index is not None:
-                    if fallback_index.search(key):
+                if self._fallback_index is not None:
+                    if self._fallback_index.search(key):
                         continue
-                    fallback_index.insert(key, RowId(0, 0))
+                    self._fallback_index.insert(key, RowId(0, 0))
                     yield row
                     continue
-                if self._memory.would_exceed_soft(row_bytes):
-                    self.fallback_engaged = True
-                    ctx.note("distinct_fallback")
-                    fallback_index = BTree(
-                        ctx.temp_file, ctx.pool, name="distinct-fallback"
-                    )
-                    for existing in seen:
-                        fallback_index.insert(existing, RowId(0, 0))
-                    seen = set()
-                    self._memory.release_all()
-                    fallback_index.insert(key, RowId(0, 0))
+                if self._memory.would_exceed_soft(self.ROW_BYTES):
+                    self._engage_fallback()
+                    self._fallback_index.insert(key, RowId(0, 0))
                     yield row
                     continue
-                seen.add(key)
-                self._memory.add(row_bytes)
+                self._seen.add(key)
+                self._memory.add(self.ROW_BYTES)
                 yield row
         finally:
+            ctx.task.unregister_consumer(self)
             self._memory.release_all()
+
+    def _engage_fallback(self):
+        """Move the seen-set to an indexed temp structure and free memory."""
+        self.fallback_engaged = True
+        self._ctx.note("distinct_fallback")
+        self._fallback_index = BTree(
+            self._ctx.temp_file, self._ctx.pool, name="distinct-fallback"
+        )
+        for existing in self._seen:
+            self._fallback_index.insert(existing, RowId(0, 0))
+        self._seen = set()
+        self._memory.release_all()
 
 
 class SortOp(Operator):
     """External merge sort under the memory quota."""
+
+    ROW_BYTES = 80
 
     def __init__(self, child, sort_keys):
         self.child = child
         self.sort_keys = sort_keys  # [(expr, ascending)]
         self.runs_spilled = 0
         self._memory = None
+        self._ctx = None
+        self._current = None
+        self._runs = None
+        self._merging = False
 
     @property
     def memory_pages(self):
         return self._memory.pages_held if self._memory is not None else 0
 
+    def relinquish_memory(self):
+        """Asked by the governor to free memory: spill the current run.
+
+        Declined once merging has started — the buffered rows are being
+        consumed by the merge and can no longer move to disk.
+        """
+        if not self._current or self._merging:
+            return 0
+        before = self._memory.pages_held
+        self._flush_current_run()
+        return before - self._memory.pages_held
+
     def spill_event_count(self):
         return self.runs_spilled
 
     def execute(self, ctx):
+        self._ctx = ctx
         self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
-        current = []
-        runs = []
-        row_bytes = 80
+        self._current = []
+        self._runs = []
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
         try:
             for env in self.child.execute(ctx):
                 ctx.charge(CPU_SORT_FACTOR_US * 4)
-                if self._memory.would_exceed_soft(row_bytes) and current:
-                    runs.append(self._spill_run(ctx, current))
-                    self.runs_spilled += 1
-                    current = []
-                    self._memory.release_all()
-                current.append(env)
-                self._memory.add(row_bytes)
+                if (
+                    self._memory.would_exceed_soft(self.ROW_BYTES)
+                    and self._current
+                ):
+                    self._flush_current_run()
+                self._current.append(env)
+                self._memory.add(self.ROW_BYTES)
+            self._merging = True
             key_of = self._key_function(ctx)
+            current = self._current
             current.sort(key=key_of)
+            runs = self._runs
             if not runs:
                 for env in current:
                     yield env
@@ -386,7 +432,19 @@ class SortOp(Operator):
                 ctx.charge(CPU_ROW_US)
                 yield env
         finally:
+            ctx.task.unregister_consumer(self)
             self._memory.release_all()
+
+    def _flush_current_run(self):
+        """Spill the rows buffered so far as one sorted run.
+
+        The buffer list is cleared in place so callers holding a
+        reference (the merge phase) observe the same empty list.
+        """
+        self._runs.append(self._spill_run(self._ctx, self._current))
+        self.runs_spilled += 1
+        del self._current[:]
+        self._memory.release_all()
 
     def _spill_run(self, ctx, rows):
         rows.sort(key=self._key_function(ctx))

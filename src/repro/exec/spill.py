@@ -39,21 +39,34 @@ class WorkMemory:
         self.bytes_used += int(n_bytes)
         needed = -(-self.bytes_used // self.page_size)
         if needed > self.pages_held:
-            self.task.allocate(needed - self.pages_held)
-            self.pages_held = needed
+            # task.allocate may reclaim, re-entering *this* operator's
+            # relinquish_memory (which shrinks pages_held via remove), so
+            # apply the delta computed now rather than overwriting
+            # pages_held with the pre-reclaim target — otherwise
+            # pages_held overstates the net allocation and teardown
+            # over-releases, corrupting the task's accounting for every
+            # other consumer.
+            delta = needed - self.pages_held
+            self.task.allocate(delta)
+            self.pages_held += delta
 
     def remove(self, n_bytes):
         self.bytes_used = max(0, self.bytes_used - int(n_bytes))
         needed = -(-self.bytes_used // self.page_size)
         if needed < self.pages_held:
-            self.task.release(self.pages_held - needed)
+            # Shrink our claim before returning the pages: the task's
+            # accounting must never show consumers holding more than the
+            # task has allocated.
+            surplus = self.pages_held - needed
             self.pages_held = needed
+            self.task.release(surplus)
 
     def release_all(self):
-        if self.pages_held:
-            self.task.release(self.pages_held)
+        held = self.pages_held
         self.pages_held = 0
         self.bytes_used = 0
+        if held:
+            self.task.release(held)
 
     def would_exceed_soft(self, n_bytes):
         needed = -(-(self.bytes_used + n_bytes) // self.page_size)

@@ -86,9 +86,9 @@ class GreenwaldSketch:
             raise ValueError("fraction must be in [0, 1]")
         if self._count == 0:
             raise ValueError("empty sketch has no quantiles")
-        if fraction == 0.0:
+        if fraction <= 0.0:
             return self._entries[0].value
-        if fraction == 1.0:
+        if fraction >= 1.0:
             return self._entries[-1].value
         rank = fraction * self._count
         margin = self.epsilon * self._count

@@ -257,7 +257,7 @@ class ColumnHistogram:
                 matched += count
         for bucket in self._buckets:
             matched += self._bucket_overlap(bucket, low, high)
-        if matched == 0.0 and self.unseen_count() > 0:
+        if matched <= 0.0 and self.unseen_count() > 0:
             # The range misses every localized bucket, but rows the
             # histogram has not yet placed could live there: attribute a
             # conservative share of the unseen mass rather than claiming

@@ -94,10 +94,11 @@ class BTree:
             "children": None if leaf else [],
             "next": None,
         }
-        frame = self.pool.new_page(self.file, PageKind.INDEX, payload=payload)
-        page_no = frame.page_no
-        self.pool.unpin(frame, dirty=True)
-        return page_no
+        with self.pool.pin_guard(
+            self.pool.new_page(self.file, PageKind.INDEX, payload=payload),
+            dirty=True,
+        ) as frame:
+            return frame.page_no
 
     def _read(self, page_no):
         """Pin a node frame; caller must unpin."""

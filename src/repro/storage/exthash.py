@@ -112,13 +112,14 @@ class ExtensibleHashTable:
         return self._directory[index]
 
     def _new_bucket(self, local_depth):
-        frame = self.pool.new_page(
-            self.file, PageKind.TABLE,
-            payload={"local_depth": local_depth, "entries": {}},
-        )
-        page_no = frame.page_no
-        self.pool.unpin(frame, dirty=True)
-        return page_no
+        with self.pool.pin_guard(
+            self.pool.new_page(
+                self.file, PageKind.TABLE,
+                payload={"local_depth": local_depth, "entries": {}},
+            ),
+            dirty=True,
+        ) as frame:
+            return frame.page_no
 
     def _split(self, page_no):
         frame = self.pool.fetch(self.file, page_no, PageKind.TABLE)

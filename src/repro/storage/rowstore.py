@@ -161,11 +161,14 @@ class TableStorage:
     def _page_with_space(self):
         if self._pages_with_space:
             return self._pages_with_space[0]
-        frame = self.pool.new_page(
-            self.file, self.page_kind, payload=[None] * self.rows_per_page
-        )
-        ordinal = len(self._page_numbers)
-        self._page_numbers.append(frame.page_no)
-        self._pages_with_space.append(ordinal)
-        self.pool.unpin(frame, dirty=True)
-        return ordinal
+        with self.pool.pin_guard(
+            self.pool.new_page(
+                self.file, self.page_kind,
+                payload=[None] * self.rows_per_page,
+            ),
+            dirty=True,
+        ) as frame:
+            ordinal = len(self._page_numbers)
+            self._page_numbers.append(frame.page_no)
+            self._pages_with_space.append(ordinal)
+            return ordinal

@@ -1,0 +1,80 @@
+"""The ``python -m repro.analysis`` CLI: output format and exit codes."""
+
+import os
+import subprocess
+import sys
+
+from repro.analysis.lint import main
+
+CLEAN = "VALUE = 1\n"
+DIRTY = "import time\n\ndef f(x=[]):\n    return x\n"
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", CLEAN)
+    assert main([path]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_violations_exit_one_with_locations(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "%s:1:1: SIM001" % path in out
+    assert "SIM006" in out
+    assert "2 violations found" in out
+
+
+def test_directory_walk(tmp_path, capsys):
+    write(tmp_path, "a.py", CLEAN)
+    write(tmp_path, "b.py", "import time\n")
+    assert main([str(tmp_path)]) == 1
+    assert "b.py:1:1: SIM001" in capsys.readouterr().out
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.py")]) == 2
+
+
+def test_no_paths_is_usage_error(capsys):
+    assert main([]) == 2
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", CLEAN)
+    assert main(["--select", "SIM999", path]) == 2
+
+
+def test_select_runs_only_chosen_rules(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["--select", "SIM006", path]) == 1
+    out = capsys.readouterr().out
+    assert "SIM006" in out and "SIM001" not in out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM001", "SIM003", "SIM007"):
+        assert rule_id in out
+
+
+def test_module_invocation_on_repo_tree():
+    """The CI gate: ``python -m repro.analysis src/`` exits 0."""
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", src],
+        cwd=repo_root, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
