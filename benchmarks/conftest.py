@@ -12,6 +12,11 @@ from repro import Server, ServerConfig
 from repro.buffer import GovernorConfig
 from repro.common import MiB
 
+#: Servers built by :func:`make_server` during the current test, newest
+#: last; the autouse fixture below exports the last one's metrics
+#: snapshot into the benchmark's ``extra_info``.
+_SERVERS = []
+
 
 def make_server(pool_pages=2048, mpl=4, total_memory=256 * MiB,
                 upper_bound=128 * MiB, start_governor=False, **kwargs):
@@ -23,7 +28,37 @@ def make_server(pool_pages=2048, mpl=4, total_memory=256 * MiB,
         governor=GovernorConfig(upper_bound_bytes=upper_bound),
         **kwargs,
     )
-    return Server(config)
+    server = Server(config)
+    _SERVERS.append(server)
+    return server
+
+
+@pytest.fixture(autouse=True)
+def _attach_metrics_snapshot(request):
+    """Land ``server.metrics.snapshot()`` in the benchmark JSON.
+
+    After each experiment, the last server built through
+    :func:`make_server` contributes its full registry snapshot to
+    ``benchmark.extra_info["metrics"]``, so experiment tables can be
+    regenerated straight from the CI ``BENCH_*.json`` artifact.
+    Rig-style experiments that build components by hand (no Server)
+    export an empty snapshot.
+    """
+    _SERVERS.clear()
+    # Resolve the benchmark fixture up front: getfixturevalue is illegal
+    # during teardown, and the JSON writer keeps a reference to the same
+    # extra_info dict, so a post-yield mutation still lands in the file.
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames else None
+    )
+    yield
+    if benchmark is None or getattr(benchmark, "stats", None) is None:
+        # The benchmark never actually ran (e.g. skipped); nothing to tag.
+        return
+    benchmark.extra_info["metrics"] = (
+        _SERVERS[-1].metrics.snapshot() if _SERVERS else {}
+    )
 
 
 def print_table(title, headers, rows):

@@ -11,7 +11,8 @@ convention:
 * **SIM002** — no ``==``/``!=`` on float costs and selectivities: cost
   arithmetic accumulates rounding error, so exact comparison is always a
   latent bug.  Compare with tolerances or inequalities.
-* **SIM003** — in ``repro.exec`` and ``repro.storage``, every call that
+* **SIM003** — in ``repro.exec``, ``repro.storage``, and
+  ``repro.engine``, every call that
   pins a buffer-pool frame (``fetch``/``new_page``/…) must be guarded:
   the pinned frame is either wrapped in ``pool.pin_guard(...)`` or the
   pinning assignment is immediately followed by a ``try/finally`` whose
@@ -29,6 +30,12 @@ convention:
 * **SIM006** — no mutable default arguments.
 * **SIM007** — no silently swallowed broad exceptions
   (``except:``/``except Exception:`` with a body of only ``pass``).
+* **SIM008** — ``except`` blocks that catch injected-fault errors
+  (:class:`repro.common.errors.FaultError` and friends) must either
+  re-raise or account the fault (a counter ``inc``, a plan
+  ``record``/``note_retry``/…).  A fault silently absorbed never shows
+  up in ``faults.*`` metrics, which breaks both the chaos-CI accounting
+  and same-seed replay comparisons.
 """
 
 import ast
@@ -210,7 +217,9 @@ class GuardedPinRule(Rule):
 
     @classmethod
     def applies_to(cls, context):
-        return context.in_package("repro.exec", "repro.storage")
+        return context.in_package(
+            "repro.exec", "repro.storage", "repro.engine"
+        )
 
     def _is_pin_call(self, node):
         if not isinstance(node, ast.Call) or not isinstance(
@@ -486,4 +495,80 @@ class SwallowedExceptionRule(Rule):
             node,
             "broad exception handler silently swallows errors; handle a "
             "specific exception or record why it is safe to ignore",
+        )
+
+
+# --------------------------------------------------------------------- #
+# SIM008 — fault handlers must re-raise or count
+# --------------------------------------------------------------------- #
+
+
+@register
+class FaultHandlingRule(Rule):
+    rule_id = "SIM008"
+    summary = (
+        "except blocks catching injected-fault errors must re-raise or "
+        "account the fault (counter inc / plan record / note_retry)"
+    )
+
+    #: The typed fault family (plus the ossim probe-outage, which the
+    #: governor handles), and anything whose name starts with "Fault".
+    FAULT_NAMES = (
+        "FaultError",
+        "TransientIOError",
+        "IOFaultError",
+        "SpillWriteError",
+        "WorkingSetProbeOutage",
+    )
+    #: A call to any of these inside the handler counts as accounting.
+    COUNT_METHODS = (
+        "inc",
+        "observe",
+        "record",
+        "record_fault",
+        "note",
+        "note_retry",
+        "note_statement_abort",
+    )
+
+    def _caught_names(self, type_node):
+        if type_node is None:
+            return []
+        if isinstance(type_node, ast.Tuple):
+            names = []
+            for elt in type_node.elts:
+                names.extend(self._caught_names(elt))
+            return names
+        name = _rightmost_name(type_node)
+        return [name] if name is not None else []
+
+    def _catches_fault(self, type_node):
+        return any(
+            name in self.FAULT_NAMES or name.startswith("Fault")
+            for name in self._caught_names(type_node)
+        )
+
+    def _body_accounts(self, node):
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Raise):
+                    return True
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in self.COUNT_METHODS
+                ):
+                    return True
+        return False
+
+    def visit_ExceptHandler(self, node):
+        if not self._catches_fault(node.type):
+            return
+        if self._body_accounts(node):
+            return
+        self.report(
+            node,
+            "fault-typed exception handler neither re-raises nor counts "
+            "the fault; absorbed faults break the faults.* accounting "
+            "and seed-replay comparisons",
         )

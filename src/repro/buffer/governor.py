@@ -25,8 +25,9 @@ buffer pool:
 import collections
 import dataclasses
 
+from repro.common.errors import IOFaultError
 from repro.common.units import KiB, MiB, MINUTE, SECOND, bytes_to_pages
-from repro.ossim.memory import WorkingSetUnavailable
+from repro.ossim.memory import WorkingSetProbeOutage, WorkingSetUnavailable
 
 GovernorSample = collections.namedtuple(
     "GovernorSample",
@@ -95,8 +96,13 @@ class BufferGovernor:
         self._fast_polls_left = self.config.startup_fast_polls
         self._last_database_size = database_size_fn()
         self._last_free_memory = None
+        #: Last successful working-set probe, used to ride out injected
+        #: probe outages without falling back to the CE control law.
+        self._last_working_set = None
         self._running = False
         self._metrics = metrics
+        self._m_ws_outages = None
+        self._m_resize_faults = None
         if metrics is not None:
             self._m_polls = metrics.counter("governor.polls")
             self._m_actions = {
@@ -105,6 +111,8 @@ class BufferGovernor:
                                HOLD)
             }
             self._m_pool_bytes = metrics.gauge("governor.pool_bytes")
+            self._m_ws_outages = metrics.counter("governor.ws_probe_outages")
+            self._m_resize_faults = metrics.counter("governor.resize_io_faults")
         self._sync_process_allocation()
 
     # ------------------------------------------------------------------ #
@@ -142,15 +150,37 @@ class BufferGovernor:
         current = self.pool.size_bytes()
         try:
             working_set = self.os.working_set(self.server_process)
+            self._last_working_set = working_set
             ideal = working_set + free - config.os_reserve_bytes
         except WorkingSetUnavailable:
             working_set = None
             ideal = self._ce_ideal(current, free)
+        except WorkingSetProbeOutage:
+            # Injected transient outage: ride it out on the last good
+            # reading rather than degrading to the CE control law.
+            if self._m_ws_outages is not None:
+                self._m_ws_outages.inc()
+            working_set = self._last_working_set
+            if working_set is not None:
+                ideal = working_set + free - config.os_reserve_bytes
+            else:
+                ideal = self._ce_ideal(current, free)
 
         ideal = self._clamp(ideal)
         action, new_size = self._decide(current, ideal, misses)
         if new_size != current:
-            self.pool.set_capacity(bytes_to_pages(new_size, self.pool.page_size))
+            try:
+                self.pool.set_capacity(
+                    bytes_to_pages(new_size, self.pool.page_size)
+                )
+            except IOFaultError:
+                # A shrink's dirty-page writeback kept failing.  The pool
+                # stays at whatever size the partial eviction reached;
+                # count it and let the next poll try again — a governor
+                # timer must never kill the statement whose clock advance
+                # happened to fire it.
+                if self._m_resize_faults is not None:
+                    self._m_resize_faults.inc()
             self._sync_process_allocation()
 
         interval = self._next_interval()

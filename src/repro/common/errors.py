@@ -56,5 +56,44 @@ class CalibrationError(ReproError):
     """DTT calibration failed or produced an unusable curve."""
 
 
+class FaultError(ReproError):
+    """Base class for injected-fault errors (:mod:`repro.faults`).
+
+    Every fault the deterministic injection subsystem surfaces to a caller
+    is typed under this class, so the engine can distinguish "the
+    simulated environment failed" (retry, ride out, or abort the owning
+    statement) from its own logic errors (never caught).
+    """
+
+
+class TransientIOError(FaultError):
+    """One injected device I/O failure.
+
+    Retryable by construction: the fault plan draws independently per
+    attempt, so the bounded retry paths in ``pagedfile`` almost always
+    recover.  Carries the injection ``site`` for post-mortems.
+    """
+
+    def __init__(self, message, site=None):
+        super().__init__(message)
+        self.site = site
+
+
+class IOFaultError(FaultError):
+    """Device I/O still failing after the bounded retries.
+
+    Surfaces to — and aborts — the owning statement only; the server,
+    its pool accounting, and every other connection survive.
+    """
+
+
+class SpillWriteError(FaultError):
+    """A spill-file write kept failing past the operator retry budget.
+
+    The owning statement is terminated; its work memory and pins are
+    released by the operators' normal unwind paths.
+    """
+
+
 class TransactionError(ReproError):
     """Transaction misuse: commit/rollback without begin, write after abort."""

@@ -12,12 +12,36 @@ measured per-page cost, and fits a :class:`~repro.dtt.curve.DTTCurve`.
 
 import random
 
-from repro.common.errors import CalibrationError
+from repro.common.errors import CalibrationError, IOFaultError, TransientIOError
 from repro.dtt.curve import DTTCurve
 from repro.dtt.model import DTTModel, READ, WRITE
 
 #: Band sizes probed by default: logarithmically spaced, like Figure 2(b).
 DEFAULT_BANDS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+#: Calibration drives the device *directly* (no volume in between), so it
+#: carries its own bounded retry for injected transient faults.
+_CALIBRATION_RETRIES = 5
+
+
+def _measured_io(op, page):
+    """One calibration transfer, retrying injected transient faults.
+
+    The failed attempts' latency is deliberately excluded from the
+    measurement — a DTT curve models the healthy device, not the chaos
+    plan — but a persistently failing device aborts calibration typed.
+    """
+    attempt = 0
+    while True:
+        try:
+            return op(page)
+        except TransientIOError as exc:
+            attempt += 1
+            if attempt > _CALIBRATION_RETRIES:
+                raise IOFaultError(
+                    "calibration I/O on page %d still failing after %d "
+                    "retries (%s)" % (page, _CALIBRATION_RETRIES, exc)
+                ) from exc
 
 #: Fraction of the read cost attributed to a write at the same band size
 #: when approximating the write curve from the read baseline.  Writes are
@@ -54,7 +78,7 @@ def calibrate_read_curve(device, bands=DEFAULT_BANDS, samples_per_band=64, seed=
         total_us = 0.0
         for _ in range(samples_per_band):
             page = base + rng.randrange(band)
-            total_us += device.read_page(page)
+            total_us += _measured_io(device.read_page, page)
         points.append((band, total_us / samples_per_band))
     if not points:
         raise CalibrationError("no band sizes were measurable on this device")
@@ -118,7 +142,7 @@ def calibrate_write_curve(device, bands=DEFAULT_BANDS, samples_per_band=64,
         total_us = 0.0
         for __ in range(samples_per_band):
             page = base + rng.randrange(band)
-            total_us += device.write_page(page)
+            total_us += _measured_io(device.write_page, page)
         points.append((band, total_us / samples_per_band))
     if not points:
         raise CalibrationError("no band sizes were measurable on this device")

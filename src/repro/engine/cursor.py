@@ -39,7 +39,7 @@ class Cursor:
             server.pool, server.temp_file, server.stats, server.clock,
             self._task, params,
             feedback_enabled=server.config.feedback_enabled,
-            metrics=server.metrics,
+            metrics=server.metrics, fault_plan=server.fault_plan,
         )
         self.exec_stats = ExecStatsCollector()
         executor = Executor(

@@ -14,8 +14,14 @@ from repro.catalog import (
 )
 from repro.catalog.types import coerce_value
 from repro.common import DEFAULT_PAGE_SIZE, MiB, SimClock
-from repro.common.errors import ExecutionError, SqlTypeError, TransactionError
+from repro.common.errors import (
+    ExecutionError,
+    FaultError,
+    SqlTypeError,
+    TransactionError,
+)
 from repro.dtt import calibrate_device, default_dtt_model
+from repro.faults import FaultyDisk, HostileProcess, plan_from_env
 from repro.dtt.model import DTTModel
 from repro.exec import ExecutionContext, Executor, MemoryGovernor
 from repro.exec.expr import evaluate, evaluate_predicate
@@ -56,6 +62,9 @@ class ServerConfig:
     #: Section 6 future work: let the memory governor adapt the
     #: multiprogramming level to observed contention.
     adaptive_mpl: bool = False
+    #: Optional :class:`repro.faults.FaultPlan` for deterministic chaos;
+    #: ``None`` defers to the ``REPRO_FAULTS=<seed>`` environment default.
+    fault_plan: object = None
 
 
 class Result:
@@ -118,10 +127,24 @@ class Server:
         #: Server-wide performance counters (paper Section 5's counter
         #: half); every engine component publishes through this registry.
         self.metrics = MetricsRegistry(self.clock)
+        #: Deterministic chaos: an explicit plan wins, else the
+        #: ``REPRO_FAULTS`` seed builds one per server (independent,
+        #: replayable injection logs).
+        plan = self.config.fault_plan
+        if plan is None:
+            plan = plan_from_env()
+        self.fault_plan = plan
+        if plan is not None:
+            plan.bind(
+                self.clock, self.metrics,
+                tracer_fn=lambda: getattr(self, "tracer", None),
+            )
         self.os = os if os is not None else OperatingSystem(
             self.config.total_memory,
             supports_working_set=self.config.supports_working_set,
         )
+        if plan is not None and self.os.fault_plan is None:
+            self.os.fault_plan = plan
         self.process = self.os.spawn("dbserver")
         if disk is None:
             disk = ModelBackedDisk(
@@ -130,6 +153,8 @@ class Server:
                 ),
                 page_size=self.config.page_size,
             )
+        if plan is not None and not isinstance(disk, FaultyDisk):
+            disk = FaultyDisk(disk, plan)
         self.disk = disk
         self.volume = Volume(disk)
         self.temp_file = self.volume.create_file("temp")
@@ -172,6 +197,11 @@ class Server:
             config=self.config.governor,
             metrics=self.metrics,
         )
+        #: Hostile memory-grab injector (opt-in: rates.hostile_interval_us
+        #: must be positive), competing with the pool for physical memory.
+        self.hostile_process = None
+        if plan is not None and plan.rates.hostile_interval_us > 0:
+            self.hostile_process = HostileProcess(self.os, self.clock, plan)
         self._connections = 0
         self._running = False
         self._next_txn_id = 1
@@ -456,6 +486,15 @@ class Connection:
         try:
             result = self._execute(sql, params)
             return result
+        except FaultError as exc:
+            # An injected fault exhausted its retry budget: only this
+            # statement dies; the server and every other connection
+            # survive, and the abort is accounted to the plan.
+            error = "%s: %s" % (type(exc).__name__, exc)
+            server._m_failed.inc()
+            if server.fault_plan is not None:
+                server.fault_plan.note_statement_abort()
+            raise
         except Exception as exc:
             # Failed statements must show up in the trace too — an
             # application profile that silently omits errors sends the
@@ -580,7 +619,7 @@ class Connection:
         ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
-            metrics=server.metrics,
+            metrics=server.metrics, fault_plan=server.fault_plan,
         )
         collector = ExecStatsCollector()
         executor = Executor(
@@ -760,7 +799,7 @@ class Connection:
         ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
-            metrics=server.metrics,
+            metrics=server.metrics, fault_plan=server.fault_plan,
         )
         executor = Executor(
             plan_block_fn=lambda b: optimizer.optimize_select(b),

@@ -448,7 +448,9 @@ class SortOp(Operator):
 
     def _spill_run(self, ctx, rows):
         rows.sort(key=self._key_function(ctx))
-        run = SpillFile(ctx.temp_file, 80, ctx.pool.page_size)
+        run = SpillFile(
+            ctx.temp_file, 80, ctx.pool.page_size, fault_plan=getattr(ctx, "fault_plan", None)
+        )
         for env in rows:
             run.append(env)
         run.finish_writing()

@@ -31,7 +31,7 @@ class ExecutionContext:
     """Everything operators need at run time."""
 
     def __init__(self, pool, temp_file, stats, clock, task, params=None,
-                 feedback_enabled=True, metrics=None):
+                 feedback_enabled=True, metrics=None, fault_plan=None):
         self.pool = pool
         self.temp_file = temp_file
         self.stats = stats
@@ -40,6 +40,7 @@ class ExecutionContext:
         self.params = params
         self.feedback_enabled = feedback_enabled
         self.metrics = metrics
+        self.fault_plan = fault_plan
         self.cte_tables = {}
         self.notes = {}
 
@@ -65,6 +66,7 @@ class ExecutionContext:
         clone = ExecutionContext(
             self.pool, self.temp_file, self.stats, self.clock, self.task,
             params, self.feedback_enabled, metrics=self.metrics,
+            fault_plan=self.fault_plan,
         )
         clone.cte_tables = self.cte_tables
         clone.notes = self.notes

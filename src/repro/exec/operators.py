@@ -432,7 +432,8 @@ class HashJoinOp(Operator):
     def _evict_partition(self, index):
         partition = self._partitions[index]
         spill = SpillFile(
-            self._ctx.temp_file, self._row_bytes, self._ctx.pool.page_size
+            self._ctx.temp_file, self._row_bytes, self._ctx.pool.page_size,
+            fault_plan=getattr(self._ctx, "fault_plan", None),
         )
         evicted_bytes = 0
         for key, rows in partition.items():
@@ -541,7 +542,8 @@ class HashJoinOp(Operator):
             if self._partitions[index] is None:
                 if probe_spills[index] is None:
                     probe_spills[index] = SpillFile(
-                        ctx.temp_file, self._row_bytes, ctx.pool.page_size
+                        ctx.temp_file, self._row_bytes, ctx.pool.page_size,
+                        fault_plan=getattr(ctx, "fault_plan", None),
                     )
                 probe_spills[index].append((key, left_env))
                 self.probe_rows_spilled += 1

@@ -6,7 +6,8 @@ the temporary file in page-sized chunks (charging device time through the
 volume, exactly like any other page I/O).
 """
 
-from repro.common.errors import ExecutionError
+from repro.common.errors import ExecutionError, IOFaultError, SpillWriteError
+from repro.faults.plan import SPILL_WRITE_ERROR
 
 #: Rough per-value bytes when estimating row footprints.
 VALUE_BYTES = 16
@@ -74,11 +75,19 @@ class WorkMemory:
 
 
 class SpillFile:
-    """Rows written to the temporary file in page-sized chunks."""
+    """Rows written to the temporary file in page-sized chunks.
 
-    def __init__(self, temp_file, row_bytes_estimate, page_size):
+    With a fault plan attached, each page flush may suffer injected
+    spill-write failures; the operator-level retry budget
+    (``rates.spill_retry_limit``) absorbs them, and persistent failure
+    surfaces as :class:`SpillWriteError` with the staged page freed —
+    the statement aborts, the temp file does not leak.
+    """
+
+    def __init__(self, temp_file, row_bytes_estimate, page_size, fault_plan=None):
         self.temp_file = temp_file
         self.rows_per_page = max(1, page_size // max(1, row_bytes_estimate))
+        self.fault_plan = fault_plan
         self._pages = []
         self._buffer = []
         self.row_count = 0
@@ -93,7 +102,29 @@ class SpillFile:
         if not self._buffer:
             return
         page_no = self.temp_file.allocate_page()
-        self.temp_file.write(page_no, list(self._buffer))
+        plan = self.fault_plan
+        if plan is not None:
+            attempt = 0
+            while plan.should(
+                SPILL_WRITE_ERROR, plan.rates.spill_write_error
+            ):
+                plan.record(
+                    SPILL_WRITE_ERROR,
+                    "page=%d attempt=%d" % (page_no, attempt),
+                )
+                attempt += 1
+                if attempt > plan.rates.spill_retry_limit:
+                    self.temp_file.free_page(page_no)
+                    raise SpillWriteError(
+                        "spill write to temp page %d still failing after "
+                        "%d retries" % (page_no, plan.rates.spill_retry_limit)
+                    )
+                plan.note_retry(SPILL_WRITE_ERROR)
+        try:
+            self.temp_file.write(page_no, list(self._buffer))
+        except IOFaultError:
+            self.temp_file.free_page(page_no)
+            raise
         self._pages.append(page_no)
         self._buffer = []
 
@@ -136,7 +167,10 @@ class SpillableBuffer:
             raise ExecutionError("buffer already sealed")
         if self._spill is None and self.memory.would_exceed_soft(self.row_bytes):
             self._spill = SpillFile(
-                self.ctx.temp_file, self.row_bytes, self.ctx.pool.page_size
+                self.ctx.temp_file,
+                self.row_bytes,
+                self.ctx.pool.page_size,
+                fault_plan=getattr(self.ctx, "fault_plan", None),
             )
         if self._spill is not None:
             self._spill.append(row)

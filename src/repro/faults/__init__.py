@@ -1,0 +1,78 @@
+"""Deterministic fault injection (:class:`FaultPlan` + injectors).
+
+Usage::
+
+    from repro.faults import FaultPlan, FaultRates
+    server = Server(ServerConfig(fault_plan=FaultPlan(seed=7)))
+
+or, for an entire test run::
+
+    REPRO_FAULTS=7 python -m pytest -q
+
+Every server then wraps its disk in a :class:`FaultyDisk`, hands the
+plan to its simulated OS (working-set probe outages), threads it to the
+spill files, and exports ``faults.injected`` / ``faults.retries`` /
+``faults.statement_aborts`` through its metrics registry.  Replaying the
+same seed against the same workload yields a byte-identical injection
+log (:meth:`FaultPlan.log_lines`).
+"""
+
+import os
+
+from repro.faults.injectors import FaultyDisk, HostileProcess
+from repro.faults.plan import (
+    ALL_SITES,
+    DISK_READ_ERROR,
+    DISK_READ_LATENCY,
+    DISK_WRITE_ERROR,
+    DISK_WRITE_LATENCY,
+    HOSTILE_GRAB,
+    SPILL_WRITE_ERROR,
+    WORKING_SET_OUTAGE,
+    FaultPlan,
+    FaultRates,
+    FaultRecord,
+)
+
+#: Environment variable holding the chaos seed (an integer).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+def plan_from_env(environ=None):
+    """Build a :class:`FaultPlan` from ``REPRO_FAULTS``, or return None.
+
+    The variable holds the integer seed; unset, empty, ``0``, or
+    non-numeric values disable injection.  Called once per server, so
+    every server in a process gets its *own* plan (independent logs,
+    per-server determinism).
+    """
+    environ = environ if environ is not None else os.environ
+    raw = environ.get(FAULTS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        seed = int(raw)
+    except ValueError:
+        return None
+    if seed == 0:
+        return None
+    return FaultPlan(seed)
+
+
+__all__ = [
+    "ALL_SITES",
+    "DISK_READ_ERROR",
+    "DISK_READ_LATENCY",
+    "DISK_WRITE_ERROR",
+    "DISK_WRITE_LATENCY",
+    "FAULTS_ENV_VAR",
+    "FaultPlan",
+    "FaultRates",
+    "FaultRecord",
+    "FaultyDisk",
+    "HOSTILE_GRAB",
+    "HostileProcess",
+    "SPILL_WRITE_ERROR",
+    "WORKING_SET_OUTAGE",
+    "plan_from_env",
+]

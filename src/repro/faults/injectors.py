@@ -1,0 +1,142 @@
+"""Fault injectors: the hands of a :class:`~repro.faults.plan.FaultPlan`.
+
+Three layers, matching the environments the paper's governors must ride
+out:
+
+* :class:`FaultyDisk` — a transparent wrapper over any
+  :class:`repro.storage.disk.Disk` that injects transient read/write
+  errors and latency spikes.  The bounded retry-with-backoff lives in
+  :class:`repro.storage.pagedfile.Volume`, so every consumer of a volume
+  (buffer pool, temp file, calibration) degrades the same way.
+* :class:`HostileProcess` — a competing process that grabs bursts of
+  physical memory on a seeded schedule and releases them later, forcing
+  the buffer governor to shrink and re-grow the pool.
+* Working-set probe outages are injected inside
+  :meth:`repro.ossim.memory.OperatingSystem.working_set` itself (the
+  OS consults the plan it was handed), because the probe is a read-side
+  query with no wrapper seam.
+"""
+
+from repro.common.errors import TransientIOError
+from repro.faults.plan import (
+    DISK_READ_ERROR,
+    DISK_READ_LATENCY,
+    DISK_WRITE_ERROR,
+    DISK_WRITE_LATENCY,
+    HOSTILE_GRAB,
+)
+
+
+class FaultyDisk:
+    """Wrap a :class:`repro.storage.disk.Disk`, injecting I/O faults.
+
+    Composition, not inheritance: everything except ``read_page`` /
+    ``write_page`` delegates to the wrapped device, so cost models,
+    counters, head position, and geometry behave identically.  A raised
+    :class:`TransientIOError` still charges ``error_latency_us`` of
+    simulated time — a failed transfer is not free.
+    """
+
+    def __init__(self, inner, plan):
+        self.inner = inner
+        self.plan = plan
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def _maybe_spike(self, site, page_no):
+        rates = self.plan.rates
+        if self.plan.should(site, rates.disk_latency):
+            self.plan.record(
+                site, "page=%d spike_us=%d" % (page_no, rates.latency_spike_us)
+            )
+            self.inner.clock.advance(int(rates.latency_spike_us))
+
+    def _maybe_fail(self, site, rate, page_no, verb):
+        if self.plan.should(site, rate):
+            self.plan.record(site, "page=%d" % page_no)
+            self.inner.clock.advance(int(self.plan.rates.error_latency_us))
+            raise TransientIOError(
+                "injected transient %s error on page %d of %s"
+                % (verb, page_no, self.inner.name),
+                site=site,
+            )
+
+    def read_page(self, page_no):
+        """Read one page, possibly spiking latency or failing transiently."""
+        self._maybe_spike(DISK_READ_LATENCY, page_no)
+        self._maybe_fail(
+            DISK_READ_ERROR, self.plan.rates.disk_read_error, page_no, "read"
+        )
+        return self.inner.read_page(page_no)
+
+    def write_page(self, page_no):
+        """Write one page, possibly spiking latency or failing transiently."""
+        self._maybe_spike(DISK_WRITE_LATENCY, page_no)
+        self._maybe_fail(
+            DISK_WRITE_ERROR, self.plan.rates.disk_write_error, page_no, "write"
+        )
+        return self.inner.write_page(page_no)
+
+    def __repr__(self):
+        return "FaultyDisk(%r)" % (self.inner,)
+
+
+class HostileProcess:
+    """A competing process grabbing memory in seeded bursts.
+
+    Models the paper's "other software and system tools whose
+    configuration and memory usage vary ... from moment to moment", but
+    adversarially: every ``hostile_interval_us`` (plus seeded jitter) it
+    allocates ``hostile_grab_bytes``, holds them for ``hostile_hold_us``,
+    then releases.  The buffer governor must shrink the pool through the
+    burst and re-grow afterwards without tripping quota sanitizers.
+
+    Disabled when ``rates.hostile_interval_us`` is 0 (the default).
+    """
+
+    def __init__(self, os, clock, plan, name="hostile"):
+        self.process = os.spawn(name)
+        self._clock = clock
+        self._plan = plan
+        self.bursts = 0
+        self.held_bytes = 0
+        self._schedule_next()
+
+    def _schedule_next(self):
+        rates = self._plan.rates
+        if rates.hostile_interval_us <= 0:
+            return
+        delay = int(rates.hostile_interval_us)
+        if rates.hostile_interval_jitter_us > 0:
+            delay += self._plan.draw_uniform(
+                HOSTILE_GRAB, 0, rates.hostile_interval_jitter_us
+            )
+        self._clock.call_after(delay, self._grab)
+
+    def _grab(self):
+        rates = self._plan.rates
+        grab = int(rates.hostile_grab_bytes)
+        self.process.allocate(grab)
+        self.held_bytes += grab
+        self.bursts += 1
+        self._plan.record(
+            HOSTILE_GRAB,
+            "grab bytes=%d hold_us=%d" % (grab, rates.hostile_hold_us),
+        )
+        self._clock.call_after(
+            int(rates.hostile_hold_us), self._make_release(grab)
+        )
+        self._schedule_next()
+
+    def _make_release(self, grab):
+        def release():
+            self.process.allocate(-grab)
+            self.held_bytes -= grab
+
+        return release
+
+    def __repr__(self):
+        return "HostileProcess(bursts=%d, held=%d)" % (
+            self.bursts, self.held_bytes
+        )

@@ -12,6 +12,16 @@ class WorkingSetUnavailable(ReproError):
     """
 
 
+class WorkingSetProbeOutage(ReproError):
+    """One working-set probe transiently failed (injected fault).
+
+    Distinct from :class:`WorkingSetUnavailable` — the OS *does* support
+    probes, this particular one blacked out.  The buffer governor rides
+    it out by reusing its last successful reading instead of switching to
+    the CE fallback permanently.
+    """
+
+
 class Process:
     """A process competing for physical memory.
 
@@ -75,12 +85,23 @@ class OperatingSystem:
     stand-in), always keeping ``kernel_reserve`` for itself.
     """
 
-    def __init__(self, total_memory, supports_working_set=True, kernel_reserve=8 * MiB):
+    def __init__(
+        self,
+        total_memory,
+        supports_working_set=True,
+        kernel_reserve=8 * MiB,
+        fault_plan=None,
+    ):
         if total_memory <= kernel_reserve:
             raise ValueError("total memory must exceed the kernel reserve")
         self.total_memory = int(total_memory)
         self.kernel_reserve = int(kernel_reserve)
         self.supports_working_set_reporting = supports_working_set
+        #: Optional :class:`repro.faults.FaultPlan`; consulted duck-typed
+        #: (this module never imports :mod:`repro.faults`) so the OS model
+        #: stays dependency-free.  Assigned post-construction by the
+        #: server when chaos is enabled.
+        self.fault_plan = fault_plan
         self._processes = []
 
     # ------------------------------------------------------------------ #
@@ -97,6 +118,16 @@ class OperatingSystem:
         """Create a :class:`ScriptedProcess` driven by ``clock``."""
         process = ScriptedProcess(self, name, clock, schedule)
         self._processes.append(process)
+        return process
+
+    def adopt(self, process):
+        """Register an externally constructed :class:`Process`.
+
+        Lets injectors (and tests) build specialised process objects and
+        still have them count against physical memory.
+        """
+        if process not in self._processes:
+            self._processes.append(process)
         return process
 
     def processes(self):
@@ -126,6 +157,16 @@ class OperatingSystem:
         if not self.supports_working_set_reporting:
             raise WorkingSetUnavailable(
                 "this OS flavour cannot report working-set sizes"
+            )
+        plan = self.fault_plan
+        if plan is not None and plan.should(
+            "ossim.working_set_outage", plan.rates.working_set_outage
+        ):
+            plan.record(
+                "ossim.working_set_outage", "probe process=%s" % process.name
+            )
+            raise WorkingSetProbeOutage(
+                "injected working-set probe outage for %r" % process.name
             )
         return self._resident(process)
 

@@ -24,7 +24,7 @@ from repro.profiling.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.profiling.tracer import TraceEvent, Tracer
+from repro.profiling.tracer import FaultTraceEvent, TraceEvent, Tracer
 from repro.profiling.flaws import (
     ClientSideJoinDetector,
     Flaw,
@@ -45,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "TraceEvent",
+    "FaultTraceEvent",
     "FlawAnalyzer",
     "Flaw",
     "ClientSideJoinDetector",

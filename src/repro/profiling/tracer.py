@@ -28,6 +28,13 @@ TraceEvent = collections.namedtuple(
     defaults=(None,),
 )
 
+#: One injected fault observed by the tracer (``plan_sequence`` is the
+#: fault's index in the FaultPlan's own log, so a post-mortem can join
+#: the two records).
+FaultTraceEvent = collections.namedtuple(
+    "FaultTraceEvent", ["plan_sequence", "time_us", "site", "detail"]
+)
+
 #: One combined alternation so constants come back in statement order.
 #: (Two sequential passes — strings, then numbers — would reorder mixed
 #: literals: ``a = 5 AND b = 'x'`` must yield ``('5', "'x'")``.)  The
@@ -65,6 +72,9 @@ class Tracer:
     def __init__(self, capacity=100_000):
         self.capacity = capacity
         self.events = collections.deque(maxlen=capacity)
+        #: Injected faults seen while this tracer was attached (its own
+        #: ring: fault storms must not evict statement events).
+        self.fault_events = collections.deque(maxlen=capacity)
         self.dropped = 0
         self._sequence = 0
 
@@ -79,6 +89,12 @@ class Tracer:
         if len(self.events) == self.capacity:
             self.dropped += 1
         self.events.append(event)
+        return event
+
+    def record_fault(self, plan_sequence, time_us, site, detail=""):
+        """Record one injected fault (called by the bound FaultPlan)."""
+        event = FaultTraceEvent(plan_sequence, time_us, site, detail)
+        self.fault_events.append(event)
         return event
 
     def __len__(self):

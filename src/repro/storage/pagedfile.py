@@ -10,11 +10,18 @@ the devices only charge time, they do not store bytes.
 
 import collections
 
-from repro.common.errors import ReproError
+from repro.common.errors import IOFaultError, ReproError, TransientIOError
 
 #: Pages per extent.  Small enough that tiny files stay compact, large
 #: enough that scans of one file are dominated by sequential transfers.
 EXTENT_PAGES = 64
+
+#: Bounded retry budget for transient device faults, and the base of the
+#: exponential backoff charged to the simulated clock between attempts.
+#: Used when the volume's disk carries no fault plan (and therefore no
+#: per-plan budgets) — the wrapper-free case never retries anyway.
+IO_RETRY_LIMIT = 5
+IO_RETRY_BACKOFF_US = 100
 
 PageAddress = collections.namedtuple("PageAddress", ["file_id", "page_no"])
 
@@ -80,14 +87,53 @@ class Volume:
     # ------------------------------------------------------------------ #
 
     def read_payload(self, global_page):
-        """Read a page's payload from the device, charging transfer time."""
-        self.disk.read_page(global_page)
+        """Read a page's payload from the device, charging transfer time.
+
+        Transient device faults are retried with bounded exponential
+        backoff; persistent failure surfaces as :class:`IOFaultError`.
+        """
+        self._faulted_io(self.disk.read_page, global_page)
         return self._store.get(global_page)
 
     def write_payload(self, global_page, payload):
-        """Write a page's payload to the device, charging transfer time."""
-        self.disk.write_page(global_page)
+        """Write a page's payload to the device, charging transfer time.
+
+        Same bounded retry-with-backoff discipline as reads.  The payload
+        store is only updated once the device accepts the transfer, so a
+        failed write leaves the old page image intact.
+        """
+        self._faulted_io(self.disk.write_page, global_page)
         self._store[global_page] = payload
+
+    def _faulted_io(self, op, global_page):
+        """Run one device transfer, riding out transient injected faults.
+
+        Each retry charges exponentially growing backoff to the simulated
+        clock (the engine "waits" for the device to recover).  After the
+        budget is spent the fault is re-typed as :class:`IOFaultError`,
+        which aborts only the statement that owns this I/O.
+        """
+        plan = getattr(self.disk, "plan", None)
+        if plan is not None:
+            limit = plan.rates.io_retry_limit
+            backoff_us = plan.rates.io_retry_backoff_us
+        else:
+            limit = IO_RETRY_LIMIT
+            backoff_us = IO_RETRY_BACKOFF_US
+        attempt = 0
+        while True:
+            try:
+                return op(global_page)
+            except TransientIOError as exc:
+                attempt += 1
+                if attempt > limit:
+                    raise IOFaultError(
+                        "page %d still failing after %d retries (%s)"
+                        % (global_page, limit, exc)
+                    ) from exc
+                if plan is not None:
+                    plan.note_retry(exc.site)
+                self.disk.clock.advance(int(backoff_us * (2 ** (attempt - 1))))
 
     def peek_payload(self, global_page):
         """Read a payload *without* charging I/O (test/diagnostic use)."""

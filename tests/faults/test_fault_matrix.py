@@ -1,0 +1,234 @@
+"""Fault-matrix integration tests.
+
+For each injector layer the contract is the same: a statement either
+succeeds (possibly after bounded retries) or dies with a *typed* fault
+error; the server and every other statement survive; the sanitizers
+(autouse in this suite) see zero pin/quota leaks afterwards; and the
+``faults.*`` counters agree with the plan's injection log.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.buffer import GovernorConfig
+from repro.common import MiB
+from repro.common.errors import FaultError, IOFaultError, SpillWriteError
+from repro.faults import FaultPlan, FaultRates
+
+
+def quiet_rates(**overrides):
+    rates = FaultRates(
+        disk_read_error=0.0,
+        disk_write_error=0.0,
+        disk_latency=0.0,
+        working_set_outage=0.0,
+        spill_write_error=0.0,
+    )
+    for name, value in overrides.items():
+        setattr(rates, name, value)
+    return rates
+
+
+def make_server(plan, pool_pages=2048, mpl=4):
+    config = ServerConfig(
+        start_buffer_governor=False,
+        initial_pool_pages=pool_pages,
+        multiprogramming_level=mpl,
+        governor=GovernorConfig(upper_bound_bytes=64 * MiB),
+        fault_plan=plan,
+    )
+    return Server(config)
+
+
+def load_rows(conn, n=2000):
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, pad VARCHAR(40))")
+    conn.server.load_table(
+        "t", [(i, (i * 37) % 1000, "pad-%06d" % i) for i in range(n)]
+    )
+
+
+class TestStorageFaults:
+    def test_read_fault_aborts_statement_only(self):
+        plan = FaultPlan(11, quiet_rates())
+        server = make_server(plan, pool_pages=64)
+        conn = server.connect()
+        load_rows(conn)
+        plan.rates.disk_read_error = 1.0
+        with pytest.raises(IOFaultError):
+            conn.execute("SELECT COUNT(*) FROM t")
+        assert plan.statement_aborts == 1
+        # The server survives: heal the disk and the same statement runs.
+        plan.rates.disk_read_error = 0.0
+        result = conn.execute("SELECT COUNT(*) FROM t")
+        assert result.rows == [(2000,)]
+
+    def test_write_fault_aborts_statement_only(self):
+        plan = FaultPlan(12, quiet_rates())
+        server = make_server(plan, pool_pages=64)
+        conn = server.connect()
+        load_rows(conn)
+        plan.rates.disk_write_error = 1.0
+        with pytest.raises(FaultError):
+            # Dirties pages beyond the small pool: eviction writebacks hit
+            # the injected write failures.
+            for i in range(2000, 4000):
+                conn.execute(
+                    "INSERT INTO t VALUES (%d, %d, 'x')" % (i, i)
+                )
+        plan.rates.disk_write_error = 0.0
+        assert conn.execute("SELECT COUNT(*) FROM t WHERE id < 2000").rows \
+            == [(2000,)]
+
+    def test_transient_rates_ride_out_on_retries(self):
+        plan = FaultPlan(13, quiet_rates(
+            disk_read_error=0.05, disk_write_error=0.05, disk_latency=0.05,
+        ))
+        server = make_server(plan, pool_pages=64)
+        conn = server.connect()
+        load_rows(conn)
+        result = conn.execute("SELECT COUNT(*) FROM t WHERE v < 500")
+        assert result.rows[0][0] > 0
+        assert plan.injected > 0
+        assert plan.retries > 0
+        assert plan.statement_aborts == 0
+
+
+class TestSpillFaults:
+    def test_spill_fault_aborts_sort_statement(self):
+        plan = FaultPlan(21, quiet_rates(spill_write_error=1.0))
+        server = make_server(plan, pool_pages=128, mpl=16)
+        conn = server.connect()
+        load_rows(conn, n=3000)
+        with pytest.raises(SpillWriteError):
+            conn.execute("SELECT id, v FROM t ORDER BY v, id")
+        assert plan.statement_aborts == 1
+        # All pins and quota released (sanitizers already asserted at the
+        # statement boundary); the healed server finishes the same sort.
+        plan.rates.spill_write_error = 0.0
+        result = conn.execute("SELECT id, v FROM t ORDER BY v, id")
+        assert len(result.rows) == 3000
+
+    def test_spill_retries_then_succeeds(self):
+        plan = FaultPlan(22, quiet_rates(spill_write_error=0.1))
+        server = make_server(plan, pool_pages=128, mpl=16)
+        conn = server.connect()
+        load_rows(conn, n=3000)
+        result = conn.execute("SELECT id, v FROM t ORDER BY v, id")
+        assert len(result.rows) == 3000
+        assert plan.statement_aborts == 0
+        spill_faults = plan.injections_by_site().get("exec.spill_write", 0)
+        assert spill_faults > 0
+
+
+class TestOssimFaults:
+    def test_probe_outages_do_not_disturb_statements(self):
+        plan = FaultPlan(31, quiet_rates(working_set_outage=1.0))
+        server = make_server(plan)
+        conn = server.connect()
+        load_rows(conn, n=500)
+        for __ in range(5):
+            server.buffer_governor.poll_once()
+        result = conn.execute("SELECT COUNT(*) FROM t")
+        assert result.rows == [(500,)]
+        assert plan.injections_by_site()["ossim.working_set_outage"] == 5
+        assert server.metrics.snapshot()["governor.ws_probe_outages"] == 5
+
+    def test_hostile_process_never_aborts_statements(self):
+        rates = quiet_rates()
+        rates.hostile_interval_us = 200_000
+        rates.hostile_hold_us = 400_000
+        rates.hostile_grab_bytes = 32 * MiB
+        plan = FaultPlan(32, rates)
+        server = make_server(plan)
+        assert server.hostile_process is not None
+        conn = server.connect()
+        load_rows(conn, n=1000)
+        for __ in range(10):
+            server.clock.advance(150_000)
+            server.buffer_governor.poll_once()
+            assert conn.execute(
+                "SELECT COUNT(*) FROM t"
+            ).rows == [(1000,)]
+        assert server.hostile_process.bursts > 0
+        assert plan.statement_aborts == 0
+
+
+def chaos_workload(server):
+    conn = server.connect()
+    conn.execute(
+        "CREATE TABLE w (id INT PRIMARY KEY, v INT, pad VARCHAR(30))"
+    )
+    server.load_table(
+        "w", [(i, (i * 17) % 400, "p%05d" % i) for i in range(1500)]
+    )
+    conn.execute("SELECT COUNT(*) FROM w WHERE v < 200")
+    conn.execute("SELECT v, COUNT(*) FROM w GROUP BY v")
+    conn.execute("SELECT id, v FROM w ORDER BY v, id")
+    server.buffer_governor.poll_once()
+    conn.execute("SELECT MAX(v) FROM w")
+    return conn
+
+
+def moderate_rates():
+    return quiet_rates(
+        disk_read_error=0.02,
+        disk_write_error=0.02,
+        disk_latency=0.02,
+        working_set_outage=0.2,
+        spill_write_error=0.02,
+    )
+
+
+class TestAccountingAndDeterminism:
+    def test_counters_match_injection_log(self):
+        plan = FaultPlan(41, moderate_rates())
+        server = make_server(plan, pool_pages=96, mpl=16)
+        chaos_workload(server)
+        assert plan.injected > 0
+        assert plan.injected == len(plan.log)
+        by_site = plan.injections_by_site()
+        assert sum(by_site.values()) == plan.injected
+        snap = server.metrics.snapshot()
+        assert snap["faults.injected"] == plan.injected
+        assert snap["faults.retries"] == plan.retries
+        assert snap["faults.statement_aborts"] == plan.statement_aborts
+
+    def test_same_seed_yields_byte_identical_log(self):
+        logs = []
+        for __ in range(2):
+            plan = FaultPlan(42, moderate_rates())
+            server = make_server(plan, pool_pages=96, mpl=16)
+            chaos_workload(server)
+            logs.append(plan.log_lines())
+        assert logs[0] == logs[1]
+        assert logs[0]  # non-trivial: faults actually fired
+
+    def test_different_seed_yields_different_log(self):
+        logs = []
+        for seed in (43, 44):
+            plan = FaultPlan(seed, moderate_rates())
+            server = make_server(plan, pool_pages=96, mpl=16)
+            chaos_workload(server)
+            logs.append(plan.log_lines())
+        assert logs[0] != logs[1]
+
+    def test_env_seed_wires_every_server(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "55")
+        server_a = make_server(plan=None)
+        server_b = make_server(plan=None)
+        assert server_a.fault_plan is not None
+        assert server_b.fault_plan is not None
+        assert server_a.fault_plan is not server_b.fault_plan
+        assert server_a.fault_plan.seed == 55
+
+    def test_tracer_records_every_injection(self):
+        from repro.profiling.tracer import Tracer
+
+        plan = FaultPlan(45, moderate_rates())
+        server = make_server(plan, pool_pages=96, mpl=16)
+        server.tracer = Tracer()
+        before = plan.injected
+        chaos_workload(server)
+        fired_while_tracing = plan.injected - before
+        assert fired_while_tracing > 0
+        assert len(server.tracer.fault_events) == fired_while_tracing

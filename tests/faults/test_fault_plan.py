@@ -1,0 +1,135 @@
+"""FaultPlan unit tests: seeding, substreams, accounting, env parsing."""
+
+from repro.common.clock import SimClock
+from repro.faults import (
+    DISK_READ_ERROR,
+    DISK_WRITE_ERROR,
+    FaultPlan,
+    FaultRates,
+    plan_from_env,
+)
+from repro.profiling.metrics import MetricsRegistry
+from repro.profiling.tracer import Tracer
+
+
+class TestDecisions:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(42).bind(SimClock())
+        b = FaultPlan(42).bind(SimClock())
+        draws_a = [a.should(DISK_READ_ERROR, 0.5) for __ in range(200)]
+        draws_b = [b.should(DISK_READ_ERROR, 0.5) for __ in range(200)]
+        assert draws_a == draws_b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(1).bind(SimClock())
+        b = FaultPlan(2).bind(SimClock())
+        draws_a = [a.should(DISK_READ_ERROR, 0.5) for __ in range(200)]
+        draws_b = [b.should(DISK_READ_ERROR, 0.5) for __ in range(200)]
+        assert draws_a != draws_b
+
+    def test_sites_are_independent_substreams(self):
+        """Consulting one site must not perturb another site's stream."""
+        lone = FaultPlan(7).bind(SimClock())
+        mixed = FaultPlan(7).bind(SimClock())
+        lone_draws = [lone.should(DISK_READ_ERROR, 0.5) for __ in range(100)]
+        mixed_draws = []
+        for __ in range(100):
+            mixed.should(DISK_WRITE_ERROR, 0.5)  # interleaved other-site use
+            mixed_draws.append(mixed.should(DISK_READ_ERROR, 0.5))
+        assert lone_draws == mixed_draws
+
+    def test_zero_probability_never_fires_nor_draws(self):
+        plan = FaultPlan(7).bind(SimClock())
+        assert not any(plan.should(DISK_READ_ERROR, 0.0) for __ in range(50))
+        # The p=0 short-circuit must not consume stream state either.
+        fresh = FaultPlan(7).bind(SimClock())
+        assert [plan.should(DISK_READ_ERROR, 0.5) for __ in range(50)] == [
+            fresh.should(DISK_READ_ERROR, 0.5) for __ in range(50)
+        ]
+
+
+class TestAccounting:
+    def test_record_appends_log_and_counts(self):
+        clock = SimClock()
+        metrics = MetricsRegistry(clock)
+        plan = FaultPlan(1).bind(clock, metrics)
+        clock.advance(500)
+        plan.record(DISK_READ_ERROR, "page=3")
+        clock.advance(100)
+        plan.record(DISK_WRITE_ERROR, "page=9")
+        assert plan.injected == 2
+        assert [r.sequence for r in plan.log] == [0, 1]
+        assert plan.log[0].time_us == 500
+        assert plan.log[1].time_us == 600
+        assert plan.log[0].site == DISK_READ_ERROR
+        snap = metrics.snapshot()
+        assert snap["faults.injected"] == 2
+        assert snap["faults.retries"] == 0
+        assert snap["faults.statement_aborts"] == 0
+
+    def test_counters_mirror_log(self):
+        plan = FaultPlan(1).bind(SimClock())
+        for i in range(17):
+            plan.record(DISK_READ_ERROR, "page=%d" % i)
+        plan.note_retry(DISK_READ_ERROR)
+        plan.note_statement_abort()
+        assert plan.injected == len(plan.log) == 17
+        assert plan.retries == 1
+        assert plan.statement_aborts == 1
+        assert plan.injections_by_site() == {DISK_READ_ERROR: 17}
+
+    def test_log_lines_replayable_text(self):
+        a = FaultPlan(5).bind(SimClock())
+        b = FaultPlan(5).bind(SimClock())
+        for plan in (a, b):
+            plan.record(DISK_READ_ERROR, "page=1")
+            plan.record(DISK_WRITE_ERROR, "page=2")
+        assert a.log_lines() == b.log_lines()
+        assert DISK_READ_ERROR in a.log_lines()
+
+    def test_tracer_sees_injections(self):
+        clock = SimClock()
+        tracer = Tracer()
+        plan = FaultPlan(1).bind(clock, tracer_fn=lambda: tracer)
+        clock.advance(250)
+        plan.record(DISK_READ_ERROR, "page=4")
+        assert len(tracer.fault_events) == 1
+        event = tracer.fault_events[0]
+        assert event.site == DISK_READ_ERROR
+        assert event.time_us == 250
+        assert event.plan_sequence == 0
+
+
+class TestEnvParsing:
+    def test_unset_disables(self):
+        assert plan_from_env({}) is None
+
+    def test_empty_and_zero_disable(self):
+        assert plan_from_env({"REPRO_FAULTS": ""}) is None
+        assert plan_from_env({"REPRO_FAULTS": "0"}) is None
+
+    def test_garbage_disables(self):
+        assert plan_from_env({"REPRO_FAULTS": "banana"}) is None
+
+    def test_integer_seed_builds_plan(self):
+        plan = plan_from_env({"REPRO_FAULTS": "42"})
+        assert isinstance(plan, FaultPlan)
+        assert plan.seed == 42
+
+    def test_each_call_builds_fresh_plan(self):
+        env = {"REPRO_FAULTS": "7"}
+        a, b = plan_from_env(env), plan_from_env(env)
+        assert a is not b
+
+
+class TestRates:
+    def test_defaults_keep_hostile_disabled(self):
+        rates = FaultRates()
+        assert rates.hostile_interval_us == 0
+
+    def test_default_rates_are_survivable(self):
+        """Per-I/O abort probability must be negligible at default rates:
+        an abort needs (retry limit + 1) consecutive failures."""
+        rates = FaultRates()
+        abort_p = rates.disk_read_error ** (rates.io_retry_limit + 1)
+        assert abort_p < 1e-12
