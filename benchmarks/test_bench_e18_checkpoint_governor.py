@@ -1,0 +1,115 @@
+"""E18: the self-tuning checkpoint governor vs a fixed-interval baseline.
+
+The paper's thesis applied to durability: a governor that prices its own
+recovery debt (via the DTT cost model) and spends checkpoint I/O only
+when the estimated restart time approaches the administrator's target —
+or when the server is idle and the I/O is free — should hold recovery
+time under the target with *fewer* checkpoint page writes than a
+fixed-interval checkpointer facing the same bursty workload.
+
+Both modes run the identical burst/idle schedule on a full server with
+the checkpoint governor on the simulated clock; the only difference is
+``CheckpointConfig.adaptive``.
+"""
+
+from repro.common import SECOND
+from repro.recovery import CheckpointConfig
+
+from conftest import make_server, print_table
+
+#: Administrator's restart-time budget: above one cycle's recovery debt
+#: (so a busy adaptive governor can afford to hold) but low enough that
+#: sustained growth without checkpoints would breach it.
+RECOVERY_TARGET_US = 10 * SECOND
+
+CYCLES = 8
+BURST_ROWS = 30
+BUSY_ADVANCE_US = 2 * SECOND
+IDLE_ADVANCE_US = 6 * SECOND
+
+
+def run_mode(adaptive):
+    server = make_server(
+        start_checkpoint_governor=True,
+        checkpoint=CheckpointConfig(
+            adaptive=adaptive,
+            recovery_time_target_us=RECOVERY_TARGET_US,
+            min_poll_interval_us=1 * SECOND,
+            max_poll_interval_us=5 * SECOND,
+        ),
+    )
+    conn = server.connect()
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    next_id = 0
+    estimates = []
+
+    def sample():
+        # The governor publishes its post-action estimate at every poll:
+        # the recovery debt it *left outstanding* after deciding.
+        estimates.append(server.metrics.value("ckpt.est_recovery_us"))
+    for cycle in range(CYCLES):
+        # Busy stretch: two insert bursts with the clock moving.
+        for __ in range(2):
+            for __ in range(BURST_ROWS):
+                conn.execute(
+                    "INSERT INTO t VALUES (?, ?)",
+                    params=[next_id, next_id * 7],
+                )
+                next_id += 1
+            server.clock.advance(BUSY_ADVANCE_US)
+            sample()
+        # Idle gap: no statements, the clock just runs.
+        server.clock.advance(IDLE_ADVANCE_US)
+        sample()
+    conn.close()
+    return {
+        "mode": "adaptive" if adaptive else "fixed-interval",
+        "checkpoints": server.metrics.value("ckpt.checkpoints"),
+        "pages_flushed": server.metrics.value("ckpt.pages_flushed"),
+        "polls": server.metrics.value("ckpt.polls"),
+        "idle_ckpts": server.metrics.value("ckpt.action.ckpt-idle"),
+        "max_estimate_us": max(estimates),
+        "rows": next_id,
+    }
+
+
+def run_experiment():
+    # Fixed first, adaptive last: the autouse conftest fixture snapshots
+    # the *last* server's metrics into the benchmark JSON.
+    fixed = run_mode(adaptive=False)
+    adaptive = run_mode(adaptive=True)
+    return fixed, adaptive
+
+
+def test_e18_checkpoint_governor(once):
+    fixed, adaptive = once(run_experiment)
+    headers = [
+        "mode", "checkpoints", "pages flushed", "polls", "idle ckpts",
+        "max est us", "rows",
+    ]
+    print_table(
+        "E18: checkpoint governor vs fixed interval "
+        "(target %d us, %d burst/idle cycles)"
+        % (RECOVERY_TARGET_US, CYCLES),
+        headers,
+        [
+            [fixed[k] for k in (
+                "mode", "checkpoints", "pages_flushed", "polls",
+                "idle_ckpts", "max_estimate_us", "rows",
+            )],
+            [adaptive[k] for k in (
+                "mode", "checkpoints", "pages_flushed", "polls",
+                "idle_ckpts", "max_estimate_us", "rows",
+            )],
+        ],
+    )
+    # Identical workloads.
+    assert adaptive["rows"] == fixed["rows"]
+    # The governor holds estimated recovery time under the target at
+    # every poll boundary...
+    assert adaptive["max_estimate_us"] <= RECOVERY_TARGET_US
+    # ...while spending strictly less checkpoint I/O than the baseline.
+    assert adaptive["pages_flushed"] < fixed["pages_flushed"]
+    assert adaptive["checkpoints"] < fixed["checkpoints"]
+    # Idle gaps are exploited: some checkpoints were taken for free.
+    assert adaptive["idle_ckpts"] >= 1

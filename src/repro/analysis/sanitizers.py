@@ -25,6 +25,7 @@ They are assertions, not recovery: a failure raises
 import os
 import sys
 
+from repro.buffer.governor import GROW, SHRINK, BufferGovernor
 from repro.buffer.pool import BufferPool
 from repro.buffer.replacement import GClockPolicy
 from repro.common.clock import SimClock
@@ -73,6 +74,14 @@ class ClockError(SanitizerError):
 
 class ReplacementError(SanitizerError):
     """The GClock hand or victim left its valid range."""
+
+
+class GovernorDriftError(SanitizerError):
+    """The buffer governor's pool size drifted from the OS allocation."""
+
+
+class RecoveryIdempotenceError(SanitizerError):
+    """A second redo pass changed page images (redo is not idempotent)."""
 
 
 def _call_site():
@@ -157,6 +166,10 @@ class SanitizedBufferPool(BufferPool):
         for key in list(self._pin_sites):
             if key not in self._frames:
                 del self._pin_sites[key]
+
+    def drop_all(self):
+        super().drop_all()
+        self._pin_sites.clear()
 
     # -- the statement-boundary check ---------------------------------- #
 
@@ -272,6 +285,40 @@ class SanitizedMemoryGovernor(MemoryGovernor):
                 % (task.task_id, task.used_pages, stale)
             )
         super().end_task(task)
+
+
+# --------------------------------------------------------------------- #
+# buffer-governor drift check
+# --------------------------------------------------------------------- #
+
+
+class SanitizedBufferGovernor(BufferGovernor):
+    """Asserts the pool size and the OS allocation agree after a resize.
+
+    The governor's control law reads the working set *through* the
+    process allocation it maintains itself; if a resize forgets
+    ``_sync_process_allocation`` the two drift apart and every later
+    poll steers on a stale reference input.  The check runs only when
+    the poll itself resized (GROW/SHRINK) — tests legitimately call
+    ``pool.set_capacity`` directly, which the governor only observes at
+    its next poll.
+    """
+
+    def poll_once(self):
+        sample = super().poll_once()
+        if sample.action in (GROW, SHRINK):
+            expected = self.pool.size_bytes() + self._heap_size_fn()
+            allocated = self.server_process.allocated
+            if allocated != expected:
+                raise GovernorDriftError(
+                    "governor drift after %s: process allocation %d != "
+                    "pool %d + heap %d"
+                    % (
+                        sample.action, allocated,
+                        self.pool.size_bytes(), self._heap_size_fn(),
+                    )
+                )
+        return sample
 
 
 # --------------------------------------------------------------------- #

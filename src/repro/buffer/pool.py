@@ -27,6 +27,17 @@ class BufferPool:
         self.policy = policy if policy is not None else GClockPolicy()
         self._frames = {}  # key -> Frame
         self._tick = 0
+        #: Dirty-page table (ARIES): key -> recLSN, the end-of-log LSN at
+        #: the moment a clean disk-backed frame first went dirty.  Its
+        #: snapshot travels in every fuzzy-checkpoint BEGIN record.
+        self._dirty_rec_lsn = {}
+        #: End-of-log LSN source (the server wires the transaction log's
+        #: ``peek_next_lsn``); None degrades recLSNs to zero.
+        self.lsn_fn = None
+        #: Write-ahead hook: called before any dirty disk-backed frame is
+        #: written back, so the log is always forced first (the server
+        #: wires the transaction log's ``force``).
+        self.wal_fn = None
         # Counters (cumulative).
         self.hits = 0
         self.misses = 0
@@ -59,6 +70,9 @@ class BufferPool:
             "pool.capacity_pages", lambda: self.capacity_pages
         )
         registry.register_probe("pool.used_pages", lambda: self.used_pages)
+        registry.register_probe(
+            "pool.dirty_pages", lambda: len(self._dirty_rec_lsn)
+        )
         registry.register_probe("pool.pinned_frames", self.pinned_count)
         registry.register_probe(
             "pool.lookaside_depth",
@@ -141,6 +155,7 @@ class BufferPool:
         frame = Frame(kind, owner=file, page_no=page_no, payload=payload)
         frame.pin_count = 1
         frame.dirty = True
+        self._note_dirty(frame)
         self._frames[frame.key] = frame
         self.policy.on_insert(frame, self._tick)
         return frame
@@ -161,23 +176,65 @@ class BufferPool:
         frame.pin_count -= 1
         if dirty:
             frame.dirty = True
+            self._note_dirty(frame)
         if frame.pin_count == 0:
             self.policy.note_reusable(frame)
 
+    def _note_dirty(self, frame):
+        """First dirtying of a disk-backed frame records its recLSN."""
+        if frame.owner is None:
+            return
+        key = frame.key
+        if key not in self._dirty_rec_lsn:
+            self._dirty_rec_lsn[key] = (
+                self.lsn_fn() if self.lsn_fn is not None else 0
+            )
+
+    def dirty_page_table(self):
+        """Snapshot of ``{(file_id, page_no): recLSN}`` for checkpoint
+        BEGIN records."""
+        return {
+            (key[1], key[2]): rec_lsn
+            for key, rec_lsn in self._dirty_rec_lsn.items()
+        }
+
+    def dirty_page_count(self):
+        return len(self._dirty_rec_lsn)
+
     def flush_all(self):
-        """Write every dirty disk-backed frame to its file."""
-        for frame in list(self._frames.values()):
-            if frame.dirty and frame.owner is not None:
-                frame.owner.write(frame.page_no, frame.payload)
-                frame.dirty = False
-                self.writebacks += 1
+        """Write every dirty disk-backed frame to its file (WAL: the log
+        is forced first).  Returns the number of pages written."""
+        dirty = [
+            frame for frame in self._frames.values()
+            if frame.dirty and frame.owner is not None
+        ]
+        if dirty and self.wal_fn is not None:
+            self.wal_fn()
+        for frame in dirty:
+            frame.owner.write(frame.page_no, frame.payload)
+            frame.dirty = False
+            self._dirty_rec_lsn.pop(frame.key, None)
+            self.writebacks += 1
+        return len(dirty)
 
     def discard(self, file):
         """Drop every frame of ``file`` without writing back (file dropped)."""
         for key, frame in list(self._frames.items()):
             if frame.owner is file:
                 self.policy.on_remove(frame)
+                self._dirty_rec_lsn.pop(key, None)
                 del self._frames[key]
+
+    def drop_all(self):
+        """Lose every frame without writeback — a process crash.
+
+        The volume keeps only what earlier writebacks made durable;
+        restart recovery rebuilds the rest from the log.
+        """
+        for frame in list(self._frames.values()):
+            self.policy.on_remove(frame)
+        self._frames.clear()
+        self._dirty_rec_lsn.clear()
 
     # ------------------------------------------------------------------ #
     # heap frames (query-processing memory, Section 2.1)
@@ -241,8 +298,11 @@ class BufferPool:
         self.evictions += 1
         if frame.owner is not None:
             if frame.dirty:
+                if self.wal_fn is not None:
+                    self.wal_fn()
                 frame.owner.write(frame.page_no, frame.payload)
                 self.writebacks += 1
+            self._dirty_rec_lsn.pop(frame.key, None)
         elif frame.heap_ref is not None:
             # An unlocked heap page is stolen: swap it to the temporary
             # file so the heap can swizzle it back in on re-lock.

@@ -97,3 +97,13 @@ class SpillWriteError(FaultError):
 
 class TransactionError(ReproError):
     """Transaction misuse: commit/rollback without begin, write after abort."""
+
+
+class SimulatedCrash(ReproError):
+    """The simulated process died at a seeded crash point.
+
+    Raised by the :class:`repro.recovery.harness.CrashHarness` crash hook
+    (and the ``wal.checkpoint_crash`` fault site).  Deliberately *not* a
+    :class:`FaultError`: a crash is process death, not a statement abort
+    the bounded-retry machinery should absorb.
+    """

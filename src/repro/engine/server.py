@@ -17,15 +17,17 @@ from repro.common import DEFAULT_PAGE_SIZE, MiB, SimClock
 from repro.common.errors import (
     ExecutionError,
     FaultError,
+    SimulatedCrash,
     SqlTypeError,
     TransactionError,
 )
 from repro.dtt import calibrate_device, default_dtt_model
-from repro.faults import FaultyDisk, HostileProcess, plan_from_env
 from repro.dtt.model import DTTModel
 from repro.exec import ExecutionContext, Executor, MemoryGovernor
 from repro.exec.expr import evaluate, evaluate_predicate
 from repro.exec.instrument import ExecStatsCollector
+from repro.faults import FaultyDisk, HostileProcess, plan_from_env
+from repro.faults.plan import CKPT_CRASH, LOG_TORN_TAIL
 from repro.optimizer import (
     CostModelContext,
     Optimizer,
@@ -35,10 +37,13 @@ from repro.optimizer.costmodel import OPTIMIZER_NODE_US
 from repro.optimizer.plancache import plan_signature
 from repro.ossim import OperatingSystem
 from repro.profiling.metrics import MetricsRegistry
+from repro.recovery.checkpoint import CheckpointConfig, CheckpointGovernor
+from repro.recovery.restart import RecoveryManager
 from repro.sql import Binder, ast, parse_statement
 from repro.stats import StatisticsManager
 from repro.storage import ModelBackedDisk, TransactionLog, Volume
 from repro.storage.btree import BTree
+from repro.storage.log import CRASH_CKPT_MID
 from repro.storage.log import DELETE as LOG_DELETE
 from repro.storage.log import INSERT as LOG_INSERT
 from repro.storage.log import UPDATE as LOG_UPDATE
@@ -56,8 +61,14 @@ class ServerConfig:
     multiprogramming_level: int = 4
     optimizer_quota: int = 5000
     governor: GovernorConfig = dataclasses.field(default_factory=GovernorConfig)
+    checkpoint: CheckpointConfig = dataclasses.field(
+        default_factory=CheckpointConfig
+    )
     supports_working_set: bool = True
     start_buffer_governor: bool = True
+    #: Off by default: checkpoint timing perturbs I/O-sensitive
+    #: experiments, so durability-focused runs opt in.
+    start_checkpoint_governor: bool = False
     feedback_enabled: bool = True
     #: Section 6 future work: let the memory governor adapt the
     #: multiprogramming level to observed contention.
@@ -94,7 +105,13 @@ class Result:
         if self.plan_result is None:
             return "<no plan>"
         if analyze and self.exec_stats is not None:
-            return self.exec_stats.render(self.plan_result.plan)
+            rendered = self.exec_stats.render(self.plan_result.plan)
+            faults = self.notes.get("faults")
+            if faults:
+                rendered += "\nfaults: injected=%d retries=%d" % (
+                    faults.get("injected", 0), faults.get("retries", 0)
+                )
+            return rendered
         return self.plan_result.explain()
 
 
@@ -172,7 +189,15 @@ class Server:
         self.catalog = Catalog()
         self.catalog.dtt_model = default_dtt_model(self.config.page_size)
         self.stats = StatisticsManager(self.catalog)
-        self.txn_log = TransactionLog(self.log_file)
+        self.txn_log = TransactionLog(
+            self.log_file, metrics=self.metrics, fault_plan=plan
+        )
+        # WAL discipline: before the pool writes back a dirty frame it
+        # forces the log (steal is safe), and every newly-dirtied page is
+        # tracked in the dirty-page table under the LSN about to be
+        # assigned (checkpoints snapshot that table).
+        self.pool.lsn_fn = lambda: self.txn_log.peek_next_lsn()
+        self.pool.wal_fn = lambda: self.txn_log.force()
         from repro.engine.locks import LockManager
 
         self.lock_manager = LockManager(
@@ -190,7 +215,11 @@ class Server:
             adaptive=self.config.adaptive_mpl,
             metrics=self.metrics,
         )
-        self.buffer_governor = BufferGovernor(
+        buffer_governor_cls = (
+            sanitizers.SanitizedBufferGovernor if self.sanitize
+            else BufferGovernor
+        )
+        self.buffer_governor = buffer_governor_cls(
             self.clock, self.os, self.process, self.pool,
             database_size_fn=self.database_size_bytes,
             heap_size_fn=lambda: 0,
@@ -205,10 +234,23 @@ class Server:
         self._connections = 0
         self._running = False
         self._next_txn_id = 1
+        self._in_recovery = False
         #: Application Profiling hook: set to a Tracer to capture activity.
         self.tracer = None
         #: observability
         self.statements_executed = 0
+        self.checkpoint_governor = CheckpointGovernor(
+            self.clock,
+            log_fn=lambda: self.txn_log,
+            pool=self.pool,
+            model=self.catalog.dtt_model,
+            page_size=self.config.page_size,
+            checkpoint_fn=self.checkpoint,
+            statements_fn=lambda: self.statements_executed,
+            config=self.config.checkpoint,
+            metrics=self.metrics,
+            in_recovery_fn=lambda: self._in_recovery,
+        )
         self.metrics.register_probe(
             "server.database_size_bytes", self.database_size_bytes
         )
@@ -218,6 +260,8 @@ class Server:
         self._m_statements = self.metrics.counter("statements.executed")
         self._m_failed = self.metrics.counter("statements.failed")
         self._m_elapsed = self.metrics.histogram("statements.elapsed_us")
+        self._m_checkpoints = self.metrics.counter("ckpt.checkpoints")
+        self._m_ckpt_pages = self.metrics.counter("ckpt.pages_flushed")
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -233,6 +277,8 @@ class Server:
         self._running = True
         if self.config.start_buffer_governor:
             self.buffer_governor.start()
+        if self.config.start_checkpoint_governor:
+            self.checkpoint_governor.start()
 
     def _disconnect(self):
         self._connections -= 1
@@ -243,9 +289,9 @@ class Server:
     def shutdown(self):
         if not self._running:
             return
-        self.pool.flush_all()
-        self.txn_log.checkpoint()
+        self.checkpoint()
         self.buffer_governor.stop()
+        self.checkpoint_governor.stop()
         self._running = False
 
     @property
@@ -253,52 +299,96 @@ class Server:
         return self._running
 
     # ------------------------------------------------------------------ #
-    # crash simulation and log-based recovery
+    # checkpointing, crash simulation, and restart recovery
     # ------------------------------------------------------------------ #
 
-    def simulate_crash_and_recover(self):
-        """Lose all volatile state, then rebuild from the durable log.
+    def checkpoint(self):
+        """Take one fuzzy checkpoint.
 
-        The transaction log discards its unforced tail (what a crash
-        destroys); every table and index is emptied and the committed,
-        durable changes are replayed in LSN order.  Row identifiers are
-        remapped during replay (original ids may have pointed at freed
-        slots), exactly as a physical REDO pass would re-derive them.
+        A durable CKPT_BEGIN record snapshots the active transactions and
+        the dirty-page table; every dirty frame is flushed (the log is
+        forced first by the pool's WAL hook); a durable CKPT_END record
+        then updates the master record.  Restart recovery redoes from the
+        BEGIN of the last *complete* checkpoint — sound because every
+        page dirtied before BEGIN hit the volume before END was written.
         """
-        self.txn_log.simulate_crash()
-        mapping = {}
-        for table in self.catalog.tables():
-            if table.storage is None:
-                continue
-            self.pool.discard(table.storage.file)
-            table.storage.file.truncate()
-            table.storage = TableStorage(
-                table, self.volume.create_file("table:%s#rec" % table.name),
-                self.pool,
+        log = self.txn_log
+        begin = log.checkpoint_begin(
+            log.active_txns(), self.pool.dirty_page_table()
+        )
+        log.crash_point(CRASH_CKPT_MID)
+        plan = self.fault_plan
+        if plan is not None and plan.should(CKPT_CRASH, plan.rates.ckpt_crash):
+            plan.record(CKPT_CRASH, "between checkpoint BEGIN and END")
+            raise SimulatedCrash("injected crash mid-checkpoint")
+        flushed = self.pool.flush_all()
+        log.checkpoint_end(begin)
+        self._m_checkpoints.inc()
+        self._m_ckpt_pages.inc(flushed)
+        if self.tracer is not None:
+            self.tracer.record_system(
+                "checkpoint", self.clock.now, "flushed=%d" % (flushed,)
             )
-        for index in self.catalog.indexes():
-            if getattr(index, "virtual", False) or index.btree is None:
-                continue
-            self.pool.discard(index.btree.file)
-            index.btree.file.truncate()
-            index.btree = BTree(index.btree.file, self.pool, name=index.name)
-        for record in self.txn_log.redo_records():
-            table = self.catalog.table(record.table)
-            key = (record.table, record.row_id)
-            if record.kind == LOG_INSERT:
-                new_id = table.storage.insert(record.after)
-                self._index_insert(table, record.after, new_id)
-                mapping[key] = new_id
-            elif record.kind == LOG_UPDATE:
-                new_id = mapping[key]
-                table.storage.update(new_id, record.after)
-                self._index_delete(table, record.before, new_id)
-                self._index_insert(table, record.after, new_id)
-            elif record.kind == LOG_DELETE:
-                new_id = mapping.pop(key)
-                table.storage.delete(new_id)
-                self._index_delete(table, record.before, new_id)
-        self.pool.flush_all()
+        return flushed
+
+    def crash(self, tear_tail=None):
+        """Simulated process death: volatile state lost, durable survives.
+
+        Drops every pool frame without writeback, optionally tears the
+        final durable log page (``tear_tail=True`` forces it, ``None``
+        lets the fault plan's ``wal.torn_tail`` rate decide), reopens the
+        log from the surviving pages, rebinds table storage to the
+        surviving file pages, and abandons all locks (they die with the
+        process).  The server is left *unrecovered*: tables hold whatever
+        mix of flushed pages survived.  Call :meth:`restart` next.
+        """
+        plan = self.fault_plan
+        self.pool.drop_all()
+        if tear_tail is None:
+            tear_tail = plan is not None and plan.should(
+                LOG_TORN_TAIL, plan.rates.torn_tail
+            )
+        if tear_tail and self.txn_log.tear_inflight_page():
+            if plan is not None:
+                plan.record(LOG_TORN_TAIL, "in-flight log page torn at crash")
+        self.txn_log = TransactionLog.open(
+            self.log_file, metrics=self.metrics, fault_plan=plan
+        )
+        self.pool.lsn_fn = lambda: self.txn_log.peek_next_lsn()
+        self.pool.wal_fn = lambda: self.txn_log.force()
+        from repro.engine.locks import LockManager
+
+        self.lock_manager = LockManager(
+            self.volume.create_file("locks"), self.pool
+        )
+        self.temp_file.truncate()
+        for table in self.catalog.tables():
+            if table.storage is not None:
+                table.storage.reattach_after_crash()
+        if self.tracer is not None:
+            self.tracer.record_system(
+                "crash", self.clock.now,
+                "torn_tail=%s durable_lsn=%d"
+                % (bool(tear_tail), self.txn_log.durable_lsn),
+            )
+
+    def restart(self):
+        """Run ARIES-lite restart recovery; returns a RecoveryReport."""
+        self._in_recovery = True
+        try:
+            return RecoveryManager(self).run()
+        finally:
+            self._in_recovery = False
+
+    def simulate_crash_and_recover(self):
+        """Crash then restart in one call; returns surviving row total.
+
+        Kept as the one-line convenience the chaos tests and experiments
+        use: what a crash destroys is the unforced log tail and every
+        unflushed page, and restart rebuilds exactly the committed state.
+        """
+        self.crash()
+        self.restart()
         return sum(
             table.row_count for table in self.catalog.tables()
         )
@@ -389,6 +479,9 @@ class Server:
             coerced = self._coerce_row(table, row)
             row_id = table.storage.insert(coerced)
             self._index_insert(table, coerced, row_id)
+            table.storage.stamp_page(
+                row_id.page_ordinal, self.txn_log.peek_next_lsn()
+            )
             self.txn_log.log_change(
                 txn_id, LOG_INSERT, table.name, row_id, after=coerced
             )
@@ -409,6 +502,20 @@ class Server:
                 )
             coerced.append(coerce_value(column.type_name, value))
         return tuple(coerced)
+
+    def _index_check_unique(self, table, row):
+        """Raise before any mutation if ``row`` would violate a unique
+        index — the heap must never hold a row that was only rejected
+        after its insert (nothing is logged yet, so rollback could not
+        remove it)."""
+        for index in self.catalog.indexes_on(table.name):
+            if getattr(index, "virtual", False) or not index.unique:
+                continue
+            key = tuple(row[table.column_index(c)] for c in index.column_names)
+            if index.btree.search(key):
+                raise ExecutionError(
+                    "duplicate key %r in unique index %r" % (key, index.name)
+                )
 
     def _index_insert(self, table, row, row_id):
         for index in self.catalog.indexes_on(table.name):
@@ -481,10 +588,22 @@ class Connection:
         start_us = server.clock.now
         misses_before = server.pool.misses
         hits_before = server.pool.hits
+        plan = server.fault_plan
+        injected_before = plan.injected if plan is not None else 0
+        retries_before = plan.retries if plan is not None else 0
         result = None
         error = None
         try:
             result = self._execute(sql, params)
+            if plan is not None:
+                # Surface what this statement survived: retried or
+                # absorbed injections show up in EXPLAIN ANALYZE.
+                injected = plan.injected - injected_before
+                retries = plan.retries - retries_before
+                if injected or retries:
+                    result.notes["faults"] = {
+                        "injected": injected, "retries": retries,
+                    }
             return result
         except FaultError as exc:
             # An injected fault exhausted its retry budget: only this
@@ -678,10 +797,20 @@ class Connection:
                 for column_index, value in zip(bound.column_indexes, values):
                     full_row[column_index] = value
                 coerced = server._coerce_row(table, full_row)
+                server._index_check_unique(table, coerced)
                 row_id = table.storage.insert(coerced)
-                server.lock_manager.acquire(txn_id, table.name, row_id)
+                try:
+                    server.lock_manager.acquire(txn_id, table.name, row_id)
+                except Exception:
+                    # Nothing is logged for this row yet: compensate the
+                    # heap insert physically so the slot is not leaked.
+                    table.storage.delete(row_id)
+                    raise
                 server._index_insert(table, coerced, row_id)
                 server.stats.note_insert(table.name, coerced)
+                table.storage.stamp_page(
+                    row_id.page_ordinal, server.txn_log.peek_next_lsn()
+                )
                 server.txn_log.log_change(
                     txn_id, LOG_INSERT, table.name, row_id, after=coerced
                 )
@@ -691,7 +820,13 @@ class Connection:
                 self.rollback()
             raise
         if implicit:
-            self.commit()
+            try:
+                self.commit()
+            except FaultError:
+                # The commit force died: the transaction is still active
+                # in the log, so autocommit semantics demand it unwind.
+                self.rollback()
+                raise
         return Result(rowcount=inserted)
 
     def _execute_update(self, statement, params):
@@ -717,6 +852,9 @@ class Connection:
                 server._index_delete(table, old_row, row_id)
                 server._index_insert(table, coerced, row_id)
                 server.stats.note_update(table.name, old_row, coerced)
+                table.storage.stamp_page(
+                    row_id.page_ordinal, server.txn_log.peek_next_lsn()
+                )
                 server.txn_log.log_change(
                     txn_id, LOG_UPDATE, table.name, row_id,
                     before=old_row, after=coerced,
@@ -727,7 +865,11 @@ class Connection:
                 self.rollback()
             raise
         if implicit:
-            self.commit()
+            try:
+                self.commit()
+            except FaultError:
+                self.rollback()
+                raise
         return Result(rowcount=updated, plan_result=result)
 
     def _execute_delete(self, statement, params):
@@ -747,6 +889,9 @@ class Connection:
                 table.storage.delete(row_id)
                 server._index_delete(table, old_row, row_id)
                 server.stats.note_delete(table.name, old_row)
+                table.storage.stamp_page(
+                    row_id.page_ordinal, server.txn_log.peek_next_lsn()
+                )
                 server.txn_log.log_change(
                     txn_id, LOG_DELETE, table.name, row_id, before=old_row
                 )
@@ -756,7 +901,11 @@ class Connection:
                 self.rollback()
             raise
         if implicit:
-            self.commit()
+            try:
+                self.commit()
+            except FaultError:
+                self.rollback()
+                raise
         return Result(rowcount=deleted, plan_result=result)
 
     def _collect_dml_targets(self, bound, result, params):
@@ -927,11 +1076,16 @@ class Connection:
             server.pool.discard(index.btree.file)
             index.btree.file.truncate()
             index.btree = BTree(index.btree.file, server.pool, name=index.name)
+        # The rewrite is unlogged: stamp the fresh pages with the last
+        # already-assigned LSN so restart redo skips every record that
+        # predates the reorganization, then checkpoint so the new file is
+        # durable before the statement returns.
+        stamp = server.txn_log.peek_next_lsn() - 1
         for row in rows:
-            row_id = table.storage.insert(row)
+            row_id = table.storage.insert(row, page_lsn=stamp)
             server._index_insert(table, row, row_id)
-        server.pool.flush_all()
         old_file.truncate()
+        server.checkpoint()
         return Result(notes={
             "reorganized": table.name,
             "clustered_on": order_index.name,
@@ -975,27 +1129,55 @@ class Connection:
         self._txn_id = None
 
     def rollback(self):
+        """Undo this transaction's changes, logging each undo.
+
+        Compensation records (CLR-lite) make runtime rollback replayable:
+        restart recovery redoes *all* history — including these inverse
+        changes — so a crash after the rollback reproduces the rolled-back
+        state without re-undoing anything.
+        """
         if self._txn_id is None:
             raise TransactionError("no active transaction")
         server = self.server
-        for record in server.txn_log.undo_chain(self._txn_id):
+        txn_log = server.txn_log
+        txn_id = self._txn_id
+        for record in txn_log.undo_chain(txn_id):
             table = server.catalog.table(record.table)
             if record.kind == LOG_INSERT:
                 row = table.storage.delete(record.row_id)
                 server._index_delete(table, row, record.row_id)
                 server.stats.note_delete(table.name, row)
+                table.storage.stamp_page(
+                    record.row_id.page_ordinal, txn_log.peek_next_lsn()
+                )
+                txn_log.log_change(
+                    txn_id, LOG_DELETE, table.name, record.row_id, before=row
+                )
             elif record.kind == LOG_DELETE:
                 restored = record.before
                 new_row_id = table.storage.insert(restored)
                 server._index_insert(table, restored, new_row_id)
                 server.stats.note_insert(table.name, restored)
+                table.storage.stamp_page(
+                    new_row_id.page_ordinal, txn_log.peek_next_lsn()
+                )
+                txn_log.log_change(
+                    txn_id, LOG_INSERT, table.name, new_row_id, after=restored
+                )
             elif record.kind == LOG_UPDATE:
                 table.storage.update(record.row_id, record.before)
                 server._index_delete(table, record.after, record.row_id)
                 server._index_insert(table, record.before, record.row_id)
                 server.stats.note_update(table.name, record.after, record.before)
-        server.txn_log.rollback(self._txn_id)
-        server.lock_manager.release_all(self._txn_id)
+                table.storage.stamp_page(
+                    record.row_id.page_ordinal, txn_log.peek_next_lsn()
+                )
+                txn_log.log_change(
+                    txn_id, LOG_UPDATE, table.name, record.row_id,
+                    before=record.after, after=record.before,
+                )
+        txn_log.rollback(txn_id)
+        server.lock_manager.release_all(txn_id)
         self._txn_id = None
 
     def _ensure_txn(self):

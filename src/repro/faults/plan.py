@@ -33,10 +33,14 @@ DISK_WRITE_LATENCY = "disk.write_latency"
 WORKING_SET_OUTAGE = "ossim.working_set_outage"
 HOSTILE_GRAB = "ossim.hostile_grab"
 SPILL_WRITE_ERROR = "exec.spill_write"
+LOG_FORCE_ERROR = "wal.force_error"
+LOG_TORN_TAIL = "wal.torn_tail"
+CKPT_CRASH = "wal.checkpoint_crash"
 
 ALL_SITES = (
     DISK_READ_ERROR, DISK_WRITE_ERROR, DISK_READ_LATENCY,
     DISK_WRITE_LATENCY, WORKING_SET_OUTAGE, HOSTILE_GRAB, SPILL_WRITE_ERROR,
+    LOG_FORCE_ERROR, LOG_TORN_TAIL, CKPT_CRASH,
 )
 
 #: One injected fault, as recorded in the replayable log.
@@ -68,6 +72,14 @@ class FaultRates:
     working_set_outage: float = 0.01
     #: Probability that one spill-file page write fails.
     spill_write_error: float = 0.003
+    #: Probability that one log-force page write fails transiently.
+    log_force_error: float = 0.002
+    #: Probability the final log page tears during a simulated crash, and
+    #: that a checkpoint dies between its BEGIN and END records.  Both
+    #: default to 0: they only make sense under the crash harness, which
+    #: raises them (or forces the outcome) explicitly.
+    torn_tail: float = 0.0
+    ckpt_crash: float = 0.0
     #: Hostile-process burst schedule; ``hostile_interval_us = 0``
     #: disables the injector (the default: memory-grab bursts perturb
     #: governor behaviour and are opted into by tests/experiments).
@@ -92,9 +104,15 @@ class FaultPlan:
     :meth:`record` for every fault that fires.
     """
 
-    def __init__(self, seed, rates=None):
+    def __init__(self, seed, rates=None, budgets=None):
         self.seed = int(seed)
         self.rates = rates if rates is not None else FaultRates()
+        #: Optional ``{site: max injections}`` caps.  A site at budget
+        #: stops drawing entirely, so long soak runs can bound total
+        #: injected aborts.  The budget map is part of the determinism
+        #: configuration: two runs compare equal only with equal budgets.
+        self.budgets = dict(budgets) if budgets else {}
+        self._site_counts = collections.Counter()
         self._rngs = {}
         #: The replayable injection log: a list of :class:`FaultRecord`.
         self.log = []
@@ -140,10 +158,23 @@ class FaultPlan:
         return rng
 
     def should(self, site, probability):
-        """One seeded draw on ``site``'s private stream."""
+        """One seeded draw on ``site``'s private stream.
+
+        A site whose budget is exhausted returns False *without drawing*,
+        keeping the remaining decision sequence at every site unchanged.
+        """
         if probability <= 0.0:
             return False
+        if self.site_budget_remaining(site) == 0:
+            return False
         return self._rng(site).random() < probability
+
+    def site_budget_remaining(self, site):
+        """Injections left in ``site``'s budget (None = unbounded)."""
+        budget = self.budgets.get(site)
+        if budget is None:
+            return None
+        return max(0, budget - self._site_counts[site])
 
     def draw_uniform(self, site, low, high):
         """A uniform integer draw on ``site``'s stream (burst shaping)."""
@@ -164,6 +195,7 @@ class FaultPlan:
         record = FaultRecord(self._sequence, self.now_us, site, detail)
         self._sequence += 1
         self.log.append(record)
+        self._site_counts[site] += 1
         self.injected += 1
         if self._m_injected is not None:
             self._m_injected.inc()

@@ -35,6 +35,13 @@ FaultTraceEvent = collections.namedtuple(
     "FaultTraceEvent", ["plan_sequence", "time_us", "site", "detail"]
 )
 
+#: One engine-level lifecycle event (checkpoint taken, crash simulated,
+#: restart recovery finished) — the coarse activity the paper's trace
+#: keeps alongside per-statement detail.
+SystemTraceEvent = collections.namedtuple(
+    "SystemTraceEvent", ["kind", "time_us", "detail"]
+)
+
 #: One combined alternation so constants come back in statement order.
 #: (Two sequential passes — strings, then numbers — would reorder mixed
 #: literals: ``a = 5 AND b = 'x'`` must yield ``('5', "'x'")``.)  The
@@ -75,6 +82,8 @@ class Tracer:
         #: Injected faults seen while this tracer was attached (its own
         #: ring: fault storms must not evict statement events).
         self.fault_events = collections.deque(maxlen=capacity)
+        #: Engine lifecycle events (checkpoints, crashes, recoveries).
+        self.system_events = collections.deque(maxlen=capacity)
         self.dropped = 0
         self._sequence = 0
 
@@ -95,6 +104,12 @@ class Tracer:
         """Record one injected fault (called by the bound FaultPlan)."""
         event = FaultTraceEvent(plan_sequence, time_us, site, detail)
         self.fault_events.append(event)
+        return event
+
+    def record_system(self, kind, time_us, detail=""):
+        """Record one engine lifecycle event (checkpoint/crash/recovery)."""
+        event = SystemTraceEvent(kind, time_us, detail)
+        self.system_events.append(event)
         return event
 
     def __len__(self):

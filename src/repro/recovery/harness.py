@@ -1,0 +1,303 @@
+"""Deterministic crash harness: kill the server at a seeded point, restart
+it, and verify committed-exactly recovery differentially.
+
+The harness owns two servers built by the same factory (same seed, same
+configuration).  On the *crash* server it arms the transaction log's
+``crash_hook`` to raise :class:`SimulatedCrash` at the N-th hit of a
+chosen crash site (``wal.append``, ``wal.commit_before_force``,
+``wal.commit_after_force``, ``wal.force_page``, ``wal.checkpoint_mid``),
+runs the workload until the process "dies", then crashes and restarts it
+through restart recovery.  On the *reference* server it replays exactly
+the statements that committed before the crash — no crash, no recovery.
+
+Verification is differential: the recovered tables must hold exactly the
+reference rows (committed-exactly), and the rebuilt indexes must agree
+with their heaps.  Because everything runs on the SimClock with seeded
+fault plans, two harness runs with the same seed produce byte-identical
+post-recovery page images — which is the determinism half of the crash
+matrix in ``tests/recovery/``.
+"""
+
+import collections
+
+from repro.common.errors import ReproError, SimulatedCrash
+
+#: Where and when to kill the server: the crash fires on the
+#: ``occurrence``-th hit of ``site`` (1-based) during the workload.
+CrashPoint = collections.namedtuple("CrashPoint", ["site", "occurrence"])
+CrashPoint.__new__.__defaults__ = (1,)
+
+#: Workload sentinel: take a fuzzy checkpoint instead of running SQL
+#: (the only way to stand inside the CKPT BEGIN/END window).
+CHECKPOINT = "<checkpoint>"
+
+
+class VerificationError(ReproError):
+    """The recovered state differs from the committed reference state."""
+
+
+class CrashReport:
+    """Everything one harness run learned."""
+
+    def __init__(self):
+        self.crashed = False
+        self.crash_site = None
+        self.statements_run = 0
+        self.committed_statements = []
+        self.interrupted_statement = None
+        self.interrupted_committed = False
+        self.recovery = None
+        self.tables_verified = 0
+        self.rows_verified = 0
+
+    def __repr__(self):
+        return (
+            "CrashReport(crashed=%r, site=%r, committed=%d, verified=%d rows)"
+            % (
+                self.crashed, self.crash_site,
+                len(self.committed_statements), self.rows_verified,
+            )
+        )
+
+
+class CrashHarness:
+    """Drives crash → restart → differential verification.
+
+    ``server_factory`` builds a fresh server (deterministic: same seed,
+    same config each call).  ``schema`` is the list of statements that
+    set both servers up (DDL and priming loads — assumed durable before
+    the interesting workload begins; the harness checkpoints after
+    applying it).  ``workload`` is the list of statements to run on the
+    crash server — plain SQL strings, ``(sql, params)`` pairs, or the
+    :data:`CHECKPOINT` sentinel.
+    """
+
+    def __init__(self, server_factory, schema, workload, crash_point=None,
+                 tear_tail=None):
+        self.server_factory = server_factory
+        self.schema = list(schema)
+        self.workload = list(workload)
+        self.crash_point = crash_point
+        #: Force (True/False) or let the fault plan decide (None) whether
+        #: the final log page tears during the crash.
+        self.tear_tail = tear_tail
+        self.server = None
+        self.report = CrashReport()
+        self._pending_at_crash = []
+        self._interrupted_txn = None
+
+    # ------------------------------------------------------------------ #
+    # the run
+    # ------------------------------------------------------------------ #
+
+    def run(self):
+        """Crash run, recovery, then differential verification."""
+        report = self.report
+        self.server = self.server_factory()
+        connection = self.server.connect()
+        try:
+            self._apply_schema(connection)
+            self._arm()
+            self._drive_workload(connection)
+        finally:
+            self._disarm()
+        if report.crashed:
+            self.server.crash(tear_tail=self.tear_tail)
+            report.recovery = self.server.restart()
+            if report.interrupted_statement is not None:
+                # The ambiguous statement: it died mid-execution, so its
+                # transaction survives iff its COMMIT record reached the
+                # device before the crash.
+                report.interrupted_committed = (
+                    self._interrupted_txn is not None
+                    and self._interrupted_txn
+                    in self.server.txn_log.committed_txns()
+                )
+                if report.interrupted_committed:
+                    report.committed_statements.extend(
+                        self._pending_at_crash
+                        + [report.interrupted_statement]
+                    )
+        self._verify()
+        return report
+
+    def _apply_schema(self, connection):
+        for sql in self.schema:
+            connection.execute(sql)
+        # The schema is the experiment's given: make it durable so the
+        # crash only ever destroys workload effects.
+        self.server.checkpoint()
+
+    def _arm(self):
+        if self.crash_point is None:
+            return
+        remaining = [self.crash_point.occurrence]
+
+        def hook(site):
+            if site != self.crash_point.site:
+                return
+            remaining[0] -= 1
+            if remaining[0] <= 0:
+                raise SimulatedCrash("crash point %s" % (site,))
+
+        self.server.txn_log.crash_hook = hook
+
+    def _disarm(self):
+        if self.server is not None:
+            self.server.txn_log.crash_hook = None
+
+    def _drive_workload(self, connection):
+        """Run the workload, tracking which statements' effects committed.
+
+        Autocommit statements commit when they return.  Statements inside
+        an explicit BEGIN block are *pending* until the COMMIT statement
+        succeeds (a ROLLBACK or a crash mid-transaction drops them).  The
+        statement the crash interrupts is remembered for post-recovery
+        adjudication against the durable log.
+        """
+        report = self.report
+        server = self.server
+        self._pending_at_crash = []
+        self._interrupted_txn = None
+        pending = []
+        for item in self.workload:
+            sql, params = item if isinstance(item, tuple) else (item, None)
+            ambient_txn = connection._txn_id
+            txn_before = server._next_txn_id
+            try:
+                if sql == CHECKPOINT:
+                    server.checkpoint()
+                else:
+                    connection.execute(sql, params=params)
+            except SimulatedCrash as crash:
+                report.crashed = True
+                report.crash_site = str(crash)
+                if sql != CHECKPOINT:
+                    report.interrupted_statement = (sql, params)
+                    self._interrupted_txn = (
+                        ambient_txn if ambient_txn is not None
+                        else txn_before
+                        if server._next_txn_id > txn_before else None
+                    )
+                    self._pending_at_crash = list(pending)
+                return
+            report.statements_run += 1
+            if sql == CHECKPOINT:
+                continue
+            if connection._txn_id is not None:
+                # BEGIN, or a statement inside the open transaction.
+                pending.append((sql, params))
+            elif ambient_txn is not None:
+                # This statement closed the transaction.
+                if sql.strip().upper().startswith("COMMIT"):
+                    report.committed_statements.extend(
+                        pending + [(sql, params)]
+                    )
+                pending = []
+            else:
+                report.committed_statements.append((sql, params))
+
+    # ------------------------------------------------------------------ #
+    # differential verification
+    # ------------------------------------------------------------------ #
+
+    def _verify(self):
+        """Replay the committed statements on a fresh server; the
+        recovered server must hold exactly the same rows, and its rebuilt
+        indexes must agree with the heaps."""
+        report = self.report
+        reference = self.server_factory()
+        ref_connection = reference.connect()
+        for sql in self.schema:
+            ref_connection.execute(sql)
+        for sql, params in report.committed_statements:
+            ref_connection.execute(sql, params=params)
+        try:
+            for table in reference.catalog.tables():
+                expected = self._table_rows(reference, table.name)
+                actual = self._table_rows(self.server, table.name)
+                if expected != actual:
+                    raise VerificationError(
+                        "table %r diverged after recovery: expected %d "
+                        "committed rows, recovered %d (first difference: %r)"
+                        % (
+                            table.name, len(expected), len(actual),
+                            _first_difference(expected, actual),
+                        )
+                    )
+                report.tables_verified += 1
+                report.rows_verified += len(actual)
+            self._verify_indexes()
+        finally:
+            ref_connection.close()
+
+    def _verify_indexes(self):
+        server = self.server
+        for index in server.catalog.indexes():
+            if getattr(index, "virtual", False) or index.btree is None:
+                continue
+            table = server.catalog.table(index.table_name)
+            heap_keys = sorted(
+                (
+                    tuple(
+                        row[table.column_index(c)]
+                        for c in index.column_names
+                    ),
+                    row_id,
+                )
+                for row_id, row in table.storage.scan()
+            )
+            index_keys = sorted(
+                (tuple(key), row_id)
+                for key, row_id in index.btree.range_scan()
+            )
+            if heap_keys != index_keys:
+                raise VerificationError(
+                    "index %r disagrees with heap %r after rebuild: %d "
+                    "heap entries vs %d index entries"
+                    % (
+                        index.name, table.name,
+                        len(heap_keys), len(index_keys),
+                    )
+                )
+
+    @staticmethod
+    def _table_rows(server, table_name):
+        table = server.catalog.table(table_name)
+        if table.storage is None:
+            return []
+        return sorted(row for __, row in table.storage.scan())
+
+    # ------------------------------------------------------------------ #
+    # physical determinism surface
+    # ------------------------------------------------------------------ #
+
+    def state_fingerprint(self):
+        """Canonical text of every table's post-recovery page images.
+
+        Two harness runs with the same seed and workload must produce
+        byte-identical fingerprints — the determinism assertion of the
+        crash-matrix tests.
+        """
+        parts = []
+        for table in sorted(
+            self.server.catalog.tables(), key=lambda t: t.name
+        ):
+            if table.storage is None:
+                continue
+            images = table.storage.page_images()
+            for ordinal in sorted(images):
+                parts.append(
+                    "%s:%d %s" % (table.name, ordinal, images[ordinal])
+                )
+        return "\n".join(parts)
+
+
+def _first_difference(expected, actual):
+    missing = [row for row in expected if row not in actual]
+    extra = [row for row in actual if row not in expected]
+    if missing:
+        return ("missing", missing[0])
+    if extra:
+        return ("extra", extra[0])
+    return None

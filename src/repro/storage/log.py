@@ -1,16 +1,35 @@
-"""Transaction log (write-ahead logging).
+"""Transaction log (write-ahead logging) with durable page framing.
 
-Each database has "a separate transaction log file" (paper Section 1).  The
-log is an append-only sequence of records; COMMIT forces the tail to the
-device.  Recovery replays committed transactions' redo entries and discards
-the rest — enough machinery to exercise crash/restart behaviour in tests,
-and to give the buffer pool genuine REDO/UNDO page traffic for its
-heterogeneous page mix (Section 2.1).
+Each database has "a separate transaction log file" (paper Section 1).
+The log is an append-only sequence of records packed into checksummed,
+LSN-stamped *log pages*:
+
+``page 0``
+    the **master record** — it remembers where the last complete
+    checkpoint's BEGIN record lives so restart can start scanning there
+    instead of at the head of the log;
+``pages 1..n``
+    data pages framed as ``{"first_lsn", "records", "checksum"}``.  The
+    checksum (CRC-32 over the canonical repr) plus a first-LSN
+    continuity check is what lets :meth:`TransactionLog.open` detect a
+    *torn tail*: the page a crash interrupted mid-write fails
+    validation and is dropped, along with everything after it.
+
+COMMIT forces the tail to the device; the buffer pool's write-ahead
+hook forces it again before any dirty data page is written back, so the
+volume never holds a page image whose log records are not durable.
+
+Fuzzy checkpoints are a CKPT_BEGIN/CKPT_END record pair: BEGIN carries
+the active-transaction list and the dirty-page table, END seals the
+pair and republishes the master record.  Restart recovery
+(:mod:`repro.recovery.restart`) replays history from the last complete
+checkpoint's BEGIN.
 """
 
 import collections
+import zlib
 
-from repro.common.errors import TransactionError
+from repro.common.errors import IOFaultError, TransactionError
 
 #: Log record kinds.
 BEGIN = "BEGIN"
@@ -20,6 +39,8 @@ INSERT = "INSERT"
 DELETE = "DELETE"
 UPDATE = "UPDATE"
 CHECKPOINT = "CHECKPOINT"
+CKPT_BEGIN = "CKPT_BEGIN"
+CKPT_END = "CKPT_END"
 
 LogRecord = collections.namedtuple(
     "LogRecord", ["lsn", "txn_id", "kind", "table", "row_id", "before", "after"]
@@ -28,26 +49,149 @@ LogRecord = collections.namedtuple(
 #: Log records per log page (controls how often appends charge an I/O).
 RECORDS_PER_PAGE = 32
 
+# --------------------------------------------------------------------- #
+# crash-hook sites (consumed by repro.recovery.harness.CrashHarness)
+# --------------------------------------------------------------------- #
+
+CRASH_APPEND = "wal.append"
+CRASH_COMMIT_EARLY = "wal.commit_before_force"
+CRASH_COMMIT_LATE = "wal.commit_after_force"
+CRASH_FORCE_PAGE = "wal.force_page"
+CRASH_CKPT_MID = "wal.checkpoint_mid"
+
+CRASH_SITES = (
+    CRASH_APPEND, CRASH_COMMIT_EARLY, CRASH_COMMIT_LATE, CRASH_FORCE_PAGE,
+    CRASH_CKPT_MID,
+)
+
+
+def _page_checksum(first_lsn, records):
+    """CRC-32 over the canonical text form of a log page's contents."""
+    return zlib.crc32(
+        repr((first_lsn, records)).encode("utf-8", "backslashreplace")
+    )
+
+
+def _frame_page(first_lsn, records):
+    return {
+        "first_lsn": first_lsn,
+        "records": records,
+        "checksum": _page_checksum(first_lsn, records),
+    }
+
+
+def _validate_page(payload, expected_first_lsn):
+    """Whether ``payload`` is a well-formed log page continuing the scan.
+
+    ``expected_first_lsn`` of ``None`` accepts any starting LSN (the
+    first page of a from-checkpoint scan).
+    """
+    if not isinstance(payload, dict):
+        return False
+    try:
+        first_lsn = payload["first_lsn"]
+        records = payload["records"]
+        checksum = payload["checksum"]
+    except KeyError:
+        return False
+    if not isinstance(records, list) or not records:
+        return False
+    if expected_first_lsn is not None and first_lsn != expected_first_lsn:
+        return False
+    return _page_checksum(first_lsn, records) == checksum
+
 
 class TransactionLog:
-    """Append-only WAL on a paged file."""
+    """An append-only WAL on a paged file, recoverable after a crash."""
 
-    def __init__(self, log_file):
+    def __init__(self, log_file, metrics=None, fault_plan=None):
         self._file = log_file
         self._records = []
+        #: LSN of ``self._records[0]`` — non-zero after a from-checkpoint
+        #: :meth:`open` (the scan does not load pre-checkpoint history).
+        self._base_lsn = 0
         self._durable_lsn = -1
         self._active = set()
         self._committed = set()
         self._next_lsn = 0
+        #: Next data page to write; pages past a torn tail are rewritten.
+        self._next_page = 1
+        #: ``(page_no, first_lsn)`` of every durable data page, in order.
+        self._page_index = []
+        #: CKPT_BEGIN record of the last *complete* checkpoint, if any.
+        self.last_checkpoint = None
+        self.last_checkpoint_end_lsn = -1
+        self._pending_ckpt_begin = None
+        #: Data pages discarded by torn-tail detection at the last open.
+        self.torn_pages_dropped = 0
+        self.fault_plan = fault_plan
+        #: CrashHarness hook: ``fn(site)`` called at each CRASH_* site;
+        #: raising from it simulates the process dying right there.
+        self.crash_hook = None
+        self._m_forces = None
+        self._m_pages = None
+        self._m_force_retries = None
+        self._m_torn = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, registry):
+        """Publish ``wal.*`` counters (idempotent across log reopen)."""
+        self._m_forces = registry.counter("wal.forces")
+        self._m_pages = registry.counter("wal.pages_written")
+        self._m_force_retries = registry.counter("wal.force_retries")
+        self._m_torn = registry.counter("wal.torn_pages_dropped")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
 
     @property
     def durable_lsn(self):
         """Highest LSN guaranteed on the device."""
         return self._durable_lsn
 
+    @property
+    def base_lsn(self):
+        """LSN of the first loaded record (non-zero after a
+        from-checkpoint :meth:`open` — the window is partial history)."""
+        return self._base_lsn
+
     def record_count(self):
-        """Total records appended (durable or not)."""
-        return len(self._records)
+        """Total records appended over the log's lifetime (durable or not)."""
+        return self._next_lsn
+
+    def peek_next_lsn(self):
+        """The LSN the next append will receive (no side effects).
+
+        The engine stamps a data page with this value *before* applying a
+        change, then appends the matching record — so a page's LSN always
+        covers every record that touched it.
+        """
+        return self._next_lsn
+
+    def active_txns(self):
+        """Transactions with a BEGIN but no COMMIT/ROLLBACK (losers,
+        when read after :meth:`open`)."""
+        return set(self._active)
+
+    def committed_txns(self):
+        return set(self._committed)
+
+    def records_since_checkpoint(self):
+        """Records appended after the last complete checkpoint's END —
+        the governor's measure of how much log a restart must replay."""
+        return self._next_lsn - (self.last_checkpoint_end_lsn + 1)
+
+    def loaded_records(self):
+        """The in-memory record window (full history unless the log was
+        opened from a checkpoint)."""
+        return list(self._records)
+
+    def records_from(self, lsn):
+        """Loaded records with ``record.lsn >= lsn``, in LSN order."""
+        start = max(0, lsn - self._base_lsn)
+        return self._records[start:]
 
     # ------------------------------------------------------------------ #
     # appends
@@ -65,16 +209,25 @@ class TransactionLog:
             raise TransactionError("transaction %r is not active" % (txn_id,))
         if kind not in (INSERT, DELETE, UPDATE):
             raise TransactionError("unknown change kind %r" % (kind,))
+        self._crash_point(CRASH_APPEND)
         return self._append(txn_id, kind, table, row_id, before, after)
 
     def commit(self, txn_id):
-        """Append COMMIT and force the log tail to disk."""
+        """Append COMMIT and force the log tail to disk.
+
+        The transaction only counts as committed once the force
+        succeeds; a failed force leaves it active so the commit can be
+        retried (a later COMMIT record for the same transaction is
+        harmless to recovery).
+        """
         if txn_id not in self._active:
             raise TransactionError("transaction %r is not active" % (txn_id,))
         record = self._append(txn_id, COMMIT, None, None, None, None)
+        self._crash_point(CRASH_COMMIT_EARLY)
+        self.force()
         self._active.discard(txn_id)
         self._committed.add(txn_id)
-        self.force()
+        self._crash_point(CRASH_COMMIT_LATE)
         return record
 
     def rollback(self, txn_id):
@@ -85,11 +238,74 @@ class TransactionLog:
         self._active.discard(txn_id)
         return record
 
-    def checkpoint(self):
-        """Append a checkpoint marker and force the log."""
-        record = self._append(None, CHECKPOINT, None, None, None, None)
+    # ------------------------------------------------------------------ #
+    # checkpoints
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_begin(self, active_txns, dirty_page_table):
+        """Open a fuzzy checkpoint: durable BEGIN carrying the snapshots.
+
+        ``dirty_page_table`` is ``{(file_id, page_no): rec_lsn}`` from
+        the buffer pool; it travels in the record (sorted, for
+        deterministic page images).
+        """
+        snapshot = {
+            "active": sorted(active_txns),
+            "dpt": sorted(
+                (file_id, page_no, rec_lsn)
+                for (file_id, page_no), rec_lsn in dirty_page_table.items()
+            ),
+        }
+        record = self._append(None, CKPT_BEGIN, None, None, None, snapshot)
+        self._pending_ckpt_begin = record
         self.force()
         return record
+
+    def checkpoint_end(self, begin_record):
+        """Seal the checkpoint and republish the master record."""
+        record = self._append(
+            None, CKPT_END, None, None, None,
+            {"begin_lsn": begin_record.lsn},
+        )
+        self.force()
+        self.last_checkpoint = begin_record
+        self.last_checkpoint_end_lsn = record.lsn
+        self._pending_ckpt_begin = None
+        self._write_master(begin_record.lsn)
+        return record
+
+    def checkpoint(self):
+        """Convenience: an empty fuzzy checkpoint (no snapshots)."""
+        begin = self.checkpoint_begin((), {})
+        return self.checkpoint_end(begin)
+
+    def _write_master(self, ckpt_begin_lsn):
+        ckpt_page = self._page_for_lsn(ckpt_begin_lsn)
+        if ckpt_page is None:
+            return
+        self._ensure_master_page()
+        self._write_log_page(0, {
+            "kind": "master",
+            "ckpt_begin_lsn": ckpt_begin_lsn,
+            "ckpt_page": ckpt_page,
+            "checksum": zlib.crc32(
+                repr((ckpt_begin_lsn, ckpt_page)).encode("utf-8")
+            ),
+        })
+
+    def _page_for_lsn(self, lsn):
+        """The durable data page holding ``lsn``, or None."""
+        found = None
+        for page_no, first_lsn in self._page_index:
+            if first_lsn <= lsn:
+                found = page_no
+            else:
+                break
+        return found
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
 
     def _append(self, txn_id, kind, table, row_id, before, after):
         record = LogRecord(self._next_lsn, txn_id, kind, table, row_id, before, after)
@@ -97,24 +313,246 @@ class TransactionLog:
         self._records.append(record)
         return record
 
+    def _crash_point(self, site):
+        if self.crash_hook is not None:
+            self.crash_hook(site)
+
+    def crash_point(self, site):
+        """Public crash-site trigger (the server fires CRASH_CKPT_MID)."""
+        self._crash_point(site)
+
+    def _ensure_master_page(self):
+        if self._file.page_count == 0:
+            page_no = self._file.allocate_page()
+            self._file.write(page_no, {
+                "kind": "master",
+                "ckpt_begin_lsn": -1,
+                "ckpt_page": -1,
+                "checksum": zlib.crc32(repr((-1, -1)).encode("utf-8")),
+            })
+
+    def _allocate_data_page(self):
+        """Next data page number: reuse the slots past a torn tail before
+        growing the file, keeping page order equal to LSN order."""
+        if self._next_page < self._file.page_count:
+            page_no = self._next_page
+        else:
+            page_no = self._file.allocate_page()
+        self._next_page += 1
+        return page_no
+
+    def _write_log_page(self, page_no, payload):
+        """One log-device write, with its own injected-fault site.
+
+        ``wal.force_error`` models the log device specifically (distinct
+        from the generic disk-fault sites, which also fire here through
+        the FaultyDisk wrapper).  Failed attempts burn bounded
+        exponential backoff on the simulated clock; an exhausted budget
+        surfaces as :class:`IOFaultError` and aborts only the statement
+        whose commit (or eviction) forced the log.
+        """
+        from repro.faults.plan import LOG_FORCE_ERROR
+
+        plan = self.fault_plan
+        attempt = 0
+        while plan is not None and plan.should(
+            LOG_FORCE_ERROR, plan.rates.log_force_error
+        ):
+            plan.record(LOG_FORCE_ERROR, "page=%d" % (page_no,))
+            attempt += 1
+            if attempt > plan.rates.io_retry_limit:
+                raise IOFaultError(
+                    "log page %d still failing after %d retries"
+                    % (page_no, plan.rates.io_retry_limit)
+                )
+            plan.note_retry(LOG_FORCE_ERROR)
+            if self._m_force_retries is not None:
+                self._m_force_retries.inc()
+            self._file.volume.disk.clock.advance(
+                int(plan.rates.io_retry_backoff_us * (2 ** (attempt - 1)))
+            )
+        self._file.write(page_no, payload)
+
     # ------------------------------------------------------------------ #
     # durability
     # ------------------------------------------------------------------ #
 
     def force(self):
-        """Write all undurable records to the log file (group commit)."""
+        """Write all undurable records to the log file (group commit).
+
+        The durable LSN advances page by page, so a crash mid-force
+        loses only the pages not yet written.
+        """
         first = self._durable_lsn + 1
-        last = len(self._records) - 1
+        last = self._base_lsn + len(self._records) - 1
         if last < first:
             return 0
+        self._ensure_master_page()
         pages_written = 0
         for lsn in range(first, last + 1, RECORDS_PER_PAGE):
-            page_no = self._file.allocate_page()
-            chunk = self._records[lsn : lsn + RECORDS_PER_PAGE]
-            self._file.write(page_no, [tuple(record) for record in chunk])
+            chunk = self._records[
+                lsn - self._base_lsn : lsn - self._base_lsn + RECORDS_PER_PAGE
+            ]
+            self._crash_point(CRASH_FORCE_PAGE)
+            page_no = self._allocate_data_page()
+            self._write_log_page(
+                page_no, _frame_page(lsn, [tuple(record) for record in chunk])
+            )
+            self._page_index.append((page_no, lsn))
+            self._durable_lsn = lsn + len(chunk) - 1
             pages_written += 1
-        self._durable_lsn = last
+        if self._m_forces is not None:
+            self._m_forces.inc()
+            self._m_pages.inc(pages_written)
         return pages_written
+
+    # ------------------------------------------------------------------ #
+    # restart: reading the durable log back
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(cls, log_file, metrics=None, fault_plan=None, full_scan=False):
+        """Rebuild a log object from the durable pages of ``log_file``.
+
+        Scans data pages in order (each read charges device time — this
+        is the log-scan half of restart cost), validating structure,
+        checksum, and first-LSN continuity.  The first invalid page is a
+        torn tail: it and everything after it are dropped and will be
+        overwritten by future forces.  Unless ``full_scan`` is set, the
+        scan starts at the master record's checkpoint page and the
+        reconstructed log holds only post-checkpoint history.
+        """
+        log = cls(log_file, metrics=metrics, fault_plan=fault_plan)
+        if log_file.page_count == 0:
+            return log
+        start_page, master_lsn = 1, None
+        if not full_scan:
+            master = log_file.read(0)
+            if (
+                isinstance(master, dict)
+                and master.get("kind") == "master"
+                and master.get("ckpt_page", -1) >= 1
+                and master.get("checksum") == zlib.crc32(
+                    repr(
+                        (master.get("ckpt_begin_lsn"), master.get("ckpt_page"))
+                    ).encode("utf-8")
+                )
+            ):
+                start_page, master_lsn = master["ckpt_page"], master["ckpt_begin_lsn"]
+        expected_lsn = 0 if start_page == 1 else None
+        scanned_any = False
+        for page_no in range(start_page, log_file.page_count):
+            payload = log_file.read(page_no)
+            if not _validate_page(payload, expected_lsn):
+                dropped = log_file.page_count - page_no
+                log.torn_pages_dropped = dropped
+                if log._m_torn is not None:
+                    log._m_torn.inc(dropped)
+                if not scanned_any and start_page > 1:
+                    # The master pointed into the torn region: the
+                    # checkpoint cannot be trusted, rescan everything.
+                    return cls.open(
+                        log_file, metrics=metrics, fault_plan=fault_plan,
+                        full_scan=True,
+                    )
+                break
+            if not scanned_any:
+                log._base_lsn = payload["first_lsn"]
+                log._next_lsn = payload["first_lsn"]
+                scanned_any = True
+            for raw in payload["records"]:
+                log._admit(LogRecord(*raw))
+            log._page_index.append((page_no, payload["first_lsn"]))
+            expected_lsn = payload["first_lsn"] + len(payload["records"])
+            log._next_page = page_no + 1
+        log._durable_lsn = log._next_lsn - 1
+        if master_lsn is not None and (
+            log.last_checkpoint is None or log.last_checkpoint.lsn != master_lsn
+        ):
+            # The master named a checkpoint the scan could not confirm
+            # complete (e.g. END fell in the torn tail): rescan from the
+            # head so no pre-checkpoint history is missing.
+            if not full_scan:
+                return cls.open(
+                    log_file, metrics=metrics, fault_plan=fault_plan,
+                    full_scan=True,
+                )
+        return log
+
+    def _admit(self, record):
+        """Replay one scanned record into the in-memory bookkeeping."""
+        self._records.append(record)
+        self._next_lsn = record.lsn + 1
+        if record.kind == BEGIN:
+            self._active.add(record.txn_id)
+        elif record.kind == COMMIT:
+            self._active.discard(record.txn_id)
+            self._committed.add(record.txn_id)
+        elif record.kind == ROLLBACK:
+            # A ROLLBACK after a COMMIT happens when the commit's force
+            # failed and the statement gave up: the compensations that
+            # precede the ROLLBACK make redo-all-history correct, but the
+            # transaction must not be reported as committed.
+            self._active.discard(record.txn_id)
+            self._committed.discard(record.txn_id)
+        elif record.kind == CKPT_BEGIN:
+            self._active.update(record.after["active"])
+            self._pending_ckpt_begin = record
+        elif record.kind == CKPT_END:
+            pending = self._pending_ckpt_begin
+            if pending is not None and pending.lsn == record.after["begin_lsn"]:
+                self.last_checkpoint = pending
+                self.last_checkpoint_end_lsn = record.lsn
+            self._pending_ckpt_begin = None
+
+    def tear_inflight_page(self):
+        """Write the half-finished page of the force the crash interrupted.
+
+        Log pages are written once and never rewritten, so the only page
+        a crash can tear is the one being written at the instant of
+        death — and its records were, by definition, never acknowledged
+        durable.  The next free data-page slot receives an image with a
+        bad checksum (the write never completed); :meth:`open` drops it
+        and the slot is reused.  Mutates the volume's payload store
+        directly (no device time — the damage happened *during* the
+        crash).
+        """
+        first = self._durable_lsn + 1
+        chunk = self._records[
+            first - self._base_lsn : first - self._base_lsn + RECORDS_PER_PAGE
+        ]
+        image = _frame_page(
+            first, [tuple(record) for record in chunk] or [("inflight",)]
+        )
+        image["checksum"] ^= 0x5A5A5A5A
+        self._ensure_master_page()
+        page_no = self._allocate_data_page()
+        self._file.volume._store[self._file.global_page(page_no)] = image
+        return True
+
+    def tear_last_page(self):
+        """Corrupt the last durable data page, as a lying device (write
+        acknowledged before it was stable) would: drop its final record
+        but keep the stale checksum.
+
+        Mutates the volume's payload store directly (no device time — the
+        damage happened *during* the crash).  :meth:`open` will detect
+        and drop the page.
+        """
+        if not self._page_index:
+            return False
+        page_no, first_lsn = self._page_index[-1]
+        store = self._file.volume
+        image = store.peek_payload(self._file.global_page(page_no))
+        if not isinstance(image, dict):
+            return False
+        torn = dict(image)
+        if len(torn.get("records", [])) > 1:
+            torn["records"] = torn["records"][:-1]  # checksum now stale
+        else:
+            torn["checksum"] = torn.get("checksum", 0) ^ 0x5A5A5A5A
+        store._store[self._file.global_page(page_no)] = torn
+        return True
 
     # ------------------------------------------------------------------ #
     # recovery support
@@ -130,19 +568,19 @@ class TransactionLog:
 
     def redo_records(self):
         """Durable data changes of committed transactions, in LSN order."""
+        durable = self._records[: self._durable_lsn + 1 - self._base_lsn]
         committed = {
-            record.txn_id
-            for record in self._records[: self._durable_lsn + 1]
-            if record.kind == COMMIT
+            record.txn_id for record in durable if record.kind == COMMIT
         }
         return [
             record
-            for record in self._records[: self._durable_lsn + 1]
-            if record.kind in (INSERT, DELETE, UPDATE) and record.txn_id in committed
+            for record in durable
+            if record.kind in (INSERT, DELETE, UPDATE)
+            and record.txn_id in committed
         ]
 
     def simulate_crash(self):
         """Drop every record past the durable LSN, as a crash would."""
-        self._records = self._records[: self._durable_lsn + 1]
-        self._next_lsn = len(self._records)
+        self._records = self._records[: self._durable_lsn + 1 - self._base_lsn]
+        self._next_lsn = self._base_lsn + len(self._records)
         self._active.clear()

@@ -26,6 +26,27 @@ IO_RETRY_BACKOFF_US = 100
 PageAddress = collections.namedtuple("PageAddress", ["file_id", "page_no"])
 
 
+def _copy_payload(value):
+    """Structural copy of a page payload (containers only).
+
+    The volume's payload store is the *durable* page image; buffer-pool
+    frames mutate payloads in place.  Copying on both read and write is
+    what keeps the two worlds separate — without it, an in-memory slot
+    update would silently become durable with no writeback, and crash
+    recovery would have nothing to recover.  Scalars (and engine value
+    objects like RowId, which are never mutated) are shared.
+    """
+    if isinstance(value, dict):
+        return {key: _copy_payload(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_copy_payload(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_copy_payload(item) for item in value)
+    if isinstance(value, set):
+        return {_copy_payload(item) for item in value}
+    return value
+
+
 class Volume:
     """A disk device plus an extent allocator and the page payload store."""
 
@@ -93,7 +114,7 @@ class Volume:
         backoff; persistent failure surfaces as :class:`IOFaultError`.
         """
         self._faulted_io(self.disk.read_page, global_page)
-        return self._store.get(global_page)
+        return _copy_payload(self._store.get(global_page))
 
     def write_payload(self, global_page, payload):
         """Write a page's payload to the device, charging transfer time.
@@ -103,7 +124,7 @@ class Volume:
         failed write leaves the old page image intact.
         """
         self._faulted_io(self.disk.write_page, global_page)
-        self._store[global_page] = payload
+        self._store[global_page] = _copy_payload(payload)
 
     def _faulted_io(self, op, global_page):
         """Run one device transfer, riding out transient injected faults.

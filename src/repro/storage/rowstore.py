@@ -4,10 +4,17 @@ Rows are Python tuples.  Each table page holds a fixed number of row slots
 derived from the schema's estimated row width, so table size in pages —
 which both the cost model and the buffer governor's soft cap (eq. 1)
 consume — scales realistically with row count and row width.
+
+Each page carries a ``page LSN`` — the LSN of the newest log record whose
+effect it contains.  The engine stamps it on every logged mutation, and
+restart recovery's REDO pass uses it as the ARIES idempotence guard: a
+record is reapplied only if the durable page image predates it.
 """
 
 from repro.buffer.frames import PageKind
 from repro.common.errors import ExecutionError
+from repro.storage.log import DELETE as LOG_DELETE
+from repro.storage.log import INSERT as LOG_INSERT
 
 
 class RowId:
@@ -34,6 +41,10 @@ class RowId:
 
     def __repr__(self):
         return "RowId(%d,%d)" % (self.page_ordinal, self.slot)
+
+
+def _empty_page(rows_per_page):
+    return {"lsn": -1, "slots": [None] * rows_per_page}
 
 
 class TableStorage:
@@ -69,8 +80,12 @@ class TableStorage:
     # mutations
     # ------------------------------------------------------------------ #
 
-    def insert(self, row):
-        """Append a row; returns its :class:`RowId`."""
+    def insert(self, row, page_lsn=None):
+        """Append a row; returns its :class:`RowId`.
+
+        ``page_lsn`` stamps the page with the LSN of the log record about
+        to describe this change (WAL recovery bookkeeping).
+        """
         row = tuple(row)
         if len(row) != len(self.schema.columns):
             raise ExecutionError(
@@ -80,9 +95,10 @@ class TableStorage:
         ordinal = self._page_with_space()
         frame = self._fetch(ordinal)
         try:
-            slots = frame.payload
+            slots = frame.payload["slots"]
             slot = slots.index(None)
             slots[slot] = row
+            self._stamp(frame, page_lsn)
         finally:
             self.pool.unpin(frame, dirty=True)
         if None not in slots:
@@ -94,34 +110,38 @@ class TableStorage:
         """Fetch one row by id."""
         frame = self._fetch(row_id.page_ordinal)
         try:
-            row = frame.payload[row_id.slot]
+            row = frame.payload["slots"][row_id.slot]
         finally:
             self.pool.unpin(frame)
         if row is None:
             raise ExecutionError("row %r has been deleted" % (row_id,))
         return row
 
-    def update(self, row_id, row):
+    def update(self, row_id, row, page_lsn=None):
         """Overwrite the row at ``row_id``; returns the old row."""
         row = tuple(row)
         frame = self._fetch(row_id.page_ordinal)
         try:
-            old = frame.payload[row_id.slot]
+            slots = frame.payload["slots"]
+            old = slots[row_id.slot]
             if old is None:
                 raise ExecutionError("row %r has been deleted" % (row_id,))
-            frame.payload[row_id.slot] = row
+            slots[row_id.slot] = row
+            self._stamp(frame, page_lsn)
         finally:
             self.pool.unpin(frame, dirty=True)
         return old
 
-    def delete(self, row_id):
+    def delete(self, row_id, page_lsn=None):
         """Remove the row at ``row_id``; returns it."""
         frame = self._fetch(row_id.page_ordinal)
         try:
-            old = frame.payload[row_id.slot]
+            slots = frame.payload["slots"]
+            old = slots[row_id.slot]
             if old is None:
                 raise ExecutionError("row %r already deleted" % (row_id,))
-            frame.payload[row_id.slot] = None
+            slots[row_id.slot] = None
+            self._stamp(frame, page_lsn)
         finally:
             self.pool.unpin(frame, dirty=True)
         if row_id.page_ordinal not in self._pages_with_space:
@@ -142,7 +162,7 @@ class TableStorage:
         for ordinal in range(len(self._page_numbers)):
             frame = self._fetch(ordinal)
             try:
-                rows = list(frame.payload)
+                rows = list(frame.payload["slots"])
             finally:
                 self.pool.unpin(frame)
             for slot, row in enumerate(rows):
@@ -150,21 +170,138 @@ class TableStorage:
                     yield RowId(ordinal, slot), row
 
     # ------------------------------------------------------------------ #
+    # restart recovery (physical REDO/UNDO, repro.recovery.restart)
+    # ------------------------------------------------------------------ #
+
+    def reattach_after_crash(self):
+        """Rebind to the file's surviving pages after a simulated crash.
+
+        Table pages are allocated densely and never freed, so ordinal ==
+        file page number.  Slot bookkeeping (``row_count``,
+        ``_pages_with_space``) is stale until :meth:`rescan_metadata`
+        runs at the end of recovery.
+        """
+        self._page_numbers = list(range(self.file.page_count))
+        self._pages_with_space = []
+        self.row_count = 0
+
+    def _materialize(self, frame):
+        """The frame's page dict, creating an empty page image for pages
+        that were allocated but never reached the device before the
+        crash (their payload reads back as None)."""
+        if frame.payload is None:
+            frame.payload = _empty_page(self.rows_per_page)
+        return frame.payload
+
+    def redo_apply(self, record):
+        """Reapply one data-change record iff the page predates it.
+
+        Returns True if applied, False if the page LSN showed the effect
+        already durable (the idempotence guard recovery's sanitizer
+        asserts on).
+        """
+        ordinal = record.row_id.page_ordinal
+        while len(self._page_numbers) <= ordinal:
+            self._append_page()
+        frame = self._fetch(ordinal)
+        try:
+            page = self._materialize(frame)
+            if page["lsn"] >= record.lsn:
+                return False
+            if record.kind == LOG_DELETE:
+                page["slots"][record.row_id.slot] = None
+            else:  # INSERT and UPDATE both install the after-image
+                page["slots"][record.row_id.slot] = tuple(record.after)
+            page["lsn"] = record.lsn
+        finally:
+            self.pool.unpin(frame, dirty=True)
+        return True
+
+    def undo_apply(self, record, lsn):
+        """Revert one loser-transaction record via its before-image.
+
+        Undo writes are blind slot writes (idempotent by construction)
+        stamped with the compensation record's LSN.
+        """
+        frame = self._fetch(record.row_id.page_ordinal)
+        try:
+            page = self._materialize(frame)
+            if record.kind == LOG_INSERT:
+                page["slots"][record.row_id.slot] = None
+            else:  # UPDATE and DELETE restore the before-image
+                page["slots"][record.row_id.slot] = tuple(record.before)
+            page["lsn"] = lsn
+        finally:
+            self.pool.unpin(frame, dirty=True)
+
+    def rescan_metadata(self):
+        """Rebuild ``row_count`` and the free-slot list from page images
+        (one sequential pass; also yields rows for index rebuilds)."""
+        self.row_count = 0
+        self._pages_with_space = []
+        collected = []
+        for ordinal in range(len(self._page_numbers)):
+            frame = self._fetch(ordinal)
+            try:
+                slots = self._materialize(frame)["slots"]
+                live = 0
+                for slot, row in enumerate(slots):
+                    if row is not None:
+                        live += 1
+                        collected.append((RowId(ordinal, slot), row))
+                self.row_count += live
+                if live < len(slots):
+                    self._pages_with_space.append(ordinal)
+            finally:
+                self.pool.unpin(frame, dirty=True)
+        return collected
+
+    def page_images(self):
+        """``{ordinal: repr(page)}`` without device I/O, preferring
+        in-pool frames over the durable store (sanitizer comparisons)."""
+        images = {}
+        for ordinal, page_no in enumerate(self._page_numbers):
+            key = ("file", self.file.file_id, page_no)
+            frame = self.pool._frames.get(key)
+            if frame is not None:
+                images[ordinal] = repr(frame.payload)
+            else:
+                images[ordinal] = repr(
+                    self.file.volume.peek_payload(self.file.global_page(page_no))
+                )
+        return images
+
+    # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+
+    def stamp_page(self, ordinal, lsn):
+        """Raise a page's LSN to cover a log record about to be appended.
+
+        The engine calls this immediately before ``log_change`` so the
+        stamp and the record always agree; nothing runs in between that
+        could flush the page or fail the statement.
+        """
+        frame = self._fetch(ordinal)
+        try:
+            self._stamp(frame, lsn)
+        finally:
+            self.pool.unpin(frame, dirty=True)
+
+    def _stamp(self, frame, page_lsn):
+        if page_lsn is not None and page_lsn > frame.payload["lsn"]:
+            frame.payload["lsn"] = page_lsn
 
     def _fetch(self, ordinal):
         return self.pool.fetch(
             self.file, self._page_numbers[ordinal], self.page_kind
         )
 
-    def _page_with_space(self):
-        if self._pages_with_space:
-            return self._pages_with_space[0]
+    def _append_page(self):
         with self.pool.pin_guard(
             self.pool.new_page(
                 self.file, self.page_kind,
-                payload=[None] * self.rows_per_page,
+                payload=_empty_page(self.rows_per_page),
             ),
             dirty=True,
         ) as frame:
@@ -172,3 +309,8 @@ class TableStorage:
             self._page_numbers.append(frame.page_no)
             self._pages_with_space.append(ordinal)
             return ordinal
+
+    def _page_with_space(self):
+        if self._pages_with_space:
+            return self._pages_with_space[0]
+        return self._append_page()

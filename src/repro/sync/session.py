@@ -224,6 +224,9 @@ class SyncSession:
         row_id = table.storage.insert(row)
         target._index_insert(table, row, row_id)
         target.stats.note_insert(table.name, row)
+        table.storage.stamp_page(
+            row_id.page_ordinal, target.txn_log.peek_next_lsn()
+        )
         target.txn_log.log_change(
             txn_id, LOG_INSERT, table.name, row_id, after=tuple(row)
         )
@@ -233,6 +236,9 @@ class SyncSession:
         target._index_delete(table, old_row, row_id)
         target._index_insert(table, new_row, row_id)
         target.stats.note_update(table.name, old_row, new_row)
+        table.storage.stamp_page(
+            row_id.page_ordinal, target.txn_log.peek_next_lsn()
+        )
         target.txn_log.log_change(
             txn_id, LOG_UPDATE, table.name, row_id,
             before=tuple(old_row), after=tuple(new_row),
@@ -242,6 +248,9 @@ class SyncSession:
         table.storage.delete(row_id)
         target._index_delete(table, old_row, row_id)
         target.stats.note_delete(table.name, old_row)
+        table.storage.stamp_page(
+            row_id.page_ordinal, target.txn_log.peek_next_lsn()
+        )
         target.txn_log.log_change(
             txn_id, LOG_DELETE, table.name, row_id, before=tuple(old_row)
         )

@@ -6,19 +6,25 @@ import pytest
 from repro import Server, ServerConfig
 from repro.analysis.sanitizers import (
     ClockError,
+    GovernorDriftError,
     PinLeakError,
     QuotaAccountingError,
+    RecoveryIdempotenceError,
     ReplacementError,
+    SanitizedBufferGovernor,
     SanitizedBufferPool,
     SanitizedGClockPolicy,
     SanitizedMemoryGovernor,
     SanitizedSimClock,
 )
-from repro.buffer import GovernorConfig
+from repro.buffer import BufferPool, GovernorConfig
 from repro.buffer.frames import Frame, PageKind
-from repro.common import MiB
+from repro.common import MiB, SimClock
 from repro.common.errors import MemoryQuotaExceededError
 from repro.exec.spill import WorkMemory
+from repro.ossim import OperatingSystem
+from repro.storage import FlashDisk, Volume
+from repro.storage.rowstore import TableStorage
 
 pytestmark = pytest.mark.sanitizer
 
@@ -251,6 +257,85 @@ class TestGClockSanitizer:
     def test_server_uses_sanitized_policy(self):
         server = make_server()
         assert isinstance(server.pool.policy, SanitizedGClockPolicy)
+
+
+def make_sanitized_buffer_governor():
+    clock = SimClock()
+    os_sim = OperatingSystem(256 * MiB)
+    process = os_sim.spawn("dbserver")
+    volume = Volume(FlashDisk(clock, 500_000))
+    pool = BufferPool(volume.create_file("temp"), capacity_pages=1024)
+    governor = SanitizedBufferGovernor(
+        clock, os_sim, process, pool,
+        database_size_fn=lambda: 10**12,
+        config=GovernorConfig(),
+    )
+    return volume, pool, governor
+
+
+def force_misses(pool, volume, n=5):
+    dbfile = volume.create_file("missfile")
+    pages = []
+    for i in range(n):
+        frame = pool.new_page(dbfile, PageKind.TABLE, payload=i)
+        pages.append(frame.page_no)
+        pool.unpin(frame)
+    pool.flush_all()
+    pool.discard(dbfile)
+    for page in pages:
+        pool.unpin(pool.fetch(dbfile, page))
+
+
+class TestGovernorDriftSanitizer:
+    def test_server_uses_sanitized_governor(self):
+        server = make_server()
+        assert isinstance(server.buffer_governor, SanitizedBufferGovernor)
+
+    def test_clean_resize_passes(self):
+        volume, pool, governor = make_sanitized_buffer_governor()
+        force_misses(pool, volume)
+        sample = governor.poll_once()  # a GROW with proper allocation sync
+        assert sample.action == "grow"
+
+    def test_forgotten_allocation_sync_detected(self):
+        """Plant the drift bug: a resize that skips the process-allocation
+        update leaves the control law steering on a stale reference."""
+        volume, pool, governor = make_sanitized_buffer_governor()
+        governor._sync_process_allocation = lambda: None
+        force_misses(pool, volume)
+        with pytest.raises(GovernorDriftError) as excinfo:
+            governor.poll_once()
+        assert "governor drift after grow" in str(excinfo.value)
+
+
+class TestRecoveryIdempotenceSanitizer:
+    def test_clean_recovery_passes_the_second_redo_pass(self):
+        server = make_server()
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("INSERT INTO t VALUES (1), (2)")
+        server.crash()
+        server.restart()  # sanitize on: the idempotence replay runs
+        assert list(conn.execute("SELECT a FROM t ORDER BY a")) == [(1,), (2,)]
+        conn.close()
+
+    def test_broken_lsn_guard_detected(self, monkeypatch):
+        """Plant the classic redo bug: redo_apply that claims to apply on
+        every replay (a missing page-LSN guard).  The second pass must
+        trip the sanitizer."""
+        server = make_server()
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (a INT)")
+        conn.execute("INSERT INTO t VALUES (1)")
+        server.crash()
+        real = TableStorage.redo_apply
+        monkeypatch.setattr(
+            TableStorage, "redo_apply",
+            lambda self, record: bool(real(self, record)) or True,
+        )
+        with pytest.raises(RecoveryIdempotenceError) as excinfo:
+            server.restart()
+        assert "redo is not idempotent" in str(excinfo.value)
 
 
 class TestEnablement:

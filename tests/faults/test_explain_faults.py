@@ -1,0 +1,69 @@
+"""Statement-level fault surfacing: survived retries show up in the
+statement's notes and in the EXPLAIN ANALYZE rendering (satellite of the
+crash-recovery PR — operators diagnosing a slow statement see the
+injections it absorbed)."""
+
+from repro import Server, ServerConfig
+from repro.faults import FaultPlan, FaultRates
+from repro.faults.plan import DISK_READ_ERROR
+
+#: All ambient rates off: only the site a test cranks explicitly fires.
+QUIET = dict(
+    disk_read_error=0.0,
+    disk_write_error=0.0,
+    disk_latency=0.0,
+    working_set_outage=0.0,
+    spill_write_error=0.0,
+    log_force_error=0.0,
+)
+
+
+def make_server(seed=11):
+    plan = FaultPlan(seed, rates=FaultRates(**QUIET))
+    server = Server(
+        ServerConfig(start_buffer_governor=False, fault_plan=plan)
+    )
+    return server, server.fault_plan
+
+
+def populated(server):
+    conn = server.connect()
+    conn.execute("CREATE TABLE t (a INT, b INT)")
+    for i in range(32):
+        conn.execute("INSERT INTO t VALUES (?, ?)", params=[i, i * i])
+    server.checkpoint()
+    server.pool.drop_all()  # the next scan must go back to the device
+    return conn
+
+
+class TestExplainAnalyzeFaults:
+    def test_retried_statement_reports_its_faults(self):
+        server, plan = make_server()
+        conn = populated(server)
+        plan.rates.disk_read_error = 1.0
+        plan.budgets[DISK_READ_ERROR] = 2  # deterministic: exactly two
+        result = conn.execute("SELECT a FROM t ORDER BY a")
+        assert len(result) == 32
+        assert result.notes["faults"] == {"injected": 2, "retries": 2}
+        rendered = result.explain(analyze=True)
+        assert "faults: injected=2 retries=2" in rendered
+        conn.close()
+
+    def test_quiet_statement_carries_no_faults_note(self):
+        server, __ = make_server()
+        conn = populated(server)
+        result = conn.execute("SELECT a FROM t ORDER BY a")
+        assert "faults" not in result.notes
+        assert "faults:" not in result.explain(analyze=True)
+        conn.close()
+
+    def test_fault_free_plain_explain_unchanged(self):
+        server, plan = make_server()
+        conn = populated(server)
+        plan.rates.disk_read_error = 1.0
+        plan.budgets[DISK_READ_ERROR] = 1
+        result = conn.execute("SELECT a FROM t")
+        # Non-analyze EXPLAIN stays a pure plan rendering.
+        assert "faults:" not in result.explain(analyze=False)
+        assert result.notes["faults"]["injected"] == 1
+        conn.close()

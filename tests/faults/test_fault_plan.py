@@ -100,6 +100,53 @@ class TestAccounting:
         assert event.plan_sequence == 0
 
 
+class TestBudgets:
+    def test_unbudgeted_site_is_unbounded(self):
+        plan = FaultPlan(3).bind(SimClock())
+        assert plan.site_budget_remaining(DISK_READ_ERROR) is None
+
+    def test_budget_counts_down_with_recorded_injections(self):
+        plan = FaultPlan(3, budgets={DISK_READ_ERROR: 2}).bind(SimClock())
+        assert plan.site_budget_remaining(DISK_READ_ERROR) == 2
+        plan.record(DISK_READ_ERROR, "page=1")
+        assert plan.site_budget_remaining(DISK_READ_ERROR) == 1
+        plan.record(DISK_READ_ERROR, "page=2")
+        assert plan.site_budget_remaining(DISK_READ_ERROR) == 0
+
+    def test_exhausted_budget_stops_firing(self):
+        plan = FaultPlan(3, budgets={DISK_READ_ERROR: 2}).bind(SimClock())
+        fired = 0
+        for __ in range(50):
+            if plan.should(DISK_READ_ERROR, 1.0):
+                plan.record(DISK_READ_ERROR)
+                fired += 1
+        assert fired == 2
+        assert plan.injected == 2
+
+    def test_exhausted_budget_skips_the_draw(self):
+        """At budget zero, ``should`` must not consume stream state: the
+        site's substream stays aligned with an unbudgeted twin."""
+        capped = FaultPlan(9, budgets={DISK_WRITE_ERROR: 0}).bind(SimClock())
+        free = FaultPlan(9).bind(SimClock())
+        for __ in range(40):
+            assert not capped.should(DISK_WRITE_ERROR, 1.0)
+        # Same seed, different site: streams must still agree.
+        capped_draws = [capped.should(DISK_READ_ERROR, 0.5) for __ in range(60)]
+        free_draws = [free.should(DISK_READ_ERROR, 0.5) for __ in range(60)]
+        assert capped_draws == free_draws
+
+    def test_budgets_only_cap_their_own_site(self):
+        plan = FaultPlan(3, budgets={DISK_READ_ERROR: 0}).bind(SimClock())
+        assert not plan.should(DISK_READ_ERROR, 1.0)
+        assert plan.should(DISK_WRITE_ERROR, 1.0)
+
+    def test_budget_map_is_copied(self):
+        budgets = {DISK_READ_ERROR: 1}
+        plan = FaultPlan(3, budgets=budgets).bind(SimClock())
+        budgets[DISK_READ_ERROR] = 99  # caller mutation must not leak in
+        assert plan.site_budget_remaining(DISK_READ_ERROR) == 1
+
+
 class TestEnvParsing:
     def test_unset_disables(self):
         assert plan_from_env({}) is None

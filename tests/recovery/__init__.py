@@ -1,0 +1,1 @@
+"""Crash-recovery tests: log framing, restart, governor, crash matrix."""

@@ -1,0 +1,189 @@
+"""The crash matrix: seeded crash points × committed-exactly verification.
+
+Every test drives a :class:`CrashHarness`: the server is killed at a
+chosen WAL crash site, crashed (volatile state dropped, optionally a
+torn log tail), restarted through ARIES-lite recovery, and compared
+differentially against a reference server that ran only the committed
+statements.  ``harness.run()`` raises :class:`VerificationError` if the
+recovered state is anything but committed-exactly.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.recovery import CHECKPOINT, CrashHarness, CrashPoint
+from repro.storage.log import (
+    CRASH_APPEND,
+    CRASH_CKPT_MID,
+    CRASH_COMMIT_EARLY,
+    CRASH_COMMIT_LATE,
+    CRASH_FORCE_PAGE,
+)
+
+SCHEMA = [
+    "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)",
+    "CREATE INDEX ib ON accounts (balance)",
+    "INSERT INTO accounts VALUES (1, 100), (2, 200), (3, 300), (4, 400)",
+]
+
+WORKLOAD = [
+    "INSERT INTO accounts VALUES (5, 500)",
+    "UPDATE accounts SET balance = 150 WHERE id = 1",
+    "BEGIN",
+    "UPDATE accounts SET balance = 250 WHERE id = 2",
+    "INSERT INTO accounts VALUES (6, 600)",
+    "COMMIT",
+    "DELETE FROM accounts WHERE id = 3",
+    CHECKPOINT,
+    "INSERT INTO accounts VALUES (7, 700)",
+    "BEGIN",
+    "UPDATE accounts SET balance = 1 WHERE id = 4",
+    "ROLLBACK",
+    "UPDATE accounts SET balance = 999 WHERE id = 4",
+    "INSERT INTO accounts VALUES (8, 800)",
+]
+
+
+def make_server():
+    return Server(ServerConfig(start_buffer_governor=False))
+
+
+def run_harness(crash_point, tear_tail=None, workload=WORKLOAD):
+    harness = CrashHarness(
+        make_server, SCHEMA, workload,
+        crash_point=crash_point, tear_tail=tear_tail,
+    )
+    report = harness.run()
+    return harness, report
+
+
+class TestCrashSites:
+    def test_no_crash_point_runs_to_completion(self):
+        __, report = run_harness(None)
+        assert not report.crashed
+        assert report.statements_run == len(WORKLOAD)
+        assert report.rows_verified > 0
+
+    def test_crash_mid_statement(self):
+        __, report = run_harness(CrashPoint(CRASH_APPEND, occurrence=2))
+        assert report.crashed
+        assert not report.interrupted_committed
+        assert report.tables_verified == 1
+
+    def test_crash_before_commit_force_loses_the_statement(self):
+        __, report = run_harness(CrashPoint(CRASH_COMMIT_EARLY))
+        assert report.crashed
+        # The COMMIT record was appended but never forced: not durable.
+        assert not report.interrupted_committed
+
+    def test_crash_after_commit_force_keeps_the_statement(self):
+        __, report = run_harness(CrashPoint(CRASH_COMMIT_LATE))
+        assert report.crashed
+        assert report.interrupted_committed
+        assert report.committed_statements == [(WORKLOAD[0], None)]
+
+    def test_crash_during_force_page_write(self):
+        __, report = run_harness(CrashPoint(CRASH_FORCE_PAGE, occurrence=3))
+        assert report.crashed
+
+    def test_crash_inside_explicit_transaction_drops_the_block(self):
+        # Occurrence 4 of wal.append = the first change inside BEGIN.
+        __, report = run_harness(CrashPoint(CRASH_APPEND, occurrence=4))
+        assert report.crashed
+        committed_sql = [sql for sql, __ in report.committed_statements]
+        assert "BEGIN" not in committed_sql
+        assert committed_sql == WORKLOAD[:2]
+
+    def test_crash_after_explicit_commit_force_keeps_the_block(self):
+        # The explicit COMMIT statement is the third commit force
+        # (after the two autocommit statements before BEGIN).
+        __, report = run_harness(CrashPoint(CRASH_COMMIT_LATE, occurrence=3))
+        assert report.crashed
+        assert report.interrupted_committed
+        committed_sql = [sql for sql, __ in report.committed_statements]
+        assert "COMMIT" in committed_sql
+        assert "UPDATE accounts SET balance = 250 WHERE id = 2" in committed_sql
+
+    def test_crash_mid_checkpoint(self):
+        __, report = run_harness(CrashPoint(CRASH_CKPT_MID))
+        assert report.crashed
+        assert report.interrupted_statement is None  # a checkpoint died,
+        # not a statement — every statement before it must survive whole.
+        committed_sql = [sql for sql, __ in report.committed_statements]
+        assert "DELETE FROM accounts WHERE id = 3" in committed_sql
+
+    def test_crash_late_in_workload_after_rollback(self):
+        __, report = run_harness(CrashPoint(CRASH_APPEND, occurrence=9))
+        assert report.crashed
+        assert report.recovery is not None
+
+
+class TestTornTail:
+    def test_torn_tail_after_mid_statement_crash(self):
+        __, report = run_harness(
+            CrashPoint(CRASH_APPEND, occurrence=5), tear_tail=True
+        )
+        assert report.crashed
+        assert report.tables_verified == 1
+
+    def test_torn_tail_never_destroys_an_acknowledged_commit(self):
+        """Log pages are written once: the only page a crash can tear is
+        the in-flight one, whose records were never acknowledged.  A
+        commit whose force completed survives any tear."""
+        __, report = run_harness(
+            CrashPoint(CRASH_COMMIT_LATE), tear_tail=True
+        )
+        assert report.crashed
+        assert report.recovery.torn_pages_dropped >= 1
+        assert report.interrupted_committed
+
+    def test_torn_tail_drops_an_unforced_commit(self):
+        """Crashing *before* the commit force with a torn tail: the
+        in-flight page held the COMMIT record, so the transaction is a
+        loser and the statement's effects must vanish."""
+        __, report = run_harness(
+            CrashPoint(CRASH_COMMIT_EARLY), tear_tail=True
+        )
+        assert report.crashed
+        assert report.recovery.torn_pages_dropped >= 1
+        assert not report.interrupted_committed
+
+
+class TestDeterminism:
+    def test_same_crash_same_fingerprint(self):
+        first_h, first_r = run_harness(CrashPoint(CRASH_APPEND, occurrence=6))
+        second_h, second_r = run_harness(CrashPoint(CRASH_APPEND, occurrence=6))
+        assert first_r.committed_statements == second_r.committed_statements
+        assert first_h.state_fingerprint() == second_h.state_fingerprint()
+        assert first_h.state_fingerprint()  # non-empty
+
+    def test_different_crash_points_verify_independently(self):
+        fingerprints = set()
+        for occurrence in (1, 3, 5, 7):
+            harness, report = run_harness(
+                CrashPoint(CRASH_APPEND, occurrence=occurrence)
+            )
+            assert report.crashed
+            fingerprints.add(harness.state_fingerprint())
+        assert len(fingerprints) > 1  # the matrix explored distinct states
+
+
+@pytest.mark.parametrize("occurrence", [1, 2, 4, 6, 8, 10])
+def test_committed_exactly_across_append_sites(occurrence):
+    __, report = run_harness(CrashPoint(CRASH_APPEND, occurrence=occurrence))
+    assert report.crashed
+    assert report.tables_verified == 1
+
+
+@pytest.mark.parametrize("site,occurrence", [
+    (CRASH_COMMIT_EARLY, 1),
+    (CRASH_COMMIT_EARLY, 4),
+    (CRASH_COMMIT_LATE, 2),
+    (CRASH_COMMIT_LATE, 5),
+    (CRASH_FORCE_PAGE, 1),
+    (CRASH_FORCE_PAGE, 5),
+])
+def test_committed_exactly_across_commit_sites(site, occurrence):
+    __, report = run_harness(CrashPoint(site, occurrence=occurrence))
+    assert report.crashed
+    assert report.tables_verified == 1

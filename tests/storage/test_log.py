@@ -102,5 +102,17 @@ def test_checkpoint_forces(log):
     log.begin(1)
     log.log_change(1, INSERT, "t", 1, after=(1,))
     record = log.checkpoint()
-    assert record.kind == "CHECKPOINT"
+    assert record.kind == "CKPT_END"
     assert log.durable_lsn == record.lsn
+
+
+def test_checkpoint_snapshots_active_and_dirty(log):
+    log.begin(7)
+    log.log_change(7, INSERT, "t", 1, after=(1,))
+    begin = log.checkpoint_begin(log.active_txns(), {("table:t", 0): 1})
+    assert begin.kind == "CKPT_BEGIN"
+    assert begin.after["active"] == [7]
+    assert begin.after["dpt"] == [("table:t", 0, 1)]
+    end = log.checkpoint_end(begin)
+    assert end.after["begin_lsn"] == begin.lsn
+    assert log.last_checkpoint.lsn == begin.lsn
