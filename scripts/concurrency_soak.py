@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Concurrency soak: seeded scheduler stress with determinism checks.
+
+For every seed given on the command line (default: the CI chaos seeds),
+the same multi-session workload runs **twice** on a fresh server — small
+buffer pool (page-miss yields), chaos-rate fault injection, group commit
+on — and the two runs must produce byte-identical scheduler traces,
+identical per-session statement counts, and identical table contents.
+Any divergence is a determinism bug; any unabsorbed error is a
+robustness bug.  Run under ``REPRO_SANITIZE=1`` so the scheduler and
+group-commit invariant checks are live.
+
+Usage::
+
+    REPRO_SANITIZE=1 python scripts/concurrency_soak.py 101 202 303
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro import Server, ServerConfig  # noqa: E402
+from repro.engine import WorkloadScheduler  # noqa: E402
+from repro.faults import FaultPlan, FaultRates  # noqa: E402
+
+DEFAULT_SEEDS = (101, 202, 303)
+N_SESSIONS = 5
+STATEMENTS = 8
+TABLE_ROWS = 4000
+POOL_PAGES = 24
+
+#: Chaos defaults, cranked ~10× so this short workload still draws
+#: faults on every seed; the retry budgets keep them all absorbable.
+SOAK_RATES = FaultRates(
+    disk_read_error=0.03,
+    disk_write_error=0.03,
+    disk_latency=0.02,
+    log_force_error=0.02,
+    spill_write_error=0.03,
+)
+
+
+def build_server(seed):
+    return Server(ServerConfig(
+        start_buffer_governor=False,
+        initial_pool_pages=POOL_PAGES,
+        multiprogramming_level=3,
+        fault_plan=FaultPlan(seed=seed, rates=SOAK_RATES),
+    ))
+
+
+def session_statements(k):
+    def source(connection):
+        # First half: scan-heavy mix, commits spaced past the idle
+        # threshold (window collapses, force-per-commit path).
+        for i in range(STATEMENTS // 2):
+            yield (
+                "SELECT count(*), sum(v) FROM t WHERE v = %d"
+                % ((i + k) % 13)
+            )
+            yield (
+                "INSERT INTO t VALUES (%d, %d)"
+                % (100_000 + 1_000 * k + i, (k * 7 + i) % 13)
+            )
+        # Second half: back-to-back commits from every session — the
+        # bursty arrivals that widen the window and batch forces.
+        for i in range(STATEMENTS // 2, STATEMENTS):
+            yield (
+                "INSERT INTO t VALUES (%d, %d)"
+                % (100_000 + 1_000 * k + i, (k * 7 + i) % 13)
+            )
+            yield (
+                "INSERT INTO t VALUES (%d, %d)"
+                % (200_000 + 1_000 * k + i, (k * 11 + i) % 13)
+            )
+    return source
+
+
+def run_once(seed):
+    server = build_server(seed)
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, i % 13) for i in range(TABLE_ROWS)])
+    scheduler = WorkloadScheduler(server, seed=seed, switch_rate=0.5)
+    for k in range(N_SESSIONS):
+        scheduler.add_session("s%d" % k, session_statements(k))
+    report = scheduler.run()
+    rows = sorted(
+        tuple(row)
+        for row in connection.execute("SELECT id, v FROM t").rows
+    )
+    snapshot = {
+        "report": report,
+        "trace": scheduler.trace_lines(),
+        "per_session": [
+            (s.name, s.status, s.statements_run, s.statements_failed)
+            for s in scheduler.sessions
+        ],
+        "rows": rows,
+        "batches": server.group_commit.batches,
+        "committed": server.group_commit.committed,
+        "injected": server.fault_plan.injected,
+    }
+    return snapshot
+
+
+def soak(seed):
+    first = run_once(seed)
+    second = run_once(seed)
+    problems = []
+    for key in ("trace", "per_session", "rows", "report", "batches",
+                "committed", "injected"):
+        if first[key] != second[key]:
+            problems.append("seed %d: %r differs between runs" % (seed, key))
+    report = first["report"]
+    expected = N_SESSIONS * STATEMENTS * 2
+    if report["statements"] + report["statement_errors"] != expected:
+        problems.append(
+            "seed %d: %d statements + %d errors != %d issued"
+            % (
+                seed, report["statements"], report["statement_errors"],
+                expected,
+            )
+        )
+    if report["aborted_sessions"]:
+        problems.append(
+            "seed %d: %d sessions aborted" % (seed, report["aborted_sessions"])
+        )
+    print(
+        "seed %d: %d statements, %d absorbed errors, %d switches, "
+        "%d faults injected, %d commits in %d batches, trace %d bytes%s"
+        % (
+            seed, report["statements"], report["statement_errors"],
+            report["switches"], first["injected"], first["committed"],
+            first["batches"], len(first["trace"]),
+            " [FAIL]" if problems else " [ok]",
+        )
+    )
+    return problems
+
+
+def main(argv):
+    seeds = [int(arg) for arg in argv] or list(DEFAULT_SEEDS)
+    problems = []
+    for seed in seeds:
+        problems.extend(soak(seed))
+    for problem in problems:
+        print("FAIL %s" % problem)
+    if problems:
+        return 1
+    print("concurrency soak: %d seeds, all deterministic" % len(seeds))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

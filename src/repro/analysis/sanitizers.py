@@ -84,6 +84,14 @@ class RecoveryIdempotenceError(SanitizerError):
     """A second redo pass changed page images (redo is not idempotent)."""
 
 
+class SchedulerInvariantError(SanitizerError):
+    """A session ran a statement while the admission queue held it."""
+
+
+class GroupCommitInvariantError(SanitizerError):
+    """A commit was acknowledged before its LSN was durable."""
+
+
 def _call_site():
     """The innermost caller outside the pool/sanitizer plumbing."""
     frame = sys._getframe(1)

@@ -38,6 +38,10 @@ class BufferPool:
         #: written back, so the log is always forced first (the server
         #: wires the transaction log's ``force``).
         self.wal_fn = None
+        #: Workload-scheduler yield point: ``fn(file, page_no)`` fired on
+        #: a fetch miss, before the device read, so concurrent sessions
+        #: interleave at page-I/O boundaries.
+        self.yield_hook = None
         # Counters (cumulative).
         self.hits = 0
         self.misses = 0
@@ -135,6 +139,17 @@ class BufferPool:
             self.policy.on_reference(frame, self._tick)
             return frame
         self.misses += 1
+        if self.yield_hook is not None:
+            self.yield_hook(file, page_no)
+            # Another session may have faulted the page in while this one
+            # was suspended: re-check so we never overwrite its frame.
+            frame = self._frames.get(key)
+            if frame is not None:
+                self.misses -= 1
+                self.hits += 1
+                frame.pin_count += 1
+                self.policy.on_reference(frame, self._tick)
+                return frame
         self._make_room(1)
         frame = Frame(kind, owner=file, page_no=page_no)
         frame.payload = file.read(page_no)

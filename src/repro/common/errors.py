@@ -99,6 +99,25 @@ class TransactionError(ReproError):
     """Transaction misuse: commit/rollback without begin, write after abort."""
 
 
+class SchedulerError(ReproError):
+    """The workload scheduler could not make progress or was misused."""
+
+
+class SchedulerAborted(SchedulerError):
+    """A suspended session was torn down because a sibling session died.
+
+    Raised *from the session's wait site* during the scheduler's abort
+    cascade, so each parked statement unwinds through its own operator
+    cleanup paths (releasing pins, quota pages, and spill files) before
+    the next session is woken.  Never caught by statement-level error
+    handling: teardown must reach the top of the session.
+    """
+
+
+class SchedulerDeadlockError(SchedulerError):
+    """No session is runnable and no pending event can unblock one."""
+
+
 class SimulatedCrash(ReproError):
     """The simulated process died at a seeded crash point.
 

@@ -11,6 +11,7 @@ connection disconnects").
 
 from repro.engine.server import Result, Server, ServerConfig, connect
 from repro.engine.cursor import Cursor, FiberScheduler
+from repro.engine.scheduler import Session, WorkloadScheduler
 
 __all__ = ["Server", "ServerConfig", "Result", "connect", "Cursor",
-           "FiberScheduler"]
+           "FiberScheduler", "Session", "WorkloadScheduler"]

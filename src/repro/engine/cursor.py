@@ -40,6 +40,7 @@ class Cursor:
             self._task, params,
             feedback_enabled=server.config.feedback_enabled,
             metrics=server.metrics, fault_plan=server.fault_plan,
+            yield_hook=server.spill_yield_point,
         )
         self.exec_stats = ExecStatsCollector()
         executor = Executor(
@@ -87,7 +88,7 @@ class Cursor:
             return rows
         finally:
             self.heap.unlock()  # suspend: our pages become stealable
-            if self._server.sanitize:
+            if self._server.sanitize and self._server.pin_checks_quiescent():
                 # Suspended cursors hold no pins: their heaps are unlocked
                 # and stealable between FETCH requests.
                 self._server.pool.assert_no_pins("cursor suspend")
@@ -120,7 +121,7 @@ class Cursor:
         self.heap.free()
         self._rows.close()
         self._server.memory_governor.end_task(self._task)
-        if self._server.sanitize:
+        if self._server.sanitize and self._server.pin_checks_quiescent():
             self._server.pool.assert_no_pins("cursor close")
 
 

@@ -43,7 +43,7 @@ from repro.sql import Binder, ast, parse_statement
 from repro.stats import StatisticsManager
 from repro.storage import ModelBackedDisk, TransactionLog, Volume
 from repro.storage.btree import BTree
-from repro.storage.log import CRASH_CKPT_MID
+from repro.storage.log import CRASH_CKPT_MID, GroupCommitCoordinator
 from repro.storage.log import DELETE as LOG_DELETE
 from repro.storage.log import INSERT as LOG_INSERT
 from repro.storage.log import UPDATE as LOG_UPDATE
@@ -76,6 +76,11 @@ class ServerConfig:
     #: Optional :class:`repro.faults.FaultPlan` for deterministic chaos;
     #: ``None`` defers to the ``REPRO_FAULTS=<seed>`` environment default.
     fault_plan: object = None
+    #: Optional :class:`repro.storage.log.GroupCommitConfig`; ``None``
+    #: uses the adaptive defaults.  Commits always route through the
+    #: coordinator — without a scheduler it degenerates to the classic
+    #: force-per-commit sequence.
+    group_commit: object = None
 
 
 class Result:
@@ -198,6 +203,18 @@ class Server:
         # assigned (checkpoints snapshot that table).
         self.pool.lsn_fn = lambda: self.txn_log.peek_next_lsn()
         self.pool.wal_fn = lambda: self.txn_log.force()
+        #: The active :class:`repro.engine.scheduler.WorkloadScheduler`,
+        #: installed only for the duration of a scheduled run.
+        self.scheduler = None
+        #: Commit batching: every Connection.commit routes through here.
+        self.group_commit = GroupCommitCoordinator(
+            log_fn=lambda: self.txn_log,
+            clock=self.clock,
+            config=self.config.group_commit,
+            metrics=self.metrics,
+            scheduler_fn=lambda: self.scheduler,
+            sanitize=self.sanitize,
+        )
         from repro.engine.locks import LockManager
 
         self.lock_manager = LockManager(
@@ -299,6 +316,26 @@ class Server:
         return self._running
 
     # ------------------------------------------------------------------ #
+    # workload-scheduler hooks
+    # ------------------------------------------------------------------ #
+
+    def pin_checks_quiescent(self):
+        """Whether the pool-wide zero-pins assertion is sound right now.
+
+        A scheduled session suspended mid-statement legitimately holds
+        pins, so statement-boundary pin checks only fire when no other
+        session is inside a statement.
+        """
+        scheduler = self.scheduler
+        return scheduler is None or scheduler.pin_check_safe()
+
+    def spill_yield_point(self):
+        """Spill-flush yield point, plumbed into every ExecutionContext."""
+        scheduler = self.scheduler
+        if scheduler is not None:
+            scheduler.spill_yield()
+
+    # ------------------------------------------------------------------ #
     # checkpointing, crash simulation, and restart recovery
     # ------------------------------------------------------------------ #
 
@@ -354,6 +391,9 @@ class Server:
         self.txn_log = TransactionLog.open(
             self.log_file, metrics=self.metrics, fault_plan=plan
         )
+        # Pending commit tickets died with their sessions (log_fn already
+        # resolves to the reopened log for future commits).
+        self.group_commit.reset()
         self.pool.lsn_fn = lambda: self.txn_log.peek_next_lsn()
         self.pool.wal_fn = lambda: self.txn_log.force()
         from repro.engine.locks import LockManager
@@ -485,7 +525,7 @@ class Server:
             self.txn_log.log_change(
                 txn_id, LOG_INSERT, table.name, row_id, after=coerced
             )
-        self.txn_log.commit(txn_id)
+        self.group_commit.commit(txn_id)
         self.stats.build_statistics(table_name, built_by="load")
         return table.row_count
 
@@ -649,9 +689,11 @@ class Connection:
                     plan_signature=plan_sig,
                     error=error,
                 )
-            if server.sanitize:
+            if server.sanitize and server.pin_checks_quiescent():
                 # Statement boundary: every pin taken while executing this
                 # statement must have been released, even on error paths.
+                # (Skipped while a sibling scheduled session is suspended
+                # mid-statement — its pins are legitimate.)
                 server.pool.assert_no_pins("statement end")
 
     def _execute(self, sql, params=None):
@@ -739,6 +781,7 @@ class Connection:
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
             metrics=server.metrics, fault_plan=server.fault_plan,
+            yield_hook=server.spill_yield_point,
         )
         collector = ExecStatsCollector()
         executor = Executor(
@@ -949,6 +992,7 @@ class Connection:
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
             metrics=server.metrics, fault_plan=server.fault_plan,
+            yield_hook=server.spill_yield_point,
         )
         executor = Executor(
             plan_block_fn=lambda b: optimizer.optimize_select(b),
@@ -1124,7 +1168,11 @@ class Connection:
     def commit(self):
         if self._txn_id is None:
             raise TransactionError("no active transaction")
-        self.server.txn_log.commit(self._txn_id)
+        # Hands off to the group-commit coordinator: under a workload
+        # scheduler the session may park here while other sessions run,
+        # and the ack only arrives once the batched force covered this
+        # transaction's COMMIT record.
+        self.server.group_commit.commit(self._txn_id)
         self.server.lock_manager.release_all(self._txn_id)
         self._txn_id = None
 

@@ -21,12 +21,13 @@ behaviours:
 """
 
 from repro.exec.expr import evaluate, evaluate_predicate
-from repro.exec.memory import MemoryGovernor, Task
+from repro.exec.memory import AdmissionQueue, MemoryGovernor, Task
 from repro.exec.executor import Executor, ExecutionContext
 
 __all__ = [
     "evaluate",
     "evaluate_predicate",
+    "AdmissionQueue",
     "MemoryGovernor",
     "Task",
     "Executor",

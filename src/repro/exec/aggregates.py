@@ -449,7 +449,9 @@ class SortOp(Operator):
     def _spill_run(self, ctx, rows):
         rows.sort(key=self._key_function(ctx))
         run = SpillFile(
-            ctx.temp_file, 80, ctx.pool.page_size, fault_plan=getattr(ctx, "fault_plan", None)
+            ctx.temp_file, 80, ctx.pool.page_size,
+            fault_plan=getattr(ctx, "fault_plan", None),
+            yield_hook=getattr(ctx, "yield_hook", None),
         )
         for env in rows:
             run.append(env)

@@ -31,7 +31,8 @@ class ExecutionContext:
     """Everything operators need at run time."""
 
     def __init__(self, pool, temp_file, stats, clock, task, params=None,
-                 feedback_enabled=True, metrics=None, fault_plan=None):
+                 feedback_enabled=True, metrics=None, fault_plan=None,
+                 yield_hook=None):
         self.pool = pool
         self.temp_file = temp_file
         self.stats = stats
@@ -41,6 +42,9 @@ class ExecutionContext:
         self.feedback_enabled = feedback_enabled
         self.metrics = metrics
         self.fault_plan = fault_plan
+        #: Workload-scheduler yield point, fired at spill-file flushes so
+        #: concurrent sessions can interleave at I/O boundaries.
+        self.yield_hook = yield_hook
         self.cte_tables = {}
         self.notes = {}
 
@@ -66,7 +70,7 @@ class ExecutionContext:
         clone = ExecutionContext(
             self.pool, self.temp_file, self.stats, self.clock, self.task,
             params, self.feedback_enabled, metrics=self.metrics,
-            fault_plan=self.fault_plan,
+            fault_plan=self.fault_plan, yield_hook=self.yield_hook,
         )
         clone.cte_tables = self.cte_tables
         clone.notes = self.notes

@@ -11,7 +11,105 @@ Each task (unit of work) gets two quotas:
   consumer operator".
 """
 
+import collections
+
 from repro.common.errors import MemoryQuotaExceededError
+
+
+class AdmissionQueue:
+    """FIFO statement admission gated by the multiprogramming level.
+
+    The paper's soft limit is ``pool / multiprogramming_level`` — a quota
+    that only means anything if at most that many statements actually run
+    concurrently.  The workload scheduler asks for a slot before every
+    statement; when the governor's (possibly adaptive) level is saturated
+    the session queues and is promoted in arrival order as slots free up.
+    Capacity is read live from the governor, so an MPL adaptation decision
+    immediately widens or narrows the gate.
+    """
+
+    def __init__(self, governor, metrics=None):
+        self._governor = governor
+        self._admitted = set()
+        self._queue = collections.deque()
+        self.total_admissions = 0
+        self.total_waits = 0
+        self.peak_admitted = 0
+        self._m_admissions = None
+        self._m_waits = None
+        if metrics is not None:
+            self._m_admissions = metrics.counter("memgov.admissions")
+            self._m_waits = metrics.counter("memgov.admission_waits")
+            metrics.register_probe(
+                "memgov.admitted_sessions", lambda: len(self._admitted)
+            )
+            metrics.register_probe(
+                "memgov.admission_queue_depth", lambda: len(self._queue)
+            )
+
+    def capacity(self):
+        """Live slot count: the governor's current multiprogramming level."""
+        return self._governor.multiprogramming_level
+
+    def admitted(self, who):
+        return who in self._admitted
+
+    def queued(self, who):
+        return who in self._queue
+
+    def queue_depth(self):
+        return len(self._queue)
+
+    def request(self, who):
+        """Ask for a slot; returns True (admitted) or False (queued).
+
+        Queue order is strict FIFO: a requester never jumps ahead of a
+        session already waiting, even when a slot is free.
+        """
+        if who in self._admitted:
+            return True
+        if who not in self._queue and not self._queue and (
+            len(self._admitted) < self.capacity()
+        ):
+            self._admit(who)
+            return True
+        if who not in self._queue:
+            self._queue.append(who)
+            self.total_waits += 1
+            if self._m_waits is not None:
+                self._m_waits.inc()
+        return False
+
+    def release(self, who):
+        """Give the slot back and promote queued sessions FIFO; returns
+        the sessions promoted by this release."""
+        self._admitted.discard(who)
+        return self.promote()
+
+    def promote(self):
+        """Admit queue heads into any free slots (also called after an
+        MPL adaptation raises capacity)."""
+        promoted = []
+        while self._queue and len(self._admitted) < self.capacity():
+            head = self._queue.popleft()
+            self._admit(head)
+            promoted.append(head)
+        return promoted
+
+    def withdraw(self, who):
+        """Forget ``who`` entirely (session teardown / abort cascade)."""
+        self._admitted.discard(who)
+        try:
+            self._queue.remove(who)
+        except ValueError:
+            pass
+
+    def _admit(self, who):
+        self._admitted.add(who)
+        self.total_admissions += 1
+        self.peak_admitted = max(self.peak_admitted, len(self._admitted))
+        if self._m_admissions is not None:
+            self._m_admissions.inc()
 
 
 class Task:
@@ -114,6 +212,8 @@ class MemoryGovernor:
         self._window_soft_hits = 0
         self._window_peak_concurrency = 0
         self.mpl_changes = []  # [(completed tasks, old level, new level)]
+        #: Statement admission gate consumed by the workload scheduler.
+        self.admission = AdmissionQueue(self, metrics=metrics)
         self._metrics = metrics
         if metrics is not None:
             self._m_tasks = metrics.counter("memgov.tasks_completed")

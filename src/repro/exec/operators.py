@@ -434,6 +434,7 @@ class HashJoinOp(Operator):
         spill = SpillFile(
             self._ctx.temp_file, self._row_bytes, self._ctx.pool.page_size,
             fault_plan=getattr(self._ctx, "fault_plan", None),
+            yield_hook=getattr(self._ctx, "yield_hook", None),
         )
         evicted_bytes = 0
         for key, rows in partition.items():
@@ -544,6 +545,7 @@ class HashJoinOp(Operator):
                     probe_spills[index] = SpillFile(
                         ctx.temp_file, self._row_bytes, ctx.pool.page_size,
                         fault_plan=getattr(ctx, "fault_plan", None),
+                        yield_hook=getattr(ctx, "yield_hook", None),
                     )
                 probe_spills[index].append((key, left_env))
                 self.probe_rows_spilled += 1

@@ -84,10 +84,14 @@ class SpillFile:
     the statement aborts, the temp file does not leak.
     """
 
-    def __init__(self, temp_file, row_bytes_estimate, page_size, fault_plan=None):
+    def __init__(self, temp_file, row_bytes_estimate, page_size, fault_plan=None,
+                 yield_hook=None):
         self.temp_file = temp_file
         self.rows_per_page = max(1, page_size // max(1, row_bytes_estimate))
         self.fault_plan = fault_plan
+        #: Workload-scheduler yield point: fired before each page flush
+        #: so sibling sessions can run while this one does spill I/O.
+        self.yield_hook = yield_hook
         self._pages = []
         self._buffer = []
         self.row_count = 0
@@ -101,6 +105,8 @@ class SpillFile:
     def _flush(self):
         if not self._buffer:
             return
+        if self.yield_hook is not None:
+            self.yield_hook()
         page_no = self.temp_file.allocate_page()
         plan = self.fault_plan
         if plan is not None:
@@ -171,6 +177,7 @@ class SpillableBuffer:
                 self.row_bytes,
                 self.ctx.pool.page_size,
                 fault_plan=getattr(self.ctx, "fault_plan", None),
+                yield_hook=getattr(self.ctx, "yield_hook", None),
             )
         if self._spill is not None:
             self._spill.append(row)

@@ -36,11 +36,16 @@ SPILL_WRITE_ERROR = "exec.spill_write"
 LOG_FORCE_ERROR = "wal.force_error"
 LOG_TORN_TAIL = "wal.torn_tail"
 CKPT_CRASH = "wal.checkpoint_crash"
+#: Not an injection site but a *decision* stream: the workload scheduler
+#: draws its yield-or-continue choices here, so interleavings are seeded
+#: exactly like faults (same seed → byte-identical session traces) while
+#: never appearing in the injection log (``should`` does not record).
+SCHED_INTERLEAVE = "sched.interleave"
 
 ALL_SITES = (
     DISK_READ_ERROR, DISK_WRITE_ERROR, DISK_READ_LATENCY,
     DISK_WRITE_LATENCY, WORKING_SET_OUTAGE, HOSTILE_GRAB, SPILL_WRITE_ERROR,
-    LOG_FORCE_ERROR, LOG_TORN_TAIL, CKPT_CRASH,
+    LOG_FORCE_ERROR, LOG_TORN_TAIL, CKPT_CRASH, SCHED_INTERLEAVE,
 )
 
 #: One injected fault, as recorded in the replayable log.

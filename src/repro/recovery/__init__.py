@@ -18,6 +18,7 @@ from repro.recovery.harness import (
     CrashHarness,
     CrashPoint,
     CrashReport,
+    GroupCommitCrashHarness,
     VerificationError,
 )
 from repro.recovery.restart import RecoveryManager, RecoveryReport
@@ -30,6 +31,7 @@ __all__ = [
     "CrashHarness",
     "CrashPoint",
     "CrashReport",
+    "GroupCommitCrashHarness",
     "RecoveryManager",
     "RecoveryReport",
     "VerificationError",

@@ -301,3 +301,178 @@ def _first_difference(expected, actual):
     if extra:
         return ("extra", extra[0])
     return None
+
+
+class GroupCommitCrashHarness(CrashHarness):
+    """Crash inside a *batched* group-commit force and adjudicate acks.
+
+    The single-connection :class:`CrashHarness` can only die inside a
+    force that covers one commit.  This harness drives N scheduler
+    sessions so several commits share one force, arms a crash point
+    (typically ``wal.group_force``), and verifies the ack contract
+    differentially:
+
+    * **no acknowledged commit lost** — every statement whose
+      ``execute`` returned before the crash (its session resumed its
+      statement generator) must survive recovery, checked both at the
+      log level (the acked transaction set is a subset of the recovered
+      committed set) and at the heap level (differential replay);
+    * **no unacknowledged commit reported durable** — a transaction the
+      crash interrupted may or may not survive (its COMMIT record raced
+      the dying force), but any survivor must have been in the crash-time
+      batch, and the recovered tables must equal the reference plus the
+      effects of exactly some subset of the interrupted statements —
+      never a partial statement, never an invented row.
+
+    ``sessions`` is a list of ``(name, [sql, ...])`` pairs; statements
+    run autocommit on their session's own connection under the
+    :class:`~repro.engine.scheduler.WorkloadScheduler`.
+    """
+
+    def __init__(self, server_factory, schema, sessions, crash_point=None,
+                 seed=0, switch_rate=0.25, tear_tail=None):
+        super().__init__(
+            server_factory, schema, workload=[], crash_point=crash_point,
+            tear_tail=tear_tail,
+        )
+        self.sessions = [(name, list(stmts)) for name, stmts in sessions]
+        self.seed = seed
+        self.switch_rate = switch_rate
+        self.scheduler = None
+        #: Statements acknowledged before the crash, in per-session order.
+        self.acked = {name: [] for name, __ in self.sessions}
+        #: The statement each session had in flight when the run ended.
+        self.inflight = {name: None for name, __ in self.sessions}
+        #: Interrupted statements that recovery adjudicated as committed.
+        self.survivors = []
+        self._schema_txns = set()
+
+    def run(self):
+        from repro.engine.scheduler import WorkloadScheduler
+
+        report = self.report
+        self.server = self.server_factory()
+        connection = self.server.connect()
+        self._apply_schema(connection)
+        # Schema-era transactions live before the checkpoint; restart
+        # recovery never rescans them, so the log-level adjudication
+        # below only covers workload-era commits.
+        self._schema_txns = set(self.server.txn_log.committed_txns())
+        self._arm()
+        scheduler = WorkloadScheduler(
+            self.server, seed=self.seed, switch_rate=self.switch_rate
+        )
+        self.scheduler = scheduler
+        for name, statements in self.sessions:
+            scheduler.add_session(
+                name, self._session_source(name, statements)
+            )
+        try:
+            scheduler.run()
+        except SimulatedCrash as crash:
+            report.crashed = True
+            report.crash_site = str(crash)
+        finally:
+            self._disarm()
+        report.statements_run = sum(
+            s.statements_run for s in scheduler.sessions
+        )
+        report.committed_statements = [
+            (sql, None)
+            for name, __ in self.sessions
+            for sql in self.acked[name]
+        ]
+        if report.crashed:
+            self._crash_and_adjudicate()
+        self._verify_exactly()
+        return report
+
+    def _session_source(self, name, statements):
+        def source(connection):
+            for sql in statements:
+                self.inflight[name] = sql
+                yield sql
+                # The generator resumes only after ``execute`` returned,
+                # i.e. after the commit was acknowledged durable.
+                self.acked[name].append(sql)
+                self.inflight[name] = None
+        return source
+
+    def _crash_and_adjudicate(self):
+        """Kill, restart, and check the log-level ack contract."""
+        server = self.server
+        acked_txns = (
+            set(server.txn_log.committed_txns()) - self._schema_txns
+        )
+        in_batch = {t.txn_id for t in server.group_commit.pending_tickets()}
+        # A transaction that appended its COMMIT record but was never
+        # acked is still "active" in memory; only those may surface as
+        # extra committed transactions after recovery.
+        allowed_extra = in_batch | set(server.txn_log.active_txns())
+        server.crash(tear_tail=self.tear_tail)
+        self.report.recovery = server.restart()
+        recovered = set(server.txn_log.committed_txns())
+        lost = acked_txns - recovered
+        if lost:
+            raise VerificationError(
+                "acknowledged commits lost by recovery: txns %s"
+                % sorted(lost)
+            )
+        stray = (recovered - acked_txns) - allowed_extra
+        if stray:
+            raise VerificationError(
+                "recovery committed transactions that were neither "
+                "acknowledged nor in the crash-time batch: %s"
+                % sorted(stray)
+            )
+
+    def _verify_exactly(self):
+        """Find the unique subset of interrupted statements whose replay
+        reproduces the recovered state exactly."""
+        report = self.report
+        interrupted = [
+            (name, self.inflight[name])
+            for name, __ in self.sessions
+            if self.inflight[name] is not None
+        ]
+        actual = {
+            table.name: self._table_rows(self.server, table.name)
+            for table in self.server.catalog.tables()
+        }
+        for mask in range(1 << len(interrupted)):
+            subset = [
+                (sql, None)
+                for bit, (__, sql) in enumerate(interrupted)
+                if mask & (1 << bit)
+            ]
+            if self._reference_matches(subset, actual):
+                self.survivors = [sql for sql, __ in subset]
+                report.committed_statements.extend(subset)
+                report.interrupted_committed = bool(subset)
+                report.tables_verified = len(actual)
+                report.rows_verified = sum(
+                    len(rows) for rows in actual.values()
+                )
+                self._verify_indexes()
+                return
+        raise VerificationError(
+            "recovered state matches no subset of the %d interrupted "
+            "statements over the %d acknowledged ones (partial or "
+            "invented effects)"
+            % (len(interrupted), len(report.committed_statements))
+        )
+
+    def _reference_matches(self, subset, actual):
+        reference = self.server_factory()
+        ref_connection = reference.connect()
+        try:
+            for sql in self.schema:
+                ref_connection.execute(sql)
+            for sql, params in self.report.committed_statements + subset:
+                ref_connection.execute(sql, params=params)
+            for name, rows in actual.items():
+                if self._table_rows(reference, name) != rows:
+                    return False
+            return True
+        finally:
+            ref_connection.close()

@@ -15,7 +15,13 @@ clock.  Three device families are provided:
 
 from repro.storage.disk import Disk, FlashDisk, ModelBackedDisk, RotationalDisk
 from repro.storage.pagedfile import PageAddress, PagedFile, Volume
-from repro.storage.log import LogRecord, TransactionLog
+from repro.storage.log import (
+    CommitTicket,
+    GroupCommitConfig,
+    GroupCommitCoordinator,
+    LogRecord,
+    TransactionLog,
+)
 
 __all__ = [
     "Disk",
@@ -27,4 +33,7 @@ __all__ = [
     "PageAddress",
     "TransactionLog",
     "LogRecord",
+    "GroupCommitConfig",
+    "GroupCommitCoordinator",
+    "CommitTicket",
 ]

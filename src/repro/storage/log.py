@@ -27,6 +27,7 @@ checkpoint's BEGIN.
 """
 
 import collections
+import dataclasses
 import zlib
 
 from repro.common.errors import IOFaultError, TransactionError
@@ -58,10 +59,14 @@ CRASH_COMMIT_EARLY = "wal.commit_before_force"
 CRASH_COMMIT_LATE = "wal.commit_after_force"
 CRASH_FORCE_PAGE = "wal.force_page"
 CRASH_CKPT_MID = "wal.checkpoint_mid"
+#: Fires per page only when the force was issued by the group-commit
+#: coordinator — a kill here lands mid-batch, with some sessions' COMMIT
+#: records durable and others torn away.
+CRASH_GROUP_FORCE = "wal.group_force"
 
 CRASH_SITES = (
     CRASH_APPEND, CRASH_COMMIT_EARLY, CRASH_COMMIT_LATE, CRASH_FORCE_PAGE,
-    CRASH_CKPT_MID,
+    CRASH_CKPT_MID, CRASH_GROUP_FORCE,
 )
 
 
@@ -219,16 +224,34 @@ class TransactionLog:
         succeeds; a failed force leaves it active so the commit can be
         retried (a later COMMIT record for the same transaction is
         harmless to recovery).
+
+        Group commit decomposes this into :meth:`append_commit` →
+        ``force`` (one shared force per batch) → :meth:`finish_commit`;
+        this method keeps the one-transaction path, with an identical
+        crash-site sequence.
+        """
+        record = self.append_commit(txn_id)
+        self.force()
+        self.finish_commit(txn_id)
+        return record
+
+    def append_commit(self, txn_id):
+        """First half of a commit: the COMMIT record enters the tail.
+
+        The transaction is *not* yet committed — its record is volatile
+        until a force covers it and :meth:`finish_commit` runs.
         """
         if txn_id not in self._active:
             raise TransactionError("transaction %r is not active" % (txn_id,))
         record = self._append(txn_id, COMMIT, None, None, None, None)
         self._crash_point(CRASH_COMMIT_EARLY)
-        self.force()
+        return record
+
+    def finish_commit(self, txn_id):
+        """Second half: bookkeeping once the COMMIT record is durable."""
         self._active.discard(txn_id)
         self._committed.add(txn_id)
         self._crash_point(CRASH_COMMIT_LATE)
-        return record
 
     def rollback(self, txn_id):
         """Append ROLLBACK; undo entries are served from :meth:`undo_chain`."""
@@ -377,11 +400,14 @@ class TransactionLog:
     # durability
     # ------------------------------------------------------------------ #
 
-    def force(self):
-        """Write all undurable records to the log file (group commit).
+    def force(self, extra_site=None):
+        """Write all undurable records to the log file.
 
         The durable LSN advances page by page, so a crash mid-force
-        loses only the pages not yet written.
+        loses only the pages not yet written.  ``extra_site`` names an
+        additional crash site fired per page (the coordinator passes
+        ``CRASH_GROUP_FORCE`` so the harness can kill inside a *batched*
+        force specifically).
         """
         first = self._durable_lsn + 1
         last = self._base_lsn + len(self._records) - 1
@@ -394,6 +420,8 @@ class TransactionLog:
                 lsn - self._base_lsn : lsn - self._base_lsn + RECORDS_PER_PAGE
             ]
             self._crash_point(CRASH_FORCE_PAGE)
+            if extra_site is not None:
+                self._crash_point(extra_site)
             page_no = self._allocate_data_page()
             self._write_log_page(
                 page_no, _frame_page(lsn, [tuple(record) for record in chunk])
@@ -584,3 +612,235 @@ class TransactionLog:
         self._records = self._records[: self._durable_lsn + 1 - self._base_lsn]
         self._next_lsn = self._base_lsn + len(self._records)
         self._active.clear()
+
+
+# --------------------------------------------------------------------- #
+# group commit
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass
+class GroupCommitConfig:
+    """Tunables for the adaptive group-commit coordinator."""
+
+    enabled: bool = True
+    #: Latency ceiling: a commit never waits longer than this for
+    #: companions, regardless of what the tuner wants.
+    max_window_us: int = 2_000
+    #: Flush as soon as this many commits are pending (window or not).
+    target_batch: int = 8
+    #: Damping factors for the window retune (the paper's eq. 2 idiom,
+    #: shared with the buffer and checkpoint governors).
+    damping_new: float = 0.9
+    damping_old: float = 0.1
+    #: Mean commit inter-arrival gap at or above which the system counts
+    #: as idle: the window collapses toward zero and commits force
+    #: immediately (no latency tax on a quiet server).
+    idle_threshold_us: int = 5_000
+    #: Inter-arrival gaps remembered for the rate estimate.
+    arrival_history: int = 16
+
+
+class CommitTicket:
+    """One session's pending commit, from enqueue to durable ack."""
+
+    __slots__ = ("txn_id", "lsn", "enqueued_at_us", "durable")
+
+    def __init__(self, txn_id, lsn, enqueued_at_us):
+        self.txn_id = txn_id
+        self.lsn = lsn
+        self.enqueued_at_us = enqueued_at_us
+        self.durable = False
+
+    def __repr__(self):
+        return "CommitTicket(txn=%r, lsn=%d, durable=%r)" % (
+            self.txn_id, self.lsn, self.durable
+        )
+
+
+class GroupCommitCoordinator:
+    """Coalesces concurrent commits into shared log forces.
+
+    A committing session appends its COMMIT record, takes a
+    :class:`CommitTicket`, and — when other sessions are runnable —
+    parks in the scheduler until a single :meth:`flush` forces the tail
+    for the whole batch.  The flush window self-tunes from the observed
+    commit-arrival rate with the paper's damped-feedback equation: an
+    idle system collapses the window to zero (force immediately, no
+    latency tax), a bursty one widens it toward
+    ``mean_gap * (target_batch - 1)`` capped at ``max_window_us``.
+
+    Without a scheduler (single-connection workloads, recovery, bulk
+    load) every commit flushes inline, preserving the classic
+    force-per-commit sequence byte for byte.
+
+    The ack invariant — enforced under ``REPRO_SANITIZE=1`` — is that
+    :meth:`commit` returns only after the log's durable LSN covers the
+    ticket: no acknowledged commit can be lost by a crash, and no
+    unacknowledged one is ever reported durable.
+    """
+
+    def __init__(self, log_fn, clock, config=None, metrics=None,
+                 scheduler_fn=None, sanitize=False):
+        self._log_fn = log_fn
+        self._clock = clock
+        self.config = config if config is not None else GroupCommitConfig()
+        self._scheduler_fn = scheduler_fn
+        self.sanitize = bool(sanitize)
+        self._pending = []
+        self._arrival_gaps = collections.deque(
+            maxlen=max(2, self.config.arrival_history)
+        )
+        self._last_arrival_us = None
+        #: Current tuned flush window; starts at zero (idle behaviour)
+        #: and only widens once arrivals prove the system is bursty.
+        self.window_us = 0
+        self.batches = 0
+        self.committed = 0
+        self._m_batches = None
+        self._m_batch_size = None
+        self._m_latency = None
+        if metrics is not None:
+            self._m_batches = metrics.counter("wal.group_commit.batches")
+            self._m_batch_size = metrics.histogram(
+                "wal.group_commit.batch_size"
+            )
+            self._m_latency = metrics.histogram("txn.commit_latency_us")
+            metrics.register_probe(
+                "wal.group_commit.window_us", lambda: self.window_us
+            )
+            metrics.register_probe(
+                "wal.group_commit.pending", lambda: len(self._pending)
+            )
+
+    # ------------------------------------------------------------------ #
+    # the commit path
+    # ------------------------------------------------------------------ #
+
+    def commit(self, txn_id):
+        """Commit ``txn_id`` through the group: returns once durable."""
+        log = self._log_fn()
+        record = log.append_commit(txn_id)
+        ticket = CommitTicket(txn_id, record.lsn, self._clock.now)
+        self._observe_arrival()
+        self._pending.append(ticket)
+        scheduler = (
+            self._scheduler_fn() if self._scheduler_fn is not None else None
+        )
+        try:
+            if (
+                not self.config.enabled
+                or self.window_us <= 0
+                or len(self._pending) >= self.config.target_batch
+                or scheduler is None
+                or not scheduler.commit_can_wait()
+            ):
+                self.flush()
+            else:
+                scheduler.wait_for_commit(ticket, self)
+                if not ticket.durable:
+                    self.flush()
+        except BaseException:
+            # The force died under us (injected I/O fault) or the session
+            # was torn down: the commit did not happen, so the ticket
+            # must not linger to be "committed" by a later batch.
+            self._pending = [t for t in self._pending if t is not ticket]
+            raise
+        if self.sanitize:
+            self._assert_acked(log, ticket)
+        if self._m_latency is not None:
+            self._m_latency.observe(self._clock.now - ticket.enqueued_at_us)
+        return ticket
+
+    def flush(self):
+        """Force the tail once and settle every covered pending ticket."""
+        log = self._log_fn()
+        if not self._pending:
+            return 0
+        try:
+            log.force(extra_site=CRASH_GROUP_FORCE)
+        except BaseException:
+            # A partial force may still have covered some tickets (the
+            # durable LSN advances page by page): settle those so their
+            # sessions can ack, and leave the rest pending for a retry.
+            self._settle(log)
+            raise
+        return self._settle(log)
+
+    def _settle(self, log):
+        durable = log.durable_lsn
+        done = [t for t in self._pending if t.lsn <= durable]
+        self._pending = [t for t in self._pending if t.lsn > durable]
+        for ticket in done:
+            log.finish_commit(ticket.txn_id)
+            ticket.durable = True
+        if done:
+            self.batches += 1
+            self.committed += len(done)
+            if self._m_batches is not None:
+                self._m_batches.inc()
+                self._m_batch_size.observe(len(done))
+        return len(done)
+
+    # ------------------------------------------------------------------ #
+    # scheduling surface
+    # ------------------------------------------------------------------ #
+
+    def pending_count(self):
+        return len(self._pending)
+
+    def pending_tickets(self):
+        """Snapshot of the not-yet-durable tickets (crash adjudication)."""
+        return list(self._pending)
+
+    def deadline_us(self):
+        """When the oldest pending commit's window expires (None: empty)."""
+        if not self._pending:
+            return None
+        return self._pending[0].enqueued_at_us + self.window_us
+
+    def reset(self):
+        """Drop pending tickets (their sessions died with the process)."""
+        self._pending = []
+        self._last_arrival_us = None
+
+    # ------------------------------------------------------------------ #
+    # window tuning
+    # ------------------------------------------------------------------ #
+
+    def _observe_arrival(self):
+        now = self._clock.now
+        if self._last_arrival_us is not None:
+            self._arrival_gaps.append(now - self._last_arrival_us)
+        self._last_arrival_us = now
+        self._retune()
+
+    def _retune(self):
+        if not self._arrival_gaps:
+            return
+        cfg = self.config
+        mean_gap = sum(self._arrival_gaps) / len(self._arrival_gaps)
+        if mean_gap >= cfg.idle_threshold_us:
+            ideal = 0.0
+        else:
+            ideal = min(
+                float(cfg.max_window_us),
+                mean_gap * max(1, cfg.target_batch - 1),
+            )
+        self.window_us = int(
+            cfg.damping_new * ideal + cfg.damping_old * self.window_us
+        )
+
+    # ------------------------------------------------------------------ #
+    # sanitizer hook
+    # ------------------------------------------------------------------ #
+
+    def _assert_acked(self, log, ticket):
+        if ticket.durable and ticket.lsn <= log.durable_lsn:
+            return
+        from repro.analysis.sanitizers import GroupCommitInvariantError
+
+        raise GroupCommitInvariantError(
+            "commit ack for txn %r at LSN %d before durable LSN %d covered it"
+            % (ticket.txn_id, ticket.lsn, log.durable_lsn)
+        )

@@ -1,0 +1,236 @@
+"""The workload scheduler: deterministic interleaving, admission, aborts.
+
+These tests drive N concurrent sessions over one server and assert the
+three contracts the scheduler makes: same seed → byte-identical
+interleaving trace, MPL admission actually gates concurrency, and one
+session's fatal error tears the rest down without hanging the run.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.common.errors import SchedulerDeadlockError
+from repro.engine import WorkloadScheduler
+from repro.engine.scheduler import ABORTED, DONE, FAILED
+from repro.faults import FaultPlan, FaultRates
+from repro.storage.log import GroupCommitConfig
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("start_buffer_governor", False)
+    return Server(ServerConfig(**kwargs))
+
+
+def seed_table(server, rows=300):
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, i % 11) for i in range(rows)])
+    return connection
+
+
+def mixed_statements(k, n=6):
+    def source(connection):
+        for i in range(n):
+            yield "SELECT count(*), sum(v) FROM t WHERE v = %d" % ((i + k) % 11)
+            yield "INSERT INTO t VALUES (%d, %d)" % (10_000 + 100 * k + i, k)
+    return source
+
+
+def run_workload(seed, n_sessions=4, **server_kwargs):
+    server = make_server(**server_kwargs)
+    connection = seed_table(server)
+    scheduler = WorkloadScheduler(server, seed=seed)
+    for k in range(n_sessions):
+        scheduler.add_session("s%d" % k, mixed_statements(k))
+    report = scheduler.run()
+    return server, connection, scheduler, report
+
+
+class TestInterleaving:
+    def test_all_sessions_complete(self):
+        __, conn, scheduler, report = run_workload(seed=1)
+        assert report["statements"] == 4 * 12
+        assert report["statement_errors"] == 0
+        assert all(s.status == DONE for s in scheduler.sessions)
+        # Every session's inserts landed.
+        count = conn.execute("SELECT count(*) FROM t").rows[0][0]
+        assert count == 300 + 4 * 6
+
+    def test_sessions_actually_interleave(self):
+        __, __, scheduler, report = run_workload(seed=1)
+        assert report["switches"] > 0
+        # The trace must not be one session's block followed by the next:
+        # some session other than the first appears before the first
+        # session's last event.
+        names = [line.split()[1] for line in scheduler.trace]
+        first = names[0]
+        last_of_first = max(i for i, n in enumerate(names) if n == first)
+        assert any(n != first for n in names[:last_of_first])
+
+    def test_same_seed_traces_byte_identical(self):
+        __, __, a, __ = run_workload(seed=7)
+        __, __, b, __ = run_workload(seed=7)
+        assert a.trace_lines() == b.trace_lines()
+        assert len(a.trace) > 0
+
+    def test_hooks_restored_after_run(self):
+        server, __, __, __ = run_workload(seed=1)
+        assert server.scheduler is None
+        assert server.pool.yield_hook is None
+
+    def test_empty_scheduler_reports_zero(self):
+        server = make_server()
+        report = WorkloadScheduler(server, seed=0).run()
+        assert report["statements"] == 0
+
+    def test_scheduler_runs_once(self):
+        __, __, scheduler, __ = run_workload(seed=1)
+        with pytest.raises(SchedulerDeadlockError):
+            scheduler.run()
+        with pytest.raises(SchedulerDeadlockError):
+            scheduler.add_session("late", ["SELECT 1"])
+
+    def test_duplicate_session_name_rejected(self):
+        scheduler = WorkloadScheduler(make_server(), seed=0)
+        scheduler.add_session("a", ["SELECT 1"])
+        with pytest.raises(ValueError):
+            scheduler.add_session("a", ["SELECT 1"])
+
+
+class TestAdmission:
+    def test_mpl_bounds_concurrent_statements(self):
+        __, __, scheduler, report = run_workload(
+            seed=3, n_sessions=6, multiprogramming_level=2
+        )
+        assert report["peak_admitted"] <= 2
+        assert report["admission_waits"] > 0
+        assert all(s.status == DONE for s in scheduler.sessions)
+        assert report["statements"] == 6 * 12
+
+    def test_wide_mpl_never_queues(self):
+        __, __, __, report = run_workload(
+            seed=3, n_sessions=3, multiprogramming_level=8
+        )
+        assert report["admission_waits"] == 0
+        assert report["peak_admitted"] >= 2
+
+    def test_adaptive_mpl_still_completes(self):
+        __, __, scheduler, report = run_workload(
+            seed=9, n_sessions=5, adaptive_mpl=True,
+            multiprogramming_level=2,
+        )
+        assert all(s.status == DONE for s in scheduler.sessions)
+        assert report["statements"] == 5 * 12
+
+
+class TestGroupCommitUnderScheduler:
+    def test_commits_batch_across_sessions(self):
+        server, __, __, __ = run_workload(seed=5, n_sessions=4)
+        coordinator = server.group_commit
+        assert coordinator.committed >= 4 * 6
+        # Batching happened: strictly fewer forces than commits.
+        assert coordinator.batches < coordinator.committed
+        snap = server.metrics.snapshot()
+        assert snap["wal.group_commit.batch_size"]["max"] >= 2
+        assert snap["txn.commit_latency_us"]["count"] >= 4 * 6
+
+    def test_group_commit_disabled_forces_per_commit(self):
+        server, __, __, __ = run_workload(
+            seed=5, n_sessions=4,
+            group_commit=GroupCommitConfig(enabled=False),
+        )
+        coordinator = server.group_commit
+        assert coordinator.batches == coordinator.committed
+
+
+class TestFailureModes:
+    def test_statement_faults_absorbed(self):
+        plan = FaultPlan(
+            seed=11, rates=FaultRates(disk_read_error=0.05, io_retry_limit=0)
+        )
+        server = make_server(fault_plan=plan, initial_pool_pages=32)
+        seed_table(server, rows=600)
+        scheduler = WorkloadScheduler(server, seed=11)
+        for k in range(3):
+            scheduler.add_session("s%d" % k, mixed_statements(k))
+        report = scheduler.run()
+        assert all(s.status == DONE for s in scheduler.sessions)
+        total = report["statements"] + report["statement_errors"]
+        assert total == 3 * 12
+
+    def test_fatal_error_aborts_siblings(self):
+        server = make_server()
+        seed_table(server)
+        scheduler = WorkloadScheduler(server, seed=2)
+
+        def bad_source(connection):
+            yield "SELECT count(*) FROM t"
+            raise RuntimeError("session logic bug")
+
+        scheduler.add_session("bad", bad_source)
+        scheduler.add_session("victim", mixed_statements(0, n=50))
+        with pytest.raises(RuntimeError, match="session logic bug"):
+            scheduler.run()
+        statuses = {s.name: s.status for s in scheduler.sessions}
+        assert statuses["bad"] == FAILED
+        assert statuses["victim"] == ABORTED
+
+    def test_pool_miss_yields_appear_in_trace(self):
+        # A pool far smaller than the table forces misses mid-statement;
+        # with a high switch rate some of them must hand the baton off.
+        server = make_server(initial_pool_pages=16)
+        seed_table(server, rows=1200)
+        scheduler = WorkloadScheduler(server, seed=4, switch_rate=0.9)
+        for k in range(3):
+            scheduler.add_session("s%d" % k, mixed_statements(k, n=3))
+        scheduler.run()
+        assert any("yield:pool.miss" in line for line in scheduler.trace)
+
+
+class TestSanitizerInvariants:
+    def test_unadmitted_session_caught(self):
+        from repro.analysis.sanitizers import SchedulerInvariantError
+
+        server = make_server()
+        scheduler = WorkloadScheduler(server, seed=0)
+        session = scheduler.add_session("s", [])
+        assert scheduler.sanitize
+        with pytest.raises(SchedulerInvariantError, match="not admitted"):
+            scheduler._assert_admitted(session)
+
+    def test_queued_session_caught(self):
+        from repro.analysis.sanitizers import SchedulerInvariantError
+
+        server = make_server(multiprogramming_level=1)
+        scheduler = WorkloadScheduler(server, seed=0)
+        admitted = scheduler.add_session("a", [])
+        queued = scheduler.add_session("b", [])
+        admission = server.memory_governor.admission
+        assert admission.request(admitted)
+        assert not admission.request(queued)
+        with pytest.raises(SchedulerInvariantError, match="queued"):
+            scheduler._assert_admitted(queued)
+        # The legitimately admitted session passes.
+        scheduler._assert_admitted(admitted)
+
+    def test_check_disabled_without_sanitize(self):
+        server = Server(
+            ServerConfig(start_buffer_governor=False), sanitize=False
+        )
+        scheduler = WorkloadScheduler(server, seed=0)
+        session = scheduler.add_session("s", [])
+        scheduler._assert_admitted(session)  # no-op, no raise
+
+    def test_pin_check_unsafe_while_sibling_in_statement(self):
+        server = make_server()
+        scheduler = WorkloadScheduler(server, seed=0)
+        a = scheduler.add_session("a", [])
+        b = scheduler.add_session("b", [])
+        scheduler._current = a
+        server.scheduler = scheduler
+        assert scheduler.pin_check_safe()
+        b.in_statement = True
+        assert not scheduler.pin_check_safe()
+        assert not server.pin_checks_quiescent()
+        b.in_statement = False
+        assert scheduler.pin_check_safe()
