@@ -26,7 +26,7 @@ import os
 import sys
 
 #: Experiments whose regression fails the bench job.
-DEFAULT_GATED = ("e5", "e9", "e14", "e18")
+DEFAULT_GATED = ("e5", "e9", "e14", "e18", "e19")
 DEFAULT_THRESHOLD = 0.15
 
 SIMULATED_KEY = "statements.elapsed_us"

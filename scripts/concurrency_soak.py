@@ -104,6 +104,84 @@ def run_once(seed):
     return snapshot
 
 
+#: Hot-row contention: every session hammers the same counter row, so
+#: lock queues go deep and wakeup order exercises the seeded LOCK_WAKEUP
+#: stream — which must replay byte-identically, like everything else.
+HOT_SESSIONS = 4
+HOT_STATEMENTS = 6
+HOT_ROWS = 200
+
+
+def hot_row_statements(k):
+    def source(connection):
+        for i in range(HOT_STATEMENTS):
+            yield "UPDATE t SET v = v + 1 WHERE id = 0"
+            yield (
+                "SELECT count(*), sum(v) FROM t WHERE v >= %d"
+                % ((i + k) % 7)
+            )
+    return source
+
+
+def run_hot_row(seed):
+    server = build_server(seed)
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, i % 13) for i in range(HOT_ROWS)])
+    scheduler = WorkloadScheduler(server, seed=seed, switch_rate=0.5)
+    for k in range(HOT_SESSIONS):
+        scheduler.add_session("h%d" % k, hot_row_statements(k))
+    report = scheduler.run()
+    rows = sorted(
+        tuple(row)
+        for row in connection.execute("SELECT id, v FROM t").rows
+    )
+    return {
+        "report": report,
+        "trace": scheduler.trace_lines(),
+        "per_session": [
+            (s.name, s.status, s.statements_run, s.statements_failed)
+            for s in scheduler.sessions
+        ],
+        "rows": rows,
+        "lock_waits": server.lock_manager.waits,
+        "lock_deadlocks": server.lock_manager.deadlocks,
+        "injected": server.fault_plan.injected,
+    }
+
+
+def soak_hot_row(seed):
+    first = run_hot_row(seed)
+    second = run_hot_row(seed)
+    problems = []
+    for key in ("trace", "per_session", "rows", "report", "lock_waits",
+                "lock_deadlocks", "injected"):
+        if first[key] != second[key]:
+            problems.append(
+                "hot-row seed %d: %r differs between runs" % (seed, key)
+            )
+    if first["lock_waits"] == 0:
+        problems.append(
+            "hot-row seed %d: no lock waits — the scenario exercised "
+            "nothing" % (seed,)
+        )
+    if first["report"]["aborted_sessions"]:
+        problems.append(
+            "hot-row seed %d: %d sessions aborted"
+            % (seed, first["report"]["aborted_sessions"])
+        )
+    print(
+        "hot-row seed %d: %d statements, %d lock waits, %d deadlocks, "
+        "%d faults injected, trace %d bytes%s"
+        % (
+            seed, first["report"]["statements"], first["lock_waits"],
+            first["lock_deadlocks"], first["injected"], len(first["trace"]),
+            " [FAIL]" if problems else " [ok]",
+        )
+    )
+    return problems
+
+
 def soak(seed):
     first = run_once(seed)
     second = run_once(seed)
@@ -144,6 +222,7 @@ def main(argv):
     problems = []
     for seed in seeds:
         problems.extend(soak(seed))
+        problems.extend(soak_hot_row(seed))
     for problem in problems:
         print("FAIL %s" % problem)
     if problems:

@@ -36,6 +36,13 @@ convention:
   ``record``/``note_retry``/…).  A fault silently absorbed never shows
   up in ``faults.*`` metrics, which breaks both the chaos-CI accounting
   and same-seed replay comparisons.
+* **SIM009** — catalog lock discipline: in ``repro.engine``, a function
+  that mutates the catalog (``add_table``/``drop_table``/``add_index``/
+  ``drop_index``) must take the table-exclusive DDL lock in the same
+  function (a call to ``acquire_table`` or the ``_ddl_lock`` helper).
+  Unlocked catalog mutations race in-flight DML under the workload
+  scheduler: a writer parked at a yield point resumes into a schema that
+  changed underneath it.
 """
 
 import ast
@@ -572,3 +579,61 @@ class FaultHandlingRule(Rule):
             "the fault; absorbed faults break the faults.* accounting "
             "and seed-replay comparisons",
         )
+
+
+# --------------------------------------------------------------------- #
+# SIM009 — catalog mutations hold the DDL table lock
+# --------------------------------------------------------------------- #
+
+
+@register
+class CatalogLockDisciplineRule(Rule):
+    rule_id = "SIM009"
+    summary = (
+        "functions mutating the catalog must take the DDL table lock "
+        "(acquire_table / _ddl_lock) in the same function"
+    )
+
+    #: Catalog mutators; the receiver must look like a catalog.
+    MUTATOR_METHODS = ("add_table", "drop_table", "add_index", "drop_index")
+    #: Either of these in the same function satisfies the discipline.
+    LOCK_CALLS = ("acquire_table", "_ddl_lock")
+
+    @classmethod
+    def applies_to(cls, context):
+        return context.in_package("repro.engine")
+
+    def _is_catalog_mutation(self, node):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            return False
+        if node.func.attr not in self.MUTATOR_METHODS:
+            return False
+        receiver = _rightmost_name(node.func.value)
+        return receiver is not None and "catalog" in receiver
+
+    def _check(self, node):
+        mutation = None
+        locked = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            if self._is_catalog_mutation(sub):
+                mutation = mutation or sub
+            elif (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in self.LOCK_CALLS
+            ):
+                locked = True
+        if mutation is not None and not locked:
+            self.report(
+                mutation,
+                "catalog mutation %r without the DDL lock discipline; "
+                "wrap it in _ddl_lock(...) or acquire_table(..., X) in "
+                "this function so in-flight DML is drained first"
+                % (mutation.func.attr,),
+            )
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check

@@ -80,6 +80,11 @@ class GovernorDriftError(SanitizerError):
     """The buffer governor's pool size drifted from the OS allocation."""
 
 
+class LockInvariantError(SanitizerError):
+    """Lock bookkeeping diverged: a release missed the lock table or a
+    grant would overwrite a live holder."""
+
+
 class RecoveryIdempotenceError(SanitizerError):
     """A second redo pass changed page images (redo is not idempotent)."""
 

@@ -35,12 +35,21 @@ class Cursor:
         self._result = optimizer.optimize_select(block)
         self._server = server
         self._task = server.memory_governor.begin_task()
+        # The cursor's snapshot stays open across fetches: every batch
+        # reads the same commit-LSN image, however long the application
+        # waits between FETCH requests.
+        self._snapshot_lsn = (
+            server.versions.open_snapshot()
+            if server.config.snapshot_reads else None
+        )
         self._ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock,
             self._task, params,
             feedback_enabled=server.config.feedback_enabled,
             metrics=server.metrics, fault_plan=server.fault_plan,
             yield_hook=server.spill_yield_point,
+            snapshot_lsn=self._snapshot_lsn,
+            snapshot_txn=connection._txn_id,
         )
         self.exec_stats = ExecStatsCollector()
         executor = Executor(
@@ -120,6 +129,8 @@ class Cursor:
         self.heap.lock()
         self.heap.free()
         self._rows.close()
+        if self._snapshot_lsn is not None:
+            self._server.versions.close_snapshot(self._snapshot_lsn)
         self._server.memory_governor.end_task(self._task)
         if self._server.sanitize and self._server.pin_checks_quiescent():
             self._server.pool.assert_no_pins("cursor close")

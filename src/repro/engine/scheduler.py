@@ -31,6 +31,7 @@ runnable session has drained — no later commit can join it, so waiting
 out the flush window would only add latency.
 """
 
+import contextlib
 import random
 import threading
 
@@ -41,13 +42,14 @@ from repro.common.errors import (
     SchedulerDeadlockError,
 )
 from repro.engine.locks import LockConflictError
-from repro.faults.plan import SCHED_INTERLEAVE
+from repro.faults.plan import LOCK_WAKEUP, SCHED_INTERLEAVE
 
 # Session states.
 READY = "ready"
 RUNNING = "running"
 WAITING_ADMISSION = "waiting-admission"
 WAITING_COMMIT = "waiting-commit"
+WAITING_LOCK = "waiting-lock"
 DONE = "done"
 FAILED = "failed"
 ABORTED = "aborted"
@@ -56,6 +58,7 @@ ABORTED = "aborted"
 YIELD_POOL_MISS = "pool.miss"
 YIELD_SPILL = "exec.spill"
 YIELD_STATEMENT = "sched.statement"
+YIELD_LOCK = "lock.wait"
 
 #: Consecutive no-progress dispatch attempts tolerated before the run is
 #: declared deadlocked (each attempt may legitimately fail under a
@@ -66,10 +69,12 @@ MAX_STALLED_DISPATCHES = 16
 class Session:
     """One scripted client: a name plus a source of statements.
 
-    ``statements`` is an iterable of items — a SQL string or a
-    ``(sql, params)`` pair — or a callable taking the session's
-    :class:`~repro.engine.server.Connection` and returning such an
-    iterable (generators welcome: they observe earlier results).
+    ``statements`` is an iterable of items — a SQL string, a
+    ``(sql, params)`` pair, or a callable invoked with the session's
+    :class:`~repro.engine.server.Connection` (one "statement" that may
+    run arbitrary work under the scheduler's yield discipline, e.g. a
+    sync round) — or a callable taking the Connection and returning such
+    an iterable (generators welcome: they observe earlier results).
     """
 
     def __init__(self, name, statements):
@@ -79,6 +84,7 @@ class Session:
         self.event = threading.Event()
         self.thread = None
         self.ticket = None
+        self.lock_waiter = None
         self.in_statement = False
         self.statements_run = 0
         self.statements_failed = 0
@@ -102,6 +108,8 @@ class WorkloadScheduler:
         self.switch_rate = float(switch_rate)
         self.sanitize = bool(getattr(server, "sanitize", False))
         self._rng = random.Random("sched:%d" % self.seed)
+        self._lock_rng = random.Random("sched-locks:%d" % self.seed)
+        self._critical = 0
         self._sessions = []
         self._ready = []
         self._current = None
@@ -120,6 +128,7 @@ class WorkloadScheduler:
             "sched.admission_waits"
         )
         self._m_commit_waits = server.metrics.counter("sched.commit_waits")
+        self._m_lock_waits = server.metrics.counter("sched.lock_waits")
 
     # ------------------------------------------------------------------ #
     # workload definition
@@ -217,7 +226,7 @@ class WorkloadScheduler:
     def yield_point(self, site, always=False):
         """Offer the baton to another session at ``site``."""
         session = self._current
-        if session is None or self._aborting:
+        if session is None or self._aborting or self._critical:
             return
         if threading.current_thread() is not session.thread:
             # Engine work on the driver thread (setup, harness plumbing)
@@ -279,6 +288,70 @@ class WorkloadScheduler:
                 self._park(session)
         finally:
             session.ticket = None
+
+    # ------------------------------------------------------------------ #
+    # lock-manager surface
+    # ------------------------------------------------------------------ #
+
+    def lock_can_wait(self):
+        """Whether parking on a lock can possibly be productive: the call
+        must come from a session thread and at least one sibling must be
+        live to eventually release the lock (or this run to unwind)."""
+        if self._aborting:
+            return False
+        session = self._current
+        if session is None or (
+            threading.current_thread() is not session.thread
+        ):
+            return False
+        return any(
+            s is not session and s.status not in (DONE, FAILED, ABORTED)
+            for s in self._sessions
+        )
+
+    def wait_for_lock(self, waiter):
+        """Park the current session until its lock request is granted or
+        it is chosen as a deadlock victim.
+
+        The admission slot is released while parked — a session blocked
+        on a lock must not pin an MPL slot that the lock holder needs to
+        finish its statement — and re-acquired after the wait resolves.
+        """
+        session = self._current
+        waiter.session = session
+        session.lock_waiter = waiter
+        session.status = WAITING_LOCK
+        self._m_lock_waits.inc()
+        self._trace(session, "wait:lock %s" % waiter.describe())
+        self._release_admission(session)
+        try:
+            if not self._dispatch_from(session):
+                self._park(session)
+        finally:
+            session.lock_waiter = None
+        self._acquire_admission(session)
+        self._assert_admitted(session)
+
+    def draw_lock_wakeup(self, n):
+        """Index of the waiter to wake among ``n`` grantable ones, drawn
+        from the fault plan's seeded ``locks.wakeup`` stream (or the
+        local lock RNG when no plan is armed)."""
+        plan = self.server.fault_plan
+        if plan is not None:
+            return plan.draw_uniform(LOCK_WAKEUP, 0, n)
+        return self._lock_rng.randrange(n)
+
+    @contextlib.contextmanager
+    def critical_section(self):
+        """Suppress baton switches while lock metadata is mid-update.
+
+        Pool misses inside the paged lock table would otherwise hand the
+        baton off between a lock probe and its matching install."""
+        self._critical += 1
+        try:
+            yield
+        finally:
+            self._critical -= 1
 
     # ------------------------------------------------------------------ #
     # admission
@@ -376,6 +449,19 @@ class WorkloadScheduler:
                 session.status = READY
                 self._ready.append(session)
                 self._trace(session, "commit-durable")
+        for session in self._sessions:
+            waiter = session.lock_waiter
+            if (
+                session.status == WAITING_LOCK
+                and waiter is not None
+                and (waiter.granted or waiter.victim)
+            ):
+                session.status = READY
+                self._ready.append(session)
+                self._trace(
+                    session,
+                    "lock-granted" if waiter.granted else "lock-victim",
+                )
         for promoted in self._admission().promote():
             if promoted.status == WAITING_ADMISSION:
                 promoted.status = READY
@@ -423,24 +509,47 @@ class WorkloadScheduler:
         group closes early.  Returns whether any event that can unblock
         a session was produced."""
         coordinator = getattr(self.server, "group_commit", None)
-        if coordinator is None or coordinator.pending_count() == 0:
+        if coordinator is not None and coordinator.pending_count() > 0:
+            if session.status == WAITING_COMMIT:
+                # The blocked committer flushes for the whole batch; an
+                # exhausted-retry IOFaultError is *its* statement's to
+                # absorb.
+                return coordinator.flush() > 0
+            try:
+                return coordinator.flush() > 0
+            except FaultError:
+                # Foreign work (this session only wants an admission
+                # slot): the checkpoint-governor idiom — count the fault,
+                # never kill the bystander.  The owning sessions retry at
+                # the next dispatch round.
+                plan = self.server.fault_plan
+                if plan is not None:
+                    plan.note_statement_abort()
+                self._trace(session, "flush-fault-absorbed")
+                return False
+        return self._break_lock_stall()
+
+    def _break_lock_stall(self):
+        """Every session is blocked and no commit is pending: a lock
+        waiter whose holder lives outside the scheduler (a plain driver
+        connection) can never be granted by a parked sibling.  Abort the
+        first such waiter in session order — deterministic — rather than
+        declaring the whole run deadlocked."""
+        lock_manager = getattr(self.server, "lock_manager", None)
+        if lock_manager is None:
             return False
-        if session.status == WAITING_COMMIT:
-            # The blocked committer flushes for the whole batch; an
-            # exhausted-retry IOFaultError is *its* statement's to absorb.
-            return coordinator.flush() > 0
-        try:
-            return coordinator.flush() > 0
-        except FaultError:
-            # Foreign work (this session only wants an admission slot):
-            # the checkpoint-governor idiom — count the fault, never kill
-            # the bystander.  The owning sessions retry at the next
-            # dispatch round.
-            plan = self.server.fault_plan
-            if plan is not None:
-                plan.note_statement_abort()
-            self._trace(session, "flush-fault-absorbed")
-            return False
+        for candidate in self._sessions:
+            waiter = candidate.lock_waiter
+            if (
+                candidate.status == WAITING_LOCK
+                and waiter is not None
+                and not waiter.granted
+                and not waiter.victim
+            ):
+                lock_manager.victimize_stalled(waiter)
+                self._trace(candidate, "lock-stall-victim")
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # internals: session lifecycle (run on session threads)
@@ -480,14 +589,23 @@ class WorkloadScheduler:
             source = session.statements
             items = source(conn) if callable(source) else source
             for item in items:
-                sql, params = (
-                    item if isinstance(item, tuple) else (item, None)
-                )
+                if callable(item):
+                    call = item
+                    sql = getattr(item, "__name__", "<callable>")
+                    params = None
+                else:
+                    call = None
+                    sql, params = (
+                        item if isinstance(item, tuple) else (item, None)
+                    )
                 self._acquire_admission(session)
                 self._assert_admitted(session)
                 session.in_statement = True
                 try:
-                    conn.execute(sql, params=params)
+                    if call is not None:
+                        call(conn)
+                    else:
+                        conn.execute(sql, params=params)
                     session.statements_run += 1
                     self._m_statements.inc()
                 except (
@@ -550,7 +668,9 @@ class WorkloadScheduler:
 
     def _next_parked(self):
         for session in self._sessions:
-            if session.status in (READY, WAITING_ADMISSION, WAITING_COMMIT):
+            if session.status in (
+                READY, WAITING_ADMISSION, WAITING_COMMIT, WAITING_LOCK
+            ):
                 return session
         return None
 

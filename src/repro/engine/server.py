@@ -1,5 +1,6 @@
 """Server, connections, and statement execution."""
 
+import contextlib
 import dataclasses
 
 from repro.analysis import sanitizers
@@ -81,6 +82,13 @@ class ServerConfig:
     #: coordinator — without a scheduler it degenerates to the classic
     #: force-per-commit sequence.
     group_commit: object = None
+    #: Lock conflicts under a workload scheduler *wait* (with deadlock
+    #: detection) instead of aborting the statement.  ``False`` restores
+    #: the old fail-fast behavior — kept only as the experiment baseline.
+    blocking_locks: bool = True
+    #: Read-only statements run against a commit-LSN snapshot instead of
+    #: the latest heap, so they never queue behind writers.
+    snapshot_reads: bool = True
 
 
 class Result:
@@ -216,10 +224,17 @@ class Server:
             sanitize=self.sanitize,
         )
         from repro.engine.locks import LockManager
+        from repro.engine.versions import VersionManager
 
         self.lock_manager = LockManager(
-            self.volume.create_file("locks"), self.pool
+            self.volume.create_file("locks"), self.pool,
+            metrics=self.metrics,
+            scheduler_fn=lambda: self.scheduler,
+            blocking=self.config.blocking_locks,
+            sanitize=self.sanitize,
         )
+        #: Row-version snapshots for lock-free reads (MVCC-lite).
+        self.versions = VersionManager(metrics=self.metrics)
         governor_cls = (
             sanitizers.SanitizedMemoryGovernor if self.sanitize
             else MemoryGovernor
@@ -399,8 +414,15 @@ class Server:
         from repro.engine.locks import LockManager
 
         self.lock_manager = LockManager(
-            self.volume.create_file("locks"), self.pool
+            self.volume.create_file("locks"), self.pool,
+            metrics=self.metrics,
+            scheduler_fn=lambda: self.scheduler,
+            blocking=self.config.blocking_locks,
+            sanitize=self.sanitize,
         )
+        # Row-version chains are volatile: they die with the process, and
+        # the snapshot horizon restarts at the recovered log's durable LSN.
+        self.versions.reset(self.txn_log.durable_lsn)
         self.temp_file.truncate()
         for table in self.catalog.tables():
             if table.storage is not None:
@@ -525,7 +547,11 @@ class Server:
             self.txn_log.log_change(
                 txn_id, LOG_INSERT, table.name, row_id, after=coerced
             )
-        self.group_commit.commit(txn_id)
+        ticket = self.group_commit.commit(txn_id)
+        # Advance the snapshot horizon so readers opened after the load
+        # see its rows (the load versions nothing: no snapshot can
+        # predate rows that did not exist).
+        self.versions.commit(txn_id, ticket.lsn)
         self.stats.build_statistics(table_name, built_by="load")
         return table.row_count
 
@@ -728,11 +754,9 @@ class Connection:
         if isinstance(statement, ast.ReorganizeTableStatement):
             return self._execute_reorganize(statement)
         if isinstance(statement, ast.DropTableStatement):
-            self.server.catalog.drop_table(statement.name)
-            return Result()
+            return self._execute_drop_table(statement)
         if isinstance(statement, ast.DropIndexStatement):
-            self.server.catalog.drop_index(statement.name)
-            return Result()
+            return self._execute_drop_index(statement)
         if isinstance(statement, ast.CallStatement):
             return self._execute_call(statement, params)
         if isinstance(statement, ast.SetOptionStatement):
@@ -777,11 +801,19 @@ class Connection:
             result = optimize()
         self.last_plan = result
         task = server.memory_governor.begin_task()
+        # Read-only statements take no locks: they run against the
+        # commit-LSN snapshot taken here, so they never queue behind
+        # writers (own uncommitted writes stay visible via snapshot_txn).
+        snapshot_lsn = (
+            server.versions.open_snapshot()
+            if server.config.snapshot_reads else None
+        )
         ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock, task,
             params, feedback_enabled=server.config.feedback_enabled,
             metrics=server.metrics, fault_plan=server.fault_plan,
             yield_hook=server.spill_yield_point,
+            snapshot_lsn=snapshot_lsn, snapshot_txn=self._txn_id,
         )
         collector = ExecStatsCollector()
         executor = Executor(
@@ -811,6 +843,8 @@ class Connection:
             if rows is None:
                 rows = list(executor.run(result, ctx))
         finally:
+            if snapshot_lsn is not None:
+                server.versions.close_snapshot(snapshot_lsn)
             server.memory_governor.end_task(task)
         return Result(
             rows, block.output_columns(), result, ctx.notes, len(rows),
@@ -849,6 +883,7 @@ class Connection:
                     # heap insert physically so the slot is not leaked.
                     table.storage.delete(row_id)
                     raise
+                server.versions.note_write(table.storage, row_id, None, txn_id)
                 server._index_insert(table, coerced, row_id)
                 server.stats.note_insert(table.name, coerced)
                 table.storage.stamp_page(
@@ -886,6 +921,15 @@ class Connection:
         try:
             for row_id, old_row in targets:
                 server.lock_manager.acquire(txn_id, table.name, row_id)
+                # The acquire may have parked this session: re-read under
+                # the lock and re-check the predicate — the target list
+                # was collected before the wait and may be stale.
+                old_row = self._recheck_target(table, bound, row_id, params)
+                if old_row is None:
+                    continue
+                server.versions.note_write(
+                    table.storage, row_id, old_row, txn_id
+                )
                 env = {bound.quantifier.id: old_row}
                 new_row = list(old_row)
                 for column_index, expr in bound.assignments:
@@ -929,6 +973,12 @@ class Connection:
         try:
             for row_id, old_row in targets:
                 server.lock_manager.acquire(txn_id, table.name, row_id)
+                old_row = self._recheck_target(table, bound, row_id, params)
+                if old_row is None:
+                    continue
+                server.versions.note_write(
+                    table.storage, row_id, old_row, txn_id
+                )
                 table.storage.delete(row_id)
                 server._index_delete(table, old_row, row_id)
                 server.stats.note_delete(table.name, old_row)
@@ -983,6 +1033,22 @@ class Connection:
                 targets.append((row_id, row))
         return targets
 
+    def _recheck_target(self, table, bound, row_id, params=None):
+        """The current row at ``row_id`` if it still matches the DML
+        predicate, else ``None`` (the slot emptied or the row changed
+        while this session waited for its lock)."""
+        try:
+            row = table.storage.get(row_id)
+        except ExecutionError:
+            return None
+        env = {bound.quantifier.id: row}
+        if all(
+            evaluate_predicate(c.expr, env, params)
+            for c in bound.conjuncts
+        ):
+            return row
+        return None
+
     def _run_block(self, block, binder, params):
         server = self.server
         optimizer = server.make_optimizer()
@@ -1005,6 +1071,27 @@ class Connection:
 
     # -- DDL ------------------------------------------------------------------ #
 
+    @contextlib.contextmanager
+    def _ddl_lock(self, table_name):
+        """Table-exclusive lock for the duration of one DDL statement.
+
+        DDL runs under its own short transaction id: the X lock conflicts
+        with every DML holder's IX, so catalog and storage swaps wait for
+        in-flight writers to finish (and block new ones) instead of
+        mutating shared schema under them — the catalog lock discipline
+        SIM009 enforces statically.
+        """
+        from repro.engine.locks import X
+
+        server = self.server
+        ddl_txn = server._next_txn_id
+        server._next_txn_id += 1
+        server.lock_manager.acquire_table(ddl_txn, table_name, mode=X)
+        try:
+            yield ddl_txn
+        finally:
+            server.lock_manager.release_all(ddl_txn)
+
     def _execute_create_table(self, statement):
         server = self.server
         columns = [
@@ -1022,21 +1109,26 @@ class Connection:
         schema = TableSchema(
             statement.name, columns, tuple(statement.primary_key), foreign_keys
         )
-        server.catalog.add_table(schema)
-        table_file = server.volume.create_file("table:%s" % statement.name)
-        schema.storage = TableStorage(schema, table_file, server.pool)
-        if statement.primary_key:
-            self._create_index_on(
-                schema, "pk_%s" % statement.name, statement.primary_key,
-                unique=True,
+        with self._ddl_lock(statement.name) as ddl_txn:
+            server.catalog.add_table(schema)
+            table_file = server.volume.create_file(
+                "table:%s" % statement.name
             )
+            schema.storage = TableStorage(schema, table_file, server.pool)
+            if statement.primary_key:
+                self._create_index_on(
+                    schema, "pk_%s" % statement.name, statement.primary_key,
+                    unique=True, ddl_txn=ddl_txn,
+                )
         return Result()
 
     def _execute_create_index(self, statement):
         table = self.server.catalog.table(statement.table_name)
-        self._create_index_on(
-            table, statement.name, statement.column_names, statement.unique
-        )
+        with self._ddl_lock(table.name) as ddl_txn:
+            self._create_index_on(
+                table, statement.name, statement.column_names,
+                statement.unique, ddl_txn=ddl_txn,
+            )
         # "Histograms are created automatically ... when an index is
         # created" (Section 3.2).
         if table.row_count:
@@ -1045,8 +1137,16 @@ class Connection:
             )
         return Result()
 
-    def _create_index_on(self, table, index_name, column_names, unique):
+    def _create_index_on(self, table, index_name, column_names, unique,
+                         ddl_txn=None):
+        from repro.engine.locks import X
+
         server = self.server
+        if ddl_txn is not None:
+            # Re-entrant under the caller's DDL transaction (acquire_table
+            # is idempotent for a held X lock) — every catalog mutation
+            # happens with the table X-locked, per SIM009.
+            server.lock_manager.acquire_table(ddl_txn, table.name, mode=X)
         index = IndexSchema(index_name, table.name, column_names, unique)
         index_file = server.volume.create_file("index:%s" % index_name)
         index.btree = BTree(index_file, server.pool, name=index_name)
@@ -1060,6 +1160,17 @@ class Connection:
                 )
             index.btree.insert(key, row_id)
         return index
+
+    def _execute_drop_table(self, statement):
+        with self._ddl_lock(statement.name):
+            self.server.catalog.drop_table(statement.name)
+        return Result()
+
+    def _execute_drop_index(self, statement):
+        index = self.server.catalog.index(statement.name)
+        with self._ddl_lock(index.table_name):
+            self.server.catalog.drop_index(statement.name)
+        return Result()
 
     def _execute_calibrate(self):
         """CALIBRATE DATABASE: measure the device, store the model in the
@@ -1103,33 +1214,36 @@ class Connection:
                 (i for i in indexes if i.name == "pk_%s" % table.name),
                 indexes[0],
             )
-        rows = [
-            table.storage.get(row_id)
-            for __, row_id in order_index.btree.range_scan()
-        ]
-        # Fresh storage in key order.
-        old_file = table.storage.file
-        server.pool.discard(old_file)
-        new_file = server.volume.create_file(
-            "table:%s#reorg" % (table.name,)
-        )
-        table.storage = TableStorage(table, new_file, server.pool)
-        for index in indexes:
-            if getattr(index, "virtual", False):
-                continue
-            server.pool.discard(index.btree.file)
-            index.btree.file.truncate()
-            index.btree = BTree(index.btree.file, server.pool, name=index.name)
-        # The rewrite is unlogged: stamp the fresh pages with the last
-        # already-assigned LSN so restart redo skips every record that
-        # predates the reorganization, then checkpoint so the new file is
-        # durable before the statement returns.
-        stamp = server.txn_log.peek_next_lsn() - 1
-        for row in rows:
-            row_id = table.storage.insert(row, page_lsn=stamp)
-            server._index_insert(table, row, row_id)
-        old_file.truncate()
-        server.checkpoint()
+        with self._ddl_lock(table.name):
+            rows = [
+                table.storage.get(row_id)
+                for __, row_id in order_index.btree.range_scan()
+            ]
+            # Fresh storage in key order.
+            old_file = table.storage.file
+            server.pool.discard(old_file)
+            new_file = server.volume.create_file(
+                "table:%s#reorg" % (table.name,)
+            )
+            table.storage = TableStorage(table, new_file, server.pool)
+            for index in indexes:
+                if getattr(index, "virtual", False):
+                    continue
+                server.pool.discard(index.btree.file)
+                index.btree.file.truncate()
+                index.btree = BTree(
+                    index.btree.file, server.pool, name=index.name
+                )
+            # The rewrite is unlogged: stamp the fresh pages with the last
+            # already-assigned LSN so restart redo skips every record that
+            # predates the reorganization, then checkpoint so the new file
+            # is durable before the statement returns.
+            stamp = server.txn_log.peek_next_lsn() - 1
+            for row in rows:
+                row_id = table.storage.insert(row, page_lsn=stamp)
+                server._index_insert(table, row, row_id)
+            old_file.truncate()
+            server.checkpoint()
         return Result(notes={
             "reorganized": table.name,
             "clustered_on": order_index.name,
@@ -1172,7 +1286,12 @@ class Connection:
         # scheduler the session may park here while other sessions run,
         # and the ack only arrives once the batched force covered this
         # transaction's COMMIT record.
-        self.server.group_commit.commit(self._txn_id)
+        ticket = self.server.group_commit.commit(self._txn_id)
+        # The WAL commit LSN is the version timestamp: stamp this
+        # transaction's before-images so snapshot readers order them,
+        # then release locks (stamping first keeps the window where the
+        # rows are both unlocked and unstamped at zero).
+        self.server.versions.commit(self._txn_id, ticket.lsn)
         self.server.lock_manager.release_all(self._txn_id)
         self._txn_id = None
 
@@ -1204,6 +1323,12 @@ class Connection:
             elif record.kind == LOG_DELETE:
                 restored = record.before
                 new_row_id = table.storage.insert(restored)
+                # The restored row lands in a fresh slot with no chain:
+                # without a pending entry a snapshot reader would see it
+                # *and* the before-image at the old slot — double-read.
+                server.versions.note_write(
+                    table.storage, new_row_id, None, txn_id
+                )
                 server._index_insert(table, restored, new_row_id)
                 server.stats.note_insert(table.name, restored)
                 table.storage.stamp_page(
@@ -1225,6 +1350,9 @@ class Connection:
                     before=record.after, after=record.before,
                 )
         txn_log.rollback(txn_id)
+        # Undo restored the committed heap images, so the before-image
+        # chains must forget this transaction before its locks go.
+        server.versions.rollback(txn_id)
         server.lock_manager.release_all(txn_id)
         self._txn_id = None
 

@@ -32,7 +32,7 @@ class ExecutionContext:
 
     def __init__(self, pool, temp_file, stats, clock, task, params=None,
                  feedback_enabled=True, metrics=None, fault_plan=None,
-                 yield_hook=None):
+                 yield_hook=None, snapshot_lsn=None, snapshot_txn=None):
         self.pool = pool
         self.temp_file = temp_file
         self.stats = stats
@@ -45,6 +45,11 @@ class ExecutionContext:
         #: Workload-scheduler yield point, fired at spill-file flushes so
         #: concurrent sessions can interleave at I/O boundaries.
         self.yield_hook = yield_hook
+        #: Snapshot reads: scans resolve rows as of this commit LSN
+        #: (``None`` reads the latest heap).  ``snapshot_txn`` keeps the
+        #: reading transaction's own uncommitted writes visible.
+        self.snapshot_lsn = snapshot_lsn
+        self.snapshot_txn = snapshot_txn
         self.cte_tables = {}
         self.notes = {}
 
@@ -71,6 +76,7 @@ class ExecutionContext:
             self.pool, self.temp_file, self.stats, self.clock, self.task,
             params, self.feedback_enabled, metrics=self.metrics,
             fault_plan=self.fault_plan, yield_hook=self.yield_hook,
+            snapshot_lsn=self.snapshot_lsn, snapshot_txn=self.snapshot_txn,
         )
         clone.cte_tables = self.cte_tables
         clone.notes = self.notes

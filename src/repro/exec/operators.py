@@ -68,7 +68,9 @@ class SeqScanOp(Operator):
         completed = False
         n_conjuncts = len(self.conjuncts)
         try:
-            for __, row in storage.scan():
+            for __, row in storage.scan(
+                snapshot=ctx.snapshot_lsn, snapshot_txn=ctx.snapshot_txn
+            ):
                 ctx.charge(CPU_ROW_US + n_conjuncts * CPU_PREDICATE_US)
                 env = {qid: row}
                 keep = True
@@ -139,6 +141,7 @@ class IndexScanOp(Operator):
         btree = self.index_schema.btree
         storage = self.quantifier.schema.storage
         qid = self.quantifier.id
+        snapshot = ctx.snapshot_lsn
         if "eq" in self.sarg:
             values = tuple(
                 evaluate(expr, {}, ctx.params) for expr in self.sarg["eq"]
@@ -147,14 +150,41 @@ class IndexScanOp(Operator):
         else:
             low, high, low_inc, high_inc = self._bounds(ctx)
             entries = btree.range_scan(low, high, low_inc, high_inc)
+        bounds = self._bounds(ctx) if snapshot is not None else None
         for __, row_id in entries:
             ctx.charge(INDEX_NODE_US / 4.0 + CPU_ROW_US)
-            row = storage.get(row_id)
+            if snapshot is None:
+                row = storage.get(row_id)
+            else:
+                # Snapshot read: the index reflects the *latest* keys, so
+                # the resolved image may be older than the entry that led
+                # here — re-verify the sarg against the image itself and
+                # skip rows whose slot was not visible at the snapshot.
+                row = storage.get_visible(row_id, snapshot, ctx.snapshot_txn)
+                if row is None or not self._key_in_bounds(row, bounds):
+                    continue
             env = {qid: row}
             if all(
                 evaluate_predicate(c.expr, env, ctx.params) for c in self.residual
             ):
                 yield env
+
+    def _key_in_bounds(self, row, bounds):
+        table = self.quantifier.schema
+        key = tuple(
+            row[table.column_index(c)]
+            for c in self.index_schema.column_names
+        )
+        low, high, low_inc, high_inc = bounds
+        if low is not None:
+            prefix = key[: len(low)]
+            if prefix < low or (prefix == low and not low_inc):
+                return False
+        if high is not None:
+            prefix = key[: len(high)]
+            if prefix > high or (prefix == high and not high_inc):
+                return False
+        return True
 
     def _bounds(self, ctx):
         if "eq" in self.sarg:

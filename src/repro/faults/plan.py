@@ -41,11 +41,16 @@ CKPT_CRASH = "wal.checkpoint_crash"
 #: exactly like faults (same seed → byte-identical session traces) while
 #: never appearing in the injection log (``should`` does not record).
 SCHED_INTERLEAVE = "sched.interleave"
+#: Decision stream like ``sched.interleave``: which grantable waiter a
+#: freed lock wakes.  Seeded so contended wakeup order is part of the
+#: same-seed determinism contract, never recorded in the injection log.
+LOCK_WAKEUP = "locks.wakeup"
 
 ALL_SITES = (
     DISK_READ_ERROR, DISK_WRITE_ERROR, DISK_READ_LATENCY,
     DISK_WRITE_LATENCY, WORKING_SET_OUTAGE, HOSTILE_GRAB, SPILL_WRITE_ERROR,
     LOG_FORCE_ERROR, LOG_TORN_TAIL, CKPT_CRASH, SCHED_INTERLEAVE,
+    LOCK_WAKEUP,
 )
 
 #: One injected fault, as recorded in the replayable log.

@@ -9,6 +9,16 @@ Each page carries a ``page LSN`` — the LSN of the newest log record whose
 effect it contains.  The engine stamps it on every logged mutation, and
 restart recovery's REDO pass uses it as the ARIES idempotence guard: a
 record is reapplied only if the durable page image predates it.
+
+**Row versions.**  Alongside the heap, each table keeps per-row chains of
+before-images keyed by commit LSN (see :class:`VersionEntry`): a writer
+records the image it is about to overwrite, commit stamps those entries
+with the commit ticket's LSN, rollback discards them.  A snapshot read
+(``scan(snapshot=...)`` / :meth:`TableStorage.get_visible`) resolves each
+row through its chain — the first entry committed *past* the snapshot (or
+pending in a foreign transaction) supplies the visible image — so readers
+never consult the lock manager.  Chains are volatile: they die with the
+process at a crash, which is sound because no snapshot survives one.
 """
 
 from repro.buffer.frames import PageKind
@@ -47,6 +57,24 @@ def _empty_page(rows_per_page):
     return {"lsn": -1, "slots": [None] * rows_per_page}
 
 
+class VersionEntry:
+    """One superseded row image: what the row looked like *before* the
+    change that ``commit_lsn`` (None while the writer is uncommitted)
+    made durable.  ``before=None`` means the row did not exist."""
+
+    __slots__ = ("before", "commit_lsn", "txn_id")
+
+    def __init__(self, before, txn_id):
+        self.before = before
+        self.commit_lsn = None
+        self.txn_id = txn_id
+
+    def __repr__(self):
+        return "VersionEntry(%r, lsn=%r, txn=%r)" % (
+            self.before, self.commit_lsn, self.txn_id
+        )
+
+
 class TableStorage:
     """Heap-file storage for one table."""
 
@@ -61,6 +89,11 @@ class TableStorage:
         self._page_numbers = []  # ordinal -> file page number
         self._pages_with_space = []  # ordinals that have free slots
         self.row_count = 0
+        #: row_id -> [VersionEntry, ...] oldest-to-newest.  Per-row write
+        #: order equals commit order (row X locks serialize writers), so
+        #: chains are naturally sorted by commit LSN with pending entries
+        #: at the tail.
+        self._versions = {}
 
     # ------------------------------------------------------------------ #
     # size accounting
@@ -153,11 +186,18 @@ class TableStorage:
     # access paths
     # ------------------------------------------------------------------ #
 
-    def scan(self):
+    def scan(self, snapshot=None, snapshot_txn=None):
         """Sequential scan: yields ``(row_id, row)`` in physical order.
 
         Pages are fetched through the buffer pool in file order, which is
         what makes full scans sequential on the device.
+
+        With ``snapshot`` (a commit LSN), each slot resolves through its
+        version chain: rows whose newest committed change is past the
+        snapshot yield their before-image, foreign uncommitted changes
+        are invisible, and ``snapshot_txn``'s own pending writes are
+        visible (read-your-own-writes).  Tables with no live chains pay
+        nothing extra.
         """
         for ordinal in range(len(self._page_numbers)):
             frame = self._fetch(ordinal)
@@ -165,9 +205,98 @@ class TableStorage:
                 rows = list(frame.payload["slots"])
             finally:
                 self.pool.unpin(frame)
+            versioned = snapshot is not None and self._versions
             for slot, row in enumerate(rows):
+                if versioned:
+                    row = self.resolve_visible(
+                        RowId(ordinal, slot), row, snapshot, snapshot_txn
+                    )
                 if row is not None:
                     yield RowId(ordinal, slot), row
+
+    # ------------------------------------------------------------------ #
+    # row versions (snapshot reads; repro.engine.versions coordinates)
+    # ------------------------------------------------------------------ #
+
+    def remember_version(self, row_id, before, txn_id):
+        """Record the image ``txn_id`` is about to supersede (called just
+        before every heap mutation; ``before=None`` for inserts)."""
+        entry = VersionEntry(
+            tuple(before) if before is not None else None, txn_id
+        )
+        self._versions.setdefault(row_id, []).append(entry)
+        return entry
+
+    def stamp_version(self, row_id, txn_id, commit_lsn):
+        """Commit: stamp ``txn_id``'s pending entries with its commit LSN."""
+        for entry in self._versions.get(row_id, ()):
+            if entry.commit_lsn is None and entry.txn_id == txn_id:
+                entry.commit_lsn = commit_lsn
+
+    def discard_version(self, row_id, txn_id):
+        """Rollback: drop ``txn_id``'s pending entries on ``row_id``."""
+        chain = self._versions.get(row_id)
+        if not chain:
+            return
+        keep = [
+            e for e in chain
+            if e.commit_lsn is not None or e.txn_id != txn_id
+        ]
+        if keep:
+            self._versions[row_id] = keep
+        else:
+            del self._versions[row_id]
+
+    def resolve_visible(self, row_id, heap_row, snapshot, snapshot_txn=None):
+        """The image visible at ``snapshot`` given the current heap image
+        (None = empty slot); returns None when the row is invisible."""
+        chain = self._versions.get(row_id)
+        if not chain:
+            return heap_row
+        for entry in chain:
+            if entry.commit_lsn is None:
+                if entry.txn_id == snapshot_txn:
+                    continue  # read-your-own-writes
+                return entry.before
+            if entry.commit_lsn > snapshot:
+                return entry.before
+        return heap_row
+
+    def get_visible(self, row_id, snapshot, snapshot_txn=None):
+        """Visibility-resolved fetch: the row image at ``snapshot`` or
+        None when invisible (unlike :meth:`get`, deleted slots do not
+        raise — a snapshot may legitimately predate the delete)."""
+        frame = self._fetch(row_id.page_ordinal)
+        try:
+            heap_row = frame.payload["slots"][row_id.slot]
+        finally:
+            self.pool.unpin(frame)
+        return self.resolve_visible(row_id, heap_row, snapshot, snapshot_txn)
+
+    def purge_versions(self, horizon):
+        """Drop entries no open snapshot can need: committed entries at
+        or below ``horizon`` (None = no snapshot is open, so every
+        committed entry goes).  Returns how many entries were dropped."""
+        dropped = 0
+        for row_id in list(self._versions):
+            chain = self._versions[row_id]
+            keep = [
+                e for e in chain
+                if e.commit_lsn is None
+                or (horizon is not None and e.commit_lsn > horizon)
+            ]
+            dropped += len(chain) - len(keep)
+            if keep:
+                self._versions[row_id] = keep
+            else:
+                del self._versions[row_id]
+        return dropped
+
+    def version_count(self):
+        return sum(len(chain) for chain in self._versions.values())
+
+    def has_versions(self):
+        return bool(self._versions)
 
     # ------------------------------------------------------------------ #
     # restart recovery (physical REDO/UNDO, repro.recovery.restart)
@@ -184,6 +313,9 @@ class TableStorage:
         self._page_numbers = list(range(self.file.page_count))
         self._pages_with_space = []
         self.row_count = 0
+        # Version chains are volatile state: they died with the process
+        # (no snapshot survives a crash, so nothing can miss them).
+        self._versions = {}
 
     def _materialize(self, frame):
         """The frame's page dict, creating an empty page image for pages

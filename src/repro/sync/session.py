@@ -218,10 +218,34 @@ class SyncSession:
         stats.conflicts.append(conflict)
         return self.conflict_policy
 
-    # -- primitive writes (logged on the target) -------------------------- #
+    # -- scheduler integration -------------------------------------------- #
+
+    def scheduled_statement(self):
+        """This session as a workload-scheduler statement item.
+
+        Scheduled as a callable session item, the whole round runs under
+        the scheduler's yield discipline on the scheduled thread: its
+        row-lock acquisitions park at the lock-wait yield point and its
+        commits park at the group-commit yield point — so the crash
+        harness can kill the server mid-sync, inside a commit or while
+        lock queues are deep.
+        """
+        def run_sync(conn):
+            self.synchronize()
+        run_sync.__name__ = "sync.synchronize"
+        return run_sync
+
+    # -- primitive writes (locked and logged on the target) ---------------- #
 
     def _do_insert(self, target, table, row, txn_id):
         row_id = table.storage.insert(row)
+        try:
+            target.lock_manager.acquire(txn_id, table.name, row_id)
+        except Exception:
+            # Nothing is logged yet: compensate the heap insert physically.
+            table.storage.delete(row_id)
+            raise
+        target.versions.note_write(table.storage, row_id, None, txn_id)
         target._index_insert(table, row, row_id)
         target.stats.note_insert(table.name, row)
         table.storage.stamp_page(
@@ -232,6 +256,11 @@ class SyncSession:
         )
 
     def _do_update(self, target, table, row_id, old_row, new_row, txn_id):
+        target.lock_manager.acquire(txn_id, table.name, row_id)
+        # The acquire may have parked this session: the row may have
+        # changed (or vanished) while it waited, so re-read under the lock.
+        old_row = table.storage.get(row_id)
+        target.versions.note_write(table.storage, row_id, old_row, txn_id)
         table.storage.update(row_id, new_row)
         target._index_delete(table, old_row, row_id)
         target._index_insert(table, new_row, row_id)
@@ -245,6 +274,9 @@ class SyncSession:
         )
 
     def _do_delete(self, target, table, row_id, old_row, txn_id):
+        target.lock_manager.acquire(txn_id, table.name, row_id)
+        old_row = table.storage.get(row_id)
+        target.versions.note_write(table.storage, row_id, old_row, txn_id)
         table.storage.delete(row_id)
         target._index_delete(table, old_row, row_id)
         target.stats.note_delete(table.name, old_row)

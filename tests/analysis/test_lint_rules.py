@@ -232,6 +232,54 @@ class TestSIM007SwallowedExceptions:
         assert codes(source) == []
 
 
+class TestSIM009CatalogLockDiscipline:
+    ENGINE = "repro.engine.fake"
+
+    def test_unlocked_add_table_fires(self):
+        source = """
+        def create(self, schema):
+            self.server.catalog.add_table(schema)
+        """
+        assert "SIM009" in codes(source, module_name=self.ENGINE)
+
+    def test_unlocked_drop_index_fires(self):
+        source = """
+        def drop(self, name):
+            catalog.drop_index(name)
+        """
+        assert "SIM009" in codes(source, module_name=self.ENGINE)
+
+    def test_ddl_lock_helper_satisfies(self):
+        source = """
+        def create(self, schema):
+            with self._ddl_lock(schema.name):
+                self.server.catalog.add_table(schema)
+        """
+        assert codes(source, module_name=self.ENGINE) == []
+
+    def test_acquire_table_satisfies(self):
+        source = """
+        def create(self, schema):
+            self.server.lock_manager.acquire_table(1, schema.name, mode=X)
+            self.server.catalog.add_table(schema)
+        """
+        assert codes(source, module_name=self.ENGINE) == []
+
+    def test_non_catalog_receiver_is_clean(self):
+        source = """
+        def bookkeeping(self, schema):
+            self.registry.add_table(schema)
+        """
+        assert codes(source, module_name=self.ENGINE) == []
+
+    def test_outside_engine_package_is_clean(self):
+        source = """
+        def create(self, schema):
+            self.server.catalog.add_table(schema)
+        """
+        assert codes(source, module_name="repro.recovery.fake") == []
+
+
 class TestFramework:
     def test_noqa_suppresses_all(self):
         assert codes("import time  # noqa\n") == []

@@ -1,0 +1,283 @@
+"""Blocking lock manager: park-and-complete, deadlocks, determinism.
+
+The contract under test is the PR's thesis: a blocked lock request under
+the workload scheduler is *not* a statement abort.  The session parks on
+the holder's release queue, wakes in seeded (byte-reproducible) order,
+and completes; only a waits-for cycle or an external-holder stall aborts
+anything, and then exactly one deterministic victim.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.analysis.sanitizers import LockInvariantError
+from repro.engine import WorkloadScheduler
+from repro.engine.locks import (
+    IX,
+    X,
+    LockConflictError,
+    LockDeadlockError,
+    LockManager,
+)
+from repro.engine.scheduler import DONE, YIELD_STATEMENT
+from repro.storage.rowstore import RowId
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("start_buffer_governor", False)
+    return Server(ServerConfig(**kwargs))
+
+
+def seed_table(server, rows=300):
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, 0) for i in range(rows)])
+    return connection
+
+
+def hot_row_statements(n=5):
+    def source(connection):
+        for __ in range(n):
+            yield "UPDATE t SET v = v + 1 WHERE id = 0"
+    return source
+
+
+def run_hot_row(seed, n_sessions=4, n=5, **server_kwargs):
+    server = make_server(**server_kwargs)
+    connection = seed_table(server)
+    scheduler = WorkloadScheduler(server, seed=seed)
+    for k in range(n_sessions):
+        scheduler.add_session("s%d" % k, hot_row_statements(n))
+    report = scheduler.run()
+    return server, connection, scheduler, report
+
+
+class TestParkAndComplete:
+    def test_blocked_updates_complete_without_abort(self):
+        server, conn, scheduler, report = run_hot_row(seed=3)
+        # Every statement completed; contention caused waits, not aborts.
+        assert report["statement_errors"] == 0
+        assert all(s.status == DONE for s in scheduler.sessions)
+        assert server.lock_manager.waits > 0
+        assert server.lock_manager.deadlocks == 0
+        v = conn.execute("SELECT v FROM t WHERE id = 0").rows[0][0]
+        assert v == 4 * 5  # no increment lost, none doubled
+
+    def test_waits_appear_in_the_trace(self):
+        __, __, scheduler, __ = run_hot_row(seed=3)
+        lines = scheduler.trace_lines()
+        assert "wait:lock" in lines
+        assert "lock-granted" in lines
+
+    def test_same_seed_traces_byte_identical_with_deep_queues(self):
+        __, __, a, __ = run_hot_row(seed=11, n_sessions=5, n=6)
+        __, __, b, __ = run_hot_row(seed=11, n_sessions=5, n=6)
+        assert a.trace_lines() == b.trace_lines()
+        assert "wait:lock" in a.trace_lines()
+
+    def test_fail_fast_config_restores_old_behavior(self):
+        server, __, scheduler, report = run_hot_row(
+            seed=3, blocking_locks=False
+        )
+        # The baseline mode: conflicts abort statements instead of waiting.
+        assert server.lock_manager.waits == 0
+        assert report["statement_errors"] > 0
+        assert all(s.status == DONE for s in scheduler.sessions)
+
+
+def crossing_txn(first, second, holder):
+    """One explicit transaction updating ``first`` then ``second``.
+
+    Yields the baton between the two updates (the table is tiny, so
+    without the explicit offer there is no pool-miss yield and the
+    transactions would never interleave).
+    """
+    def run_txn(conn):
+        conn.execute("BEGIN")
+        try:
+            conn.execute("UPDATE t SET v = v + 1 WHERE id = %d" % first)
+            holder[0].yield_point(YIELD_STATEMENT, always=True)
+            conn.execute("UPDATE t SET v = v + 1 WHERE id = %d" % second)
+            conn.execute("COMMIT")
+        except LockConflictError:
+            if conn._txn_id is not None:
+                conn.rollback()
+            raise
+    run_txn.__name__ = "txn:%d->%d" % (first, second)
+    return [run_txn]
+
+
+def run_crossing(seed, orders=((1, 2), (2, 1))):
+    server = make_server()
+    connection = seed_table(server, rows=10)
+    scheduler = WorkloadScheduler(server, seed=seed, switch_rate=0.9)
+    holder = [scheduler]
+    for k, (first, second) in enumerate(orders):
+        scheduler.add_session("x%d" % k, crossing_txn(first, second, holder))
+    report = scheduler.run()
+    return server, connection, scheduler, report
+
+
+class TestDeadlockDetection:
+    def _deadlocking_seeds(self, seeds=range(1, 25)):
+        found = []
+        for seed in seeds:
+            server, conn, scheduler, report = run_crossing(seed)
+            if server.lock_manager.deadlocks:
+                found.append((seed, server, conn, scheduler, report))
+        return found
+
+    def test_crossing_transactions_deadlock_and_one_victim_dies(self):
+        found = self._deadlocking_seeds()
+        assert found, "no seed produced the waits-for cycle"
+        for seed, server, conn, scheduler, report in found:
+            # Exactly one victim; the survivor committed both updates and
+            # the victim rolled back cleanly — rows advanced exactly once.
+            assert server.lock_manager.deadlocks == 1
+            assert report["statement_errors"] == 1
+            assert all(s.status == DONE for s in scheduler.sessions)
+            errors = [e for s in scheduler.sessions for e in s.errors]
+            assert len(errors) == 1
+            assert "LockDeadlockError" in errors[0][1]
+            rows = dict(
+                conn.execute("SELECT id, v FROM t WHERE id IN (1, 2)").rows
+            )
+            assert rows == {1: 1, 2: 1}
+
+    def test_victim_choice_is_deterministic(self):
+        found = self._deadlocking_seeds()
+        assert found
+        seed = found[0][0]
+        __, __, a, __ = run_crossing(seed)
+        __, __, b, __ = run_crossing(seed)
+        assert a.trace_lines() == b.trace_lines()
+        assert "lock-victim" in a.trace_lines() or any(
+            "LockDeadlockError" in e[1]
+            for s in a.sessions for e in s.errors
+        )
+
+    def test_no_deadlock_when_transactions_agree_on_order(self):
+        server, connection, scheduler, report = run_crossing(
+            seed=5, orders=((1, 2), (1, 2))
+        )
+        assert server.lock_manager.deadlocks == 0
+        assert report["statement_errors"] == 0
+        rows = dict(
+            connection.execute("SELECT id, v FROM t WHERE id IN (1, 2)").rows
+        )
+        assert rows == {1: 2, 2: 2}
+
+
+class TestExternalHolderStall:
+    def test_stalled_sessions_are_victimized_not_hung(self):
+        server = make_server()
+        connection = seed_table(server, rows=10)
+        # A plain driver connection (never scheduled) holds the hot row.
+        connection.begin()
+        connection.execute("UPDATE t SET v = v + 1 WHERE id = 0")
+        scheduler = WorkloadScheduler(server, seed=2)
+        scheduler.add_session("w0", hot_row_statements(n=2))
+        scheduler.add_session("w1", hot_row_statements(n=2))
+        report = scheduler.run()  # must terminate
+        assert server.lock_manager.stalls > 0
+        assert "lock-stall-victim" in scheduler.trace_lines()
+        assert all(s.status == DONE for s in scheduler.sessions)
+        # Every statement failed (the external holder never released)...
+        assert report["statement_errors"] == 2 * 2
+        connection.commit()
+        # ...and the external transaction's own work survived untouched.
+        v = connection.execute("SELECT v FROM t WHERE id = 0").rows[0][0]
+        assert v == 1
+
+
+class TestTableLocks:
+    def test_ddl_conflicts_with_inflight_dml(self):
+        server = make_server()
+        writer = seed_table(server, rows=10)
+        writer.begin()
+        writer.execute("UPDATE t SET v = v + 1 WHERE id = 3")
+        other = server.connect()
+        # Fail-fast (no scheduler): DROP cannot barge past the IX holder.
+        with pytest.raises(LockConflictError):
+            other.execute("DROP TABLE t")
+        writer.commit()
+        other.execute("DROP TABLE t")
+
+    def test_intention_locks_are_compatible_across_writers(self):
+        server = make_server()
+        a = seed_table(server, rows=10)
+        b = server.connect()
+        a.begin()
+        b.begin()
+        a.execute("UPDATE t SET v = v + 1 WHERE id = 1")
+        b.execute("UPDATE t SET v = v + 1 WHERE id = 2")  # no conflict
+        assert server.lock_manager.table_lock_mode(a._txn_id, "t") == IX
+        assert server.lock_manager.table_lock_mode(b._txn_id, "t") == IX
+        a.commit()
+        b.commit()
+
+    def test_ddl_takes_and_releases_table_x(self):
+        server = make_server()
+        connection = server.connect()
+        connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        # The DDL transaction released everything at statement end.
+        assert server.lock_manager.waiting_count() == 0
+        assert not server.lock_manager._table_locks
+
+
+class TestLockSanitizers:
+    def _manager(self, server, sanitize):
+        return LockManager(
+            server.volume.create_file("locks-under-test"), server.pool,
+            sanitize=sanitize,
+        )
+
+    def test_release_miss_raises_under_sanitize(self):
+        server = make_server()
+        manager = self._manager(server, sanitize=True)
+        row = RowId(0, 3)
+        manager.acquire(7, "t", row)
+        manager._table.remove(("t", 0, 3))  # corrupt the bookkeeping
+        with pytest.raises(LockInvariantError):
+            manager.release_all(7)
+        assert manager.release_misses == 1
+
+    def test_release_miss_is_counted_not_fatal_without_sanitize(self):
+        server = make_server()
+        manager = self._manager(server, sanitize=False)
+        row = RowId(0, 3)
+        manager.acquire(7, "t", row)
+        manager._table.remove(("t", 0, 3))
+        manager.release_all(7)  # absorbed
+        assert manager.release_misses == 1
+
+    def test_grant_over_live_holder_raises_under_sanitize(self):
+        server = make_server()
+        manager = self._manager(server, sanitize=True)
+        manager.acquire(1, "t", RowId(0, 3))
+        with pytest.raises(LockInvariantError):
+            manager._install(("t", 0, 3), 2, X)
+
+
+class TestLockMetrics:
+    def test_all_lock_metrics_registered(self):
+        server = make_server()
+        for name in (
+            "locks.conflicts", "locks.waits", "locks.deadlocks",
+            "locks.stalls", "locks.release_miss", "locks.table_pages",
+        ):
+            assert name in server.metrics.names()
+
+    def test_wait_counters_flow_to_the_registry(self):
+        server, __, __, __ = run_hot_row(seed=3)
+        snapshot = server.metrics.snapshot()
+        assert snapshot["locks.waits"] > 0
+        assert snapshot["locks.conflicts"] > 0
+        assert snapshot["locks.deadlocks"] == 0
+
+    def test_metrics_survive_crash_recreation(self):
+        server = make_server()
+        seed_table(server, rows=10)
+        server.crash()
+        server.restart()
+        assert "locks.waits" in server.metrics.names()

@@ -1,0 +1,208 @@
+"""Snapshot read path: readers never queue behind writers.
+
+Row versions are keyed by commit LSN.  A read-only statement opens a
+snapshot at the last committed LSN and resolves every row against it:
+pending (uncommitted) foreign writes and writes committed after the
+snapshot supply their before-image; the reader's own pending writes are
+visible (read-your-own-writes).  Readers take no row locks, so a hot
+writer never blocks them.
+"""
+
+from repro import Server, ServerConfig
+from repro.engine import WorkloadScheduler
+from repro.engine.scheduler import DONE, YIELD_STATEMENT
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("start_buffer_governor", False)
+    return Server(ServerConfig(**kwargs))
+
+
+def seed_table(server, rows=10, v=0):
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, v) for i in range(rows)])
+    return connection
+
+
+def value(connection, row_id=0):
+    return connection.execute(
+        "SELECT v FROM t WHERE id = %d" % row_id
+    ).rows[0][0]
+
+
+class TestStatementSnapshots:
+    def test_uncommitted_write_invisible_to_other_connections(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("UPDATE t SET v = 99 WHERE id = 0")
+        assert value(reader) == 0          # snapshot: before-image
+        assert value(writer) == 99         # read-your-own-writes
+        writer.commit()
+        assert value(reader) == 99
+
+    def test_rollback_restores_visibility(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("UPDATE t SET v = 99 WHERE id = 0")
+        writer.rollback()
+        assert value(reader) == 0
+        assert value(writer) == 0
+
+    def test_uncommitted_delete_still_visible_to_others(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("DELETE FROM t WHERE id = 3")
+        count = reader.execute("SELECT count(*) FROM t").rows[0][0]
+        assert count == 10
+        assert writer.execute("SELECT count(*) FROM t").rows[0][0] == 9
+        writer.commit()
+        assert reader.execute("SELECT count(*) FROM t").rows[0][0] == 9
+
+    def test_uncommitted_insert_invisible_to_others(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("INSERT INTO t VALUES (100, 7)")
+        assert reader.execute("SELECT count(*) FROM t").rows[0][0] == 10
+        writer.commit()
+        assert reader.execute("SELECT count(*) FROM t").rows[0][0] == 11
+
+    def test_reader_does_not_block_and_takes_no_row_locks(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("UPDATE t SET v = 99 WHERE id = 0")
+        before = server.lock_manager.conflicts
+        # Fail-fast mode off-scheduler: a lock acquisition would raise.
+        assert value(reader) == 0
+        assert server.lock_manager.conflicts == before
+        writer.commit()
+
+    def test_index_scan_respects_the_snapshot(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("UPDATE t SET id = 999 WHERE id = 5")
+        # The index already contains the 999 entry, but the versioned
+        # row image does not satisfy the bounds at the snapshot.
+        assert reader.execute("SELECT id FROM t WHERE id = 999").rows == []
+        writer.rollback()
+
+    def test_fail_fast_baseline_when_snapshots_disabled(self):
+        server = make_server(snapshot_reads=False)
+        writer = seed_table(server)
+        reader = server.connect()
+        writer.begin()
+        writer.execute("UPDATE t SET v = 99 WHERE id = 0")
+        # Without snapshots the reader sees the dirty heap row.
+        assert value(reader) == 99
+        writer.commit()
+
+    def test_versions_purged_after_snapshots_close(self):
+        server = make_server()
+        writer = seed_table(server)
+        writer.begin()
+        writer.execute("UPDATE t SET v = 1 WHERE id = 0")
+        writer.execute("UPDATE t SET v = 2 WHERE id = 1")
+        assert server.versions.rows_versioned() > 0
+        writer.commit()
+        # No snapshot is open: commit purges every chain.
+        assert server.versions.rows_versioned() == 0
+
+
+class TestCursorSnapshots:
+    def test_cursor_sees_its_opening_snapshot_throughout(self):
+        server = make_server()
+        writer = seed_table(server, rows=50)
+        reader = server.connect()
+        cursor = reader.open_cursor("SELECT id, v FROM t")
+        first = cursor.fetchmany(5)
+        writer.execute("UPDATE t SET v = 77 WHERE id = 40")  # autocommit
+        rest = cursor.fetchall()
+        cursor.close()
+        rows = dict((r[0], r[1]) for r in first + rest)
+        # The post-open commit is beyond the cursor's snapshot horizon.
+        assert rows[40] == 0
+        assert value(writer, 40) == 77
+
+    def test_cursor_close_releases_the_snapshot(self):
+        server = make_server()
+        writer = seed_table(server)
+        reader = server.connect()
+        cursor = reader.open_cursor("SELECT id, v FROM t")
+        cursor.fetchmany(2)
+        writer.execute("UPDATE t SET v = 5 WHERE id = 9")
+        assert server.versions.rows_versioned() > 0
+        cursor.close()
+        assert server.versions.rows_versioned() == 0
+
+
+def transfer_statements(n=4):
+    """Move 10 from row 0 to row 1, n times, always locking 0 first."""
+    def source(connection):
+        for __ in range(n):
+            yield "BEGIN"
+            yield "UPDATE t SET v = v - 10 WHERE id = 0"
+            yield "UPDATE t SET v = v + 10 WHERE id = 1"
+            yield "COMMIT"
+    return source
+
+
+def sum_reader(results, holder, n=6):
+    def read_sums(conn):
+        for __ in range(n):
+            results.append(
+                conn.execute("SELECT sum(v) FROM t").rows[0][0]
+            )
+            holder[0].yield_point(YIELD_STATEMENT, always=True)
+    read_sums.__name__ = "read-sums"
+    return [read_sums]
+
+
+class TestSnapshotConsistencyUnderScheduler:
+    def test_readers_only_ever_see_consistent_transfer_states(self):
+        server = make_server()
+        connection = seed_table(server, rows=2, v=100)
+        scheduler = WorkloadScheduler(server, seed=9, switch_rate=0.8)
+        holder = [scheduler]
+        sums = []
+        scheduler.add_session("w0", transfer_statements())
+        scheduler.add_session("w1", transfer_statements())
+        scheduler.add_session("r0", sum_reader(sums, holder))
+        scheduler.add_session("r1", sum_reader(sums, holder))
+        report = scheduler.run()
+        assert report["statement_errors"] == 0
+        assert all(s.status == DONE for s in scheduler.sessions)
+        assert sums, "readers never ran"
+        # Every snapshot saw either all of a transfer or none of it.
+        assert set(sums) == {200}
+        assert value(connection, 0) == 100 - 8 * 10
+        assert value(connection, 1) == 100 + 8 * 10
+        # All snapshots closed: nothing left versioned.
+        assert server.versions.rows_versioned() == 0
+
+    def test_scheduled_readers_never_park_on_locks(self):
+        server = make_server()
+        seed_table(server, rows=2, v=100)
+        scheduler = WorkloadScheduler(server, seed=9, switch_rate=0.8)
+        holder = [scheduler]
+        sums = []
+        scheduler.add_session("w0", transfer_statements())
+        scheduler.add_session("r0", sum_reader(sums, holder))
+        scheduler.run()
+        waits = [
+            line for line in scheduler.trace_lines().splitlines()
+            if "wait:lock" in line and "r0" in line
+        ]
+        assert waits == []
+        assert set(sums) == {200}
