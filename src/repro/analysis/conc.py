@@ -1,0 +1,573 @@
+"""Interprocedural yield-safety and lockset analysis (SIM010–SIM013).
+
+The workload scheduler made the engine cooperatively concurrent: the
+only places a session can lose the baton are its yield points (buffer
+pool misses, spill flushes, statement boundaries, lock and commit
+parks).  Those points are therefore the engine's atomicity boundaries —
+any multi-step mutation of shared state that straddles one without
+protection is a latent race that the deterministic scheduler will
+eventually interleave.  Generic linters cannot see this; these rules
+can, because they run over a :class:`ProjectIndex` — a project-wide
+call graph with two transitive reachability sets:
+
+* **may-yield** — functions that can reach a baton *offer*
+  (``yield_point`` / the pool's ``yield_hook`` / ``spill_yield`` or any
+  park), directly or transitively.  Offers are suppressed inside
+  ``critical_section()``.
+* **may-park** — the strict subset that can reach an unconditional
+  *park* (``wait_for_lock`` / ``wait_for_commit`` / ``_park``).  Parks
+  hand the baton even inside a critical section, which is what makes
+  them dangerous there.
+
+Call resolution is name-based (a call ``x.f(...)`` resolves to every
+project function named ``f``), deliberately over-approximate: a linter
+would rather ask for a ``# noqa`` on safe code than miss a torn write.
+Two damping heuristics keep the noise down: calls to plain-container
+mutator methods (``append``/``pop``/…) and any method call on a
+designated shared attribute are never treated as yield candidates —
+those are builtin dict/list/set operations, not engine calls.
+
+The rules:
+
+* **SIM010** — no may-*park* call lexically inside a
+  ``critical_section()`` / ``_critical()`` block.  A critical section
+  suppresses switch offers, but a park hands the baton anyway — with
+  suppression still armed, the resumed sibling can double-grant the
+  lock table.
+* **SIM011** — two writes to the same designated shared structure (lock
+  table, version chains, dirty-page table, admission queue, pending
+  commit tickets) must not straddle a may-yield call unless the call is
+  critical-covered.  Coverage is interprocedural: a function whose
+  every call site sits inside a critical block (or inside a covered
+  function) is covered — this is how ``_grant_next``/``_install`` are
+  recognised as safe.
+* **SIM012** — lock-release discipline: a function that both acquires
+  and releases locks must release on the unwind path (``finally``), and
+  table-intention locks must be taken before row locks.
+* **SIM013** — snapshot read paths take no row locks: a function that
+  opens a snapshot must not acquire row locks, and ``repro.exec``
+  operators must not touch the lock manager at all.
+
+Suppression: ``# noqa: SIM01x`` on the reported line, or a ``--baseline``
+file for the CLI (see :mod:`repro.analysis.lint`).  The runtime
+counterpart of these rules is :mod:`repro.analysis.races`.
+"""
+
+import ast
+import collections
+
+from repro.analysis.lint import Rule, register
+
+# --------------------------------------------------------------------- #
+# the may-yield model
+# --------------------------------------------------------------------- #
+
+#: Attribute calls that *offer* the baton (a switch may happen).
+YIELD_SEED_ATTRS = frozenset({
+    "yield_point", "yield_hook", "spill_yield",
+    "wait_for_lock", "wait_for_commit",
+})
+
+#: Attribute calls that *park* unconditionally — they hand the baton
+#: even while a critical section suppresses switch offers.
+PARK_SEED_ATTRS = frozenset({"wait_for_lock", "wait_for_commit", "_park"})
+
+#: Context managers that open a critical section.
+CRITICAL_ATTRS = frozenset({"critical_section", "_critical"})
+
+#: Designated shared structures (attribute name -> human label): the
+#: states whose multi-step mutations SIM011 and the runtime race
+#: sanitizer guard.
+SHARED_STRUCTURES = {
+    "_waiters": "lock table",
+    "_waits_for": "lock table",
+    "_held": "lock table",
+    "_table_locks": "lock table",
+    "_held_tables": "lock table",
+    "_versions": "version chains",
+    "_snapshots": "version chains",
+    "_pending": "pending-commit bookkeeping",
+    "_dirty_rec_lsn": "dirty-page table",
+    "_admitted": "admission queue",
+    "_queue": "admission queue",
+}
+
+#: Builtin container mutators: a call to one of these counts as a
+#: *write* when its receiver is a designated attribute, and is never a
+#: yield candidate (dict/list/set/deque methods cannot reach the
+#: scheduler).
+CONTAINER_MUTATORS = frozenset({
+    "append", "appendleft", "pop", "popleft", "remove", "clear", "add",
+    "discard", "setdefault", "update", "insert", "extend",
+})
+
+
+def _last_name(node):
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _with_is_critical(node):
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and _last_name(expr.func) in CRITICAL_ATTRS
+        ):
+            return True
+    return False
+
+
+class _CallRec:
+    """One call site inside a function body."""
+
+    __slots__ = ("name", "node", "pos", "critical", "in_finally",
+                 "receiver", "on_designated", "is_mutator")
+
+    def __init__(self, name, node, critical, in_finally, receiver):
+        self.name = name
+        self.node = node
+        self.pos = (node.lineno, node.col_offset)
+        self.critical = critical
+        self.in_finally = in_finally
+        self.receiver = receiver  # last identifier of the receiver chain
+        #: Method call on a designated shared attribute — a builtin
+        #: container operation, never an engine call.
+        self.on_designated = False
+        self.is_mutator = name in CONTAINER_MUTATORS
+
+    def yield_candidate(self):
+        return not self.on_designated and not self.is_mutator
+
+
+class _WriteRec:
+    """One mutation of a designated shared attribute."""
+
+    __slots__ = ("attr", "group", "node", "pos", "critical")
+
+    def __init__(self, attr, node, critical):
+        self.attr = attr
+        self.group = SHARED_STRUCTURES[attr]
+        self.node = node
+        self.pos = (node.lineno, node.col_offset)
+        self.critical = critical
+
+
+class FunctionScan:
+    """Lexical facts about one function body (nested defs excluded)."""
+
+    def __init__(self, node):
+        self.node = node
+        self.calls = []
+        self.writes = []
+        self._scan_body(node.body, critical=0, in_finally=False)
+
+    # -- collection ---------------------------------------------------- #
+
+    def _scan_body(self, stmts, critical, in_finally):
+        for stmt in stmts:
+            self._scan(stmt, critical, in_finally)
+
+    def _scan(self, node, critical, in_finally):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return  # nested scopes are indexed as their own functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = critical + (1 if _with_is_critical(node) else 0)
+            for item in node.items:
+                self._scan(item, critical, in_finally)
+            self._scan_body(node.body, inner, in_finally)
+            return
+        if isinstance(node, ast.Try):
+            self._scan_body(node.body, critical, in_finally)
+            for handler in node.handlers:
+                self._scan(handler, critical, in_finally)
+            self._scan_body(node.orelse, critical, in_finally)
+            self._scan_body(node.finalbody, critical, True)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, critical, in_finally)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                self._record_store(target, critical)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_store(target, critical)
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, critical, in_finally)
+
+    def _record_call(self, node, critical, in_finally):
+        name = _last_name(node.func)
+        if name is None:
+            return
+        receiver = None
+        if isinstance(node.func, ast.Attribute):
+            receiver = _last_name(node.func.value)
+        rec = _CallRec(name, node, critical > 0, in_finally, receiver)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr in SHARED_STRUCTURES
+        ):
+            rec.on_designated = True
+            if rec.is_mutator:
+                self.writes.append(
+                    _WriteRec(node.func.value.attr, node, critical > 0)
+                )
+        self.calls.append(rec)
+
+    def _record_store(self, target, critical):
+        """``self._x = ...`` / ``self._x[k] = ...`` / ``del self._x[k]``."""
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr in SHARED_STRUCTURES:
+            self.writes.append(_WriteRec(node.attr, target, critical))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, critical)
+
+
+class FunctionInfo:
+    """Project-index entry for one function definition."""
+
+    __slots__ = ("qualname", "name", "calls")
+
+    def __init__(self, qualname, name, calls):
+        self.qualname = qualname
+        self.name = name
+        #: [(callee name, yield-candidate, critical)] — enough for the
+        #: reachability and coverage fixpoints.
+        self.calls = calls
+
+
+class ProjectIndex:
+    """Call graph + transitive may-yield / may-park / coverage sets."""
+
+    def __init__(self):
+        self.functions = {}                       # qualname -> FunctionInfo
+        self.by_name = collections.defaultdict(list)   # name -> [qualname]
+        #: name -> [(caller qualname, call is critical-lexical)]
+        self.call_sites = collections.defaultdict(list)
+        self.may_yield = set()
+        self.may_park = set()
+        self.covered = set()
+
+    # -- construction --------------------------------------------------- #
+
+    @classmethod
+    def build(cls, modules):
+        """``modules`` is an iterable of ``(module_name, ast_tree)``."""
+        index = cls()
+        for module_name, tree in modules:
+            index._index_scope(tree.body, module_name)
+        index._propagate()
+        return index
+
+    def _index_scope(self, stmts, prefix):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = "%s.%s" % (prefix, stmt.name)
+                scan = FunctionScan(stmt)
+                calls = [
+                    (c.name, c.yield_candidate(), c.critical)
+                    for c in scan.calls
+                ]
+                info = FunctionInfo(qualname, stmt.name, calls)
+                self.functions[qualname] = info
+                self.by_name[stmt.name].append(qualname)
+                for name, candidate, critical in calls:
+                    if candidate:
+                        self.call_sites[name].append((qualname, critical))
+                self._index_scope(stmt.body, qualname)
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_scope(stmt.body, "%s.%s" % (prefix, stmt.name))
+            elif hasattr(stmt, "body"):
+                for body in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, body, None)
+                    if isinstance(inner, list):
+                        self._index_scope(inner, prefix)
+
+    def _propagate(self):
+        self.may_yield = self._reach(YIELD_SEED_ATTRS)
+        self.may_park = self._reach(PARK_SEED_ATTRS)
+        self._fix_coverage()
+
+    def _reach(self, seeds):
+        """Functions that can transitively reach a seed attribute call."""
+        reached = {
+            q for q, info in self.functions.items() if info.name in seeds
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in self.functions.items():
+                if qualname in reached:
+                    continue
+                for name, candidate, __ in info.calls:
+                    if not candidate:
+                        continue
+                    if name in seeds or any(
+                        callee in reached for callee in self.by_name[name]
+                    ):
+                        reached.add(qualname)
+                        changed = True
+                        break
+        return reached
+
+    def _fix_coverage(self):
+        """Greatest fixpoint: a function is critical-covered when every
+        call site of its name is lexically critical or inside a covered
+        function.  Functions with no known call sites (entry points)
+        are never covered."""
+        covered = {
+            q for q, info in self.functions.items()
+            if self.call_sites[info.name]
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in list(covered):
+                info = self.functions[qualname]
+                for caller, critical in self.call_sites[info.name]:
+                    if not critical and caller not in covered:
+                        covered.discard(qualname)
+                        changed = True
+                        break
+        self.covered = covered
+
+    # -- queries -------------------------------------------------------- #
+
+    def name_may_yield(self, name):
+        return name in YIELD_SEED_ATTRS or any(
+            q in self.may_yield for q in self.by_name.get(name, ())
+        )
+
+    def name_may_park(self, name):
+        return name in PARK_SEED_ATTRS or any(
+            q in self.may_park for q in self.by_name.get(name, ())
+        )
+
+    def is_covered(self, qualname):
+        return qualname in self.covered
+
+
+def build_index(modules):
+    return ProjectIndex.build(modules)
+
+
+# --------------------------------------------------------------------- #
+# rule plumbing
+# --------------------------------------------------------------------- #
+
+
+def _qualname_of(context, node):
+    """Dotted project name of a function node (parents are linked by the
+    linter's walk before function nodes are dispatched)."""
+    parts = [node.name]
+    current = getattr(node, "parent", None)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+            parts.append(current.name)
+        current = getattr(current, "parent", None)
+    parts.append(context.module_name)
+    return ".".join(reversed(parts))
+
+
+def _is_lock_receiver(call):
+    """Whether a call's receiver looks like the lock manager."""
+    return call.receiver is not None and "lock" in call.receiver
+
+
+class ConcRule(Rule):
+    """Base for the interprocedural rules: per-function dispatch with a
+    :class:`FunctionScan` and the shared :class:`ProjectIndex`."""
+
+    def _check(self, node):
+        project = self.context.project
+        if project is None:
+            return
+        self.check_function(
+            node, FunctionScan(node), project,
+            _qualname_of(self.context, node),
+        )
+
+    visit_FunctionDef = _check
+    visit_AsyncFunctionDef = _check
+
+    def check_function(self, node, scan, project, qualname):
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- #
+# SIM010 — no park inside a critical section
+# --------------------------------------------------------------------- #
+
+
+@register
+class NoParkInCriticalRule(ConcRule):
+    rule_id = "SIM010"
+    summary = (
+        "no may-park call inside critical_section(): a park hands the "
+        "baton with switch suppression armed (lock-table double grant)"
+    )
+
+    def check_function(self, node, scan, project, qualname):
+        for call in scan.calls:
+            if not call.critical or not call.yield_candidate():
+                continue
+            if project.name_may_park(call.name):
+                self.report(
+                    call.node,
+                    "call to %r inside a critical section may park the "
+                    "session; the resumed sibling runs with switch "
+                    "suppression armed and can double-grant the lock "
+                    "table" % (call.name,),
+                )
+
+
+# --------------------------------------------------------------------- #
+# SIM011 — shared-structure mutations must not straddle a yield
+# --------------------------------------------------------------------- #
+
+
+@register
+class TornSharedWriteRule(ConcRule):
+    rule_id = "SIM011"
+    summary = (
+        "multi-step mutations of designated shared structures must not "
+        "straddle an uncovered may-yield call"
+    )
+
+    def check_function(self, node, scan, project, qualname):
+        if len(scan.writes) < 2 or project.is_covered(qualname):
+            return
+        reported = set()
+        for call in scan.calls:
+            if call.critical or not call.yield_candidate():
+                continue
+            if not (
+                call.name in YIELD_SEED_ATTRS
+                or project.name_may_yield(call.name)
+            ):
+                continue
+            for group in self._straddled_groups(scan.writes, call.pos):
+                if (group, call.pos) in reported:
+                    continue
+                reported.add((group, call.pos))
+                before, after = self._bracketing_writes(
+                    scan.writes, call.pos, group
+                )
+                self.report(
+                    call.node,
+                    "writes to the %s (lines %d and %d) straddle this "
+                    "may-yield call to %r without critical-section "
+                    "coverage; a baton switch here leaves the structure "
+                    "torn" % (group, before, after, call.name),
+                )
+
+    def _straddled_groups(self, writes, pos):
+        groups = set()
+        for w1 in writes:
+            if w1.pos >= pos:
+                continue
+            for w2 in writes:
+                if w2.pos > pos and w2.group == w1.group:
+                    groups.add(w1.group)
+        return sorted(groups)
+
+    def _bracketing_writes(self, writes, pos, group):
+        before = max(w.pos for w in writes if w.pos < pos and w.group == group)
+        after = min(w.pos for w in writes if w.pos > pos and w.group == group)
+        return before[0], after[0]
+
+
+# --------------------------------------------------------------------- #
+# SIM012 — lock release and ordering discipline
+# --------------------------------------------------------------------- #
+
+
+@register
+class LockDisciplineRule(ConcRule):
+    rule_id = "SIM012"
+    summary = (
+        "lock acquire/release pairs must release in a finally; table "
+        "intention locks come before row locks"
+    )
+
+    def check_function(self, node, scan, project, qualname):
+        acquires = [
+            c for c in scan.calls
+            if (c.name == "acquire" and _is_lock_receiver(c))
+            or c.name == "acquire_table"
+        ]
+        releases = [c for c in scan.calls if c.name == "release_all"]
+        if acquires and releases and not any(
+            c.in_finally for c in releases
+        ):
+            self.report(
+                releases[0].node,
+                "release_all is not on the unwind path: an error between "
+                "acquire and release leaks the locks — release in a "
+                "finally block",
+            )
+        row = [
+            c for c in scan.calls
+            if c.name == "acquire" and _is_lock_receiver(c)
+        ]
+        table = [c for c in scan.calls if c.name == "acquire_table"]
+        if row and table and min(c.pos for c in row) < min(
+            c.pos for c in table
+        ):
+            self.report(
+                row[0].node,
+                "row lock acquired before the table intention lock; the "
+                "multi-granularity protocol requires the IX table lock "
+                "first so DDL drains see in-flight writers",
+            )
+
+
+# --------------------------------------------------------------------- #
+# SIM013 — snapshot read paths take no row locks
+# --------------------------------------------------------------------- #
+
+
+@register
+class SnapshotReadLockRule(ConcRule):
+    rule_id = "SIM013"
+    summary = (
+        "snapshot read paths must not acquire row locks (readers never "
+        "queue behind writers)"
+    )
+
+    def check_function(self, node, scan, project, qualname):
+        lock_calls = [
+            c for c in scan.calls
+            if c.name in ("acquire", "acquire_table")
+            and _is_lock_receiver(c)
+        ]
+        if self.context.in_package("repro.exec"):
+            for call in lock_calls:
+                self.report(
+                    call.node,
+                    "operator code must not touch the lock manager: the "
+                    "read path is snapshot-resolved and lock-free",
+                )
+            return
+        opens = [c for c in scan.calls if c.name == "open_snapshot"]
+        rows = [c for c in lock_calls if c.name == "acquire"]
+        if opens and rows:
+            self.report(
+                rows[0].node,
+                "function opens a snapshot and acquires a row lock; "
+                "snapshot readers must stay lock-free or they queue "
+                "behind the writers the snapshot exists to avoid",
+            )

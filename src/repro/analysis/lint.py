@@ -56,6 +56,11 @@ class Violation:
             self.path, self.line, self.col, self.rule_id, self.message
         )
 
+    def fingerprint(self):
+        """Position-independent identity used by ``--baseline`` files:
+        line/col drift as code moves, path+rule+message do not."""
+        return "%s:%s:%s" % (self.path, self.rule_id, self.message)
+
     def __repr__(self):
         return "Violation(%s)" % (self.render(),)
 
@@ -63,11 +68,15 @@ class Violation:
 class ModuleContext:
     """What a rule may know about the module being checked."""
 
-    def __init__(self, path, module_name, source):
+    def __init__(self, path, module_name, source, project=None):
         self.path = path
         self.module_name = module_name
         self.source = source
         self.lines = source.splitlines()
+        #: :class:`repro.analysis.conc.ProjectIndex` when linting a whole
+        #: tree; a single-module index otherwise (interprocedural rules
+        #: then only see this module's call graph).
+        self.project = project
 
     def in_package(self, *prefixes):
         """Whether the module lives under any of the dotted ``prefixes``."""
@@ -114,8 +123,9 @@ class Rule:
 class Linter:
     """Walks one module's AST, dispatching nodes to every active rule."""
 
-    def __init__(self, select=None):
+    def __init__(self, select=None, project=None):
         self.select = set(select) if select is not None else None
+        self.project = project
 
     def _active_rules(self, context, reporter):
         rules = []
@@ -130,7 +140,6 @@ class Linter:
         """Lint one source string; returns a list of :class:`Violation`."""
         if module_name is None:
             module_name = module_name_for(path)
-        context = ModuleContext(path, module_name, source)
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
@@ -140,6 +149,14 @@ class Linter:
                     "syntax error: %s" % (exc.msg,),
                 )
             ]
+        project = self.project
+        if project is None:
+            # Standalone check (tests, snippets): the module is its own
+            # interprocedural universe.
+            from repro.analysis import conc
+
+            project = conc.build_index([(module_name, tree)])
+        context = ModuleContext(path, module_name, source, project=project)
         violations = []
         rules = self._active_rules(context, violations.append)
         if not rules:
@@ -177,21 +194,39 @@ class Linter:
 
     def check_paths(self, paths):
         """Lint files and directories (recursively); returns violations
-        sorted by (path, line, col, rule)."""
-        violations = []
+        sorted by (path, line, col, rule).  All files are indexed first
+        so the interprocedural rules see the whole tree's call graph."""
+        files = []
         for path in paths:
             if os.path.isdir(path):
-                for root, dirs, files in os.walk(path):
+                for root, dirs, names in os.walk(path):
                     dirs.sort()
-                    for name in sorted(files):
+                    for name in sorted(names):
                         if name.endswith(".py"):
-                            violations.extend(
-                                self.check_file(os.path.join(root, name))
-                            )
+                            files.append(os.path.join(root, name))
             else:
-                violations.extend(self.check_file(path))
+                files.append(path)
+        if self.project is None:
+            self.project = self._build_project(files)
+        violations = []
+        for path in files:
+            violations.extend(self.check_file(path))
         violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
         return violations
+
+    @staticmethod
+    def _build_project(files):
+        from repro.analysis import conc
+
+        modules = []
+        for path in files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    tree = ast.parse(handle.read(), filename=path)
+            except (OSError, SyntaxError):
+                continue  # check_file reports these per-file
+            modules.append((module_name_for(path), tree))
+        return conc.build_index(modules)
 
     # ------------------------------------------------------------------ #
     # suppression
@@ -237,7 +272,8 @@ def main(argv=None):
     violations found, 2 usage error)."""
     import argparse
 
-    # The import registers the rules as a side effect.
+    # The imports register the rules as a side effect.
+    from repro.analysis import conc as _conc  # noqa
     from repro.analysis import rules as _rules  # noqa
 
     parser = argparse.ArgumentParser(
@@ -251,6 +287,11 @@ def main(argv=None):
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
+    )
+    parser.add_argument(
+        "--baseline",
+        help="file of accepted violation fingerprints to suppress "
+        "(one per line, '#' comments allowed)",
     )
     args = parser.parse_args(argv)
     if args.list_rules:
@@ -271,8 +312,22 @@ def main(argv=None):
         if unknown:
             print("error: unknown rule(s): %s" % (", ".join(unknown),))
             return 2
+    baseline = set()
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print("error: no such baseline file: %s" % (args.baseline,))
+            return 2
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    baseline.add(line)
     linter = Linter(select=select)
     violations = linter.check_paths(args.paths)
+    if baseline:
+        violations = [
+            v for v in violations if v.fingerprint() not in baseline
+        ]
     for violation in violations:
         print(violation.render())
     if violations:

@@ -1,0 +1,142 @@
+"""Deterministic lockset/interleaving race sanitizer (``REPRO_SANITIZE=1``).
+
+The runtime counterpart of the SIM010–SIM013 static rules
+(:mod:`repro.analysis.conc`).  The cooperative scheduler makes races
+exactly reproducible: there is one baton, sessions interleave only at
+yield points, and the interleaving is seeded.  So instead of the happens-
+before machinery a preemptive detector needs, this sanitizer only has to
+track *open access spans*:
+
+* engine code brackets each multi-step mutation of a designated shared
+  structure (lock table, version chains, dirty-page table, admission
+  queue, group-commit tickets) in a span — ``begin(structure, key, mode,
+  ...)`` / ``end(span)``;
+* a span records its **lockset**: the guard tokens protecting the
+  mutation — an implicit ``critical`` token while the scheduler is in a
+  ``critical_section()``, plus the lock keys the owning transaction
+  holds (via the lock manager's ``guard_tokens``);
+* because the engine is single-baton, a *foreign* span that is still
+  open when we begin ours proves the owner yielded mid-mutation.  If
+  either span writes and the locksets are disjoint, that is a race: two
+  sessions interleaved inside the same structure with nothing ordering
+  them.  :class:`RaceInterleavingError` is raised at the second access —
+  deterministically, on the same statement, for the same seed.
+
+The sanitizer is inert unless an armed scheduler with a running session
+stands behind it, draws no randomness and reads no clock, so enabling it
+preserves byte-identical scheduler traces.
+"""
+
+import contextlib
+
+from repro.analysis.sanitizer_base import SanitizerError
+
+#: Implicit guard token held while the scheduler is in a critical section.
+CRITICAL_TOKEN = "critical"
+
+
+class RaceInterleavingError(SanitizerError):
+    """Two sessions interleaved inside a shared structure with disjoint
+    locksets — a torn multi-step mutation."""
+
+
+class AccessSpan:
+    """One open access to ``(structure, key)`` by one session."""
+
+    __slots__ = ("structure", "key", "mode", "guards", "session")
+
+    def __init__(self, structure, key, mode, guards, session):
+        self.structure = structure
+        self.key = key
+        self.mode = mode          # "r" or "w"
+        self.guards = guards      # frozenset of lockset tokens
+        self.session = session    # owning session name
+
+    def describe(self):
+        guards = ",".join(sorted(str(g) for g in self.guards)) or "none"
+        return "%s[%r] %s by %s (guards: %s)" % (
+            self.structure, self.key, self.mode, self.session, guards
+        )
+
+
+class RaceSanitizer:
+    """Span-based race detector over the designated shared structures."""
+
+    def __init__(self, scheduler_fn, lock_guards_fn=None):
+        self._scheduler_fn = scheduler_fn
+        self._lock_guards_fn = lock_guards_fn
+        self._open = {}           # (structure, key) -> [AccessSpan]
+        self.checks = 0
+
+    # -- span lifecycle ------------------------------------------------- #
+
+    def begin(self, structure, key, mode, txn_id=None, guards=()):
+        """Open an access span; returns ``None`` (inert) when no armed
+        scheduler session stands behind the call."""
+        scheduler = self._scheduler_fn()
+        if scheduler is None:
+            return None
+        session = scheduler.running_session()
+        if session is None:
+            return None
+        tokens = set(guards)
+        if scheduler.in_critical_section():
+            tokens.add(CRITICAL_TOKEN)
+        if txn_id is not None and self._lock_guards_fn is not None:
+            tokens.update(self._lock_guards_fn(txn_id))
+        span = AccessSpan(structure, key, mode, frozenset(tokens),
+                          session.name)
+        self._check(span)
+        self._open.setdefault((structure, key), []).append(span)
+        return span
+
+    def end(self, span):
+        if span is None:
+            return
+        spans = self._open.get((span.structure, span.key))
+        if spans is not None:
+            try:
+                spans.remove(span)
+            except ValueError:
+                pass
+            if not spans:
+                del self._open[(span.structure, span.key)]
+
+    @contextlib.contextmanager
+    def access(self, structure, key, mode, txn_id=None, guards=()):
+        span = self.begin(structure, key, mode, txn_id=txn_id, guards=guards)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def open_spans(self):
+        return sum(len(spans) for spans in self._open.values())
+
+    # -- detection ------------------------------------------------------ #
+
+    def _check(self, span):
+        self.checks += 1
+        for other in self._open.get((span.structure, span.key), ()):
+            if other.session == span.session:
+                continue
+            if other.mode == "r" and span.mode == "r":
+                continue
+            if other.guards & span.guards:
+                continue
+            # The foreign span is still open, so its owner yielded
+            # mid-mutation; disjoint locksets mean nothing ordered the
+            # two accesses.
+            raise RaceInterleavingError(
+                "race on %s[%r]: %s interleaves with open %s"
+                % (span.structure, span.key, span.describe(),
+                   other.describe())
+            )
+
+
+def tap(races, structure, key, mode, txn_id=None, guards=()):
+    """Null-safe span context: engine call sites use this so disabled
+    sanitizers cost one ``is None`` check."""
+    if races is None:
+        return contextlib.nullcontext()
+    return races.access(structure, key, mode, txn_id=txn_id, guards=guards)

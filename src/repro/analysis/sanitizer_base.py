@@ -1,0 +1,28 @@
+"""Sanitizer enablement flag and base error, dependency-free.
+
+Split out of :mod:`repro.analysis.sanitizers` so low-level modules (the
+buffer pool, the race sanitizer) can share the flag and the error
+hierarchy without importing the sanitizer classes — those subclass the
+engine types and would close an import cycle.
+"""
+
+import os
+
+_enabled = os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "no")
+
+
+def sanitizers_enabled():
+    """Whether debug-mode sanitizers default to on (``REPRO_SANITIZE``)."""
+    return _enabled
+
+
+def set_sanitizers_enabled(value):
+    """Flip the process-wide default; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    return previous
+
+
+class SanitizerError(AssertionError):
+    """An engine invariant was observed broken at runtime."""

@@ -25,6 +25,11 @@ They are assertions, not recovery: a failure raises
 import os
 import sys
 
+from repro.analysis.sanitizer_base import (  # noqa: F401  (re-exports)
+    SanitizerError,
+    sanitizers_enabled,
+    set_sanitizers_enabled,
+)
 from repro.buffer.governor import GROW, SHRINK, BufferGovernor
 from repro.buffer.pool import BufferPool
 from repro.buffer.replacement import GClockPolicy
@@ -32,32 +37,8 @@ from repro.common.clock import SimClock
 from repro.exec.memory import MemoryGovernor, Task
 
 # --------------------------------------------------------------------- #
-# enablement
+# errors (base class in repro.analysis.sanitizer_base)
 # --------------------------------------------------------------------- #
-
-_enabled = os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false", "no")
-
-
-def sanitizers_enabled():
-    """Whether debug-mode sanitizers default to on (``REPRO_SANITIZE``)."""
-    return _enabled
-
-
-def set_sanitizers_enabled(value):
-    """Flip the process-wide default; returns the previous value."""
-    global _enabled
-    previous = _enabled
-    _enabled = bool(value)
-    return previous
-
-
-# --------------------------------------------------------------------- #
-# errors
-# --------------------------------------------------------------------- #
-
-
-class SanitizerError(AssertionError):
-    """An engine invariant was observed broken at runtime."""
 
 
 class PinLeakError(SanitizerError):

@@ -2,6 +2,7 @@
 
 import contextlib
 
+from repro.analysis.races import tap as _race_tap
 from repro.buffer.frames import Frame, PageKind
 from repro.buffer.replacement import GClockPolicy
 from repro.common.errors import BufferPoolExhaustedError
@@ -42,6 +43,8 @@ class BufferPool:
         #: a fetch miss, before the device read, so concurrent sessions
         #: interleave at page-I/O boundaries.
         self.yield_hook = None
+        #: Race sanitizer (attached by the server under REPRO_SANITIZE).
+        self.races = None
         # Counters (cumulative).
         self.hits = 0
         self.misses = 0
@@ -201,9 +204,10 @@ class BufferPool:
             return
         key = frame.key
         if key not in self._dirty_rec_lsn:
-            self._dirty_rec_lsn[key] = (
-                self.lsn_fn() if self.lsn_fn is not None else 0
-            )
+            with _race_tap(self.races, "dpt", key, "w"):
+                self._dirty_rec_lsn[key] = (
+                    self.lsn_fn() if self.lsn_fn is not None else 0
+                )
 
     def dirty_page_table(self):
         """Snapshot of ``{(file_id, page_no): recLSN}`` for checkpoint

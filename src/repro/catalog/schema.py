@@ -110,6 +110,11 @@ class IndexSchema:
         self.unique = unique
         #: Set by the engine: the BTree instance.
         self.btree = None
+        #: LSN stamp of the last DML/DDL that touched this index's
+        #: entries.  A snapshot older than the stamp cannot trust the
+        #: B-tree (entries removed after the snapshot are simply gone),
+        #: so the scan falls back to the exact heap path.
+        self.last_dml_lsn = 0
 
     def __repr__(self):
         return "IndexSchema(%s ON %s(%s)%s)" % (

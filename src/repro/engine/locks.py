@@ -29,6 +29,7 @@ Two layers sit above the row locks:
 
 import contextlib
 
+from repro.analysis.races import tap as _race_tap
 from repro.common.errors import ReproError
 from repro.storage.exthash import ExtensibleHashTable
 
@@ -130,6 +131,7 @@ class LockManager:
         self.blocking = bool(blocking)
         self.sanitize = bool(sanitize)
         self._scheduler_fn = scheduler_fn or (lambda: None)
+        self.races = None  # RaceSanitizer, attached by the server
         # Plain attributes mirror the counters so the manager is fully
         # inspectable without a registry.
         self.conflicts = 0
@@ -166,7 +168,9 @@ class LockManager:
         """
         self.acquire_table(txn_id, table_name, IX)
         key = (table_name, row_id.page_ordinal, row_id.slot)
-        with self._critical():
+        with self._critical(), _race_tap(
+            self.races, "locks", key, "w", txn_id=txn_id
+        ):
             holder = self._table.get(key)
             if holder == txn_id:
                 return
@@ -190,7 +194,9 @@ class LockManager:
         cycles like any other).  Queued incompatible waiters block new
         requests too — no barging past a parked DDL statement.
         """
-        with self._critical():
+        with self._critical(), _race_tap(
+            self.races, "locks", (_TABLE, table_name), "w", txn_id=txn_id
+        ):
             holders = self._table_locks.get(table_name, {})
             held = holders.get(txn_id)
             if held is not None and (held == X or held == mode):
@@ -217,7 +223,9 @@ class LockManager:
         """Drop every lock of ``txn_id`` (commit/rollback), handing each
         freed lock to a waiter drawn from the seeded wakeup stream."""
         for key in self._held.pop(txn_id, []):
-            with self._critical():
+            with self._critical(), _race_tap(
+                self.races, "locks", key, "w", txn_id=txn_id
+            ):
                 try:
                     self._table.remove(key)
                 except KeyError:
@@ -238,7 +246,9 @@ class LockManager:
                     continue
                 self._grant_next(key)
         for table_name in self._held_tables.pop(txn_id, []):
-            with self._critical():
+            with self._critical(), _race_tap(
+                self.races, "locks", (_TABLE, table_name), "w", txn_id=txn_id
+            ):
                 holders = self._table_locks.get(table_name)
                 if holders is not None:
                     holders.pop(txn_id, None)
@@ -264,15 +274,19 @@ class LockManager:
         ):
             raise LockConflictError(key, tuple(sorted(blockers)))
         waiter = LockWaiter(txn_id, key, mode)
-        self._waiters.setdefault(key, []).append(waiter)
-        self._waits_for[txn_id] = set(blockers)
+        with _race_tap(self.races, "locks", key, "w", txn_id=txn_id):
+            self._waiters.setdefault(key, []).append(waiter)
+            self._waits_for[txn_id] = set(blockers)
         self.waits += 1
         self._m_waits.inc()
         cycle = self._find_cycle(txn_id)
         if cycle is not None:
             self._on_deadlock(txn_id, waiter, cycle)
         try:
-            scheduler.wait_for_lock(waiter)
+            # The park *is* the protocol: the waiter queue and waits-for
+            # edge must be published before the baton is handed over so
+            # release_all can grant us and the detector can see the edge.
+            scheduler.wait_for_lock(waiter)  # noqa: SIM011
         finally:
             if not waiter.granted:
                 self._unqueue(waiter)
@@ -433,6 +447,15 @@ class LockManager:
     def held_by(self, txn_id):
         """Row locks held by ``txn_id`` (table locks not counted)."""
         return len(self._held.get(txn_id, []))
+
+    def guard_tokens(self, txn_id):
+        """Lockset tokens for the race sanitizer: every row and table
+        lock ``txn_id`` currently holds."""
+        tokens = set(self._held.get(txn_id, ()))
+        tokens.update(
+            (_TABLE, name) for name in self._held_tables.get(txn_id, ())
+        )
+        return tokens
 
     def total_locks(self):
         """Row locks across all transactions (table locks not counted)."""

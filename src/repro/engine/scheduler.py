@@ -353,6 +353,11 @@ class WorkloadScheduler:
         finally:
             self._critical -= 1
 
+    def in_critical_section(self):
+        """Whether baton switches are currently suppressed (used by the
+        race sanitizer as an implicit guard token)."""
+        return self._critical > 0
+
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #

@@ -246,7 +246,23 @@ class Server:
             multiprogramming_level=self.config.multiprogramming_level,
             adaptive=self.config.adaptive_mpl,
             metrics=self.metrics,
+            lock_stats_fn=lambda: (
+                self.lock_manager.waits, self.lock_manager.deadlocks
+            ),
         )
+        #: Deterministic lockset race detector over the designated shared
+        #: structures (inert without an armed scheduler session).
+        self.races = None
+        if self.sanitize:
+            from repro.analysis.races import RaceSanitizer
+
+            self.races = RaceSanitizer(
+                scheduler_fn=lambda: self.scheduler,
+                lock_guards_fn=lambda txn_id: (
+                    self.lock_manager.guard_tokens(txn_id)
+                ),
+            )
+        self._attach_races()
         buffer_governor_cls = (
             sanitizers.SanitizedBufferGovernor if self.sanitize
             else BufferGovernor
@@ -294,6 +310,15 @@ class Server:
         self._m_elapsed = self.metrics.histogram("statements.elapsed_us")
         self._m_checkpoints = self.metrics.counter("ckpt.checkpoints")
         self._m_ckpt_pages = self.metrics.counter("ckpt.pages_flushed")
+
+    def _attach_races(self):
+        """Point every tapped component at the race sanitizer (re-run
+        after crash recovery rebuilds the lock manager)."""
+        self.pool.races = self.races
+        self.group_commit.races = self.races
+        self.lock_manager.races = self.races
+        self.versions.races = self.races
+        self.memory_governor.admission.races = self.races
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -423,6 +448,7 @@ class Server:
         # Row-version chains are volatile: they die with the process, and
         # the snapshot horizon restarts at the recovered log's durable LSN.
         self.versions.reset(self.txn_log.durable_lsn)
+        self._attach_races()
         self.temp_file.truncate()
         for table in self.catalog.tables():
             if table.storage is not None:
@@ -593,6 +619,7 @@ class Server:
                     "duplicate key %r in unique index %r" % (key, index.name)
                 )
             index.btree.insert(key, row_id)
+            self._stamp_index(index)
 
     def _index_delete(self, table, row, row_id):
         for index in self.catalog.indexes_on(table.name):
@@ -600,6 +627,23 @@ class Server:
                 continue
             key = tuple(row[table.column_index(c)] for c in index.column_names)
             index.btree.delete(key, row_id)
+            self._stamp_index(index)
+
+    def _stamp_index(self, index):
+        """Record that the index's entries changed at the current end of
+        log.  The stamp is taken at mutation time, so it is always <= the
+        mutating transaction's commit LSN: a snapshot at or after the
+        commit trusts the B-tree, an older one falls back to the heap."""
+        index.last_dml_lsn = self.txn_log.peek_next_lsn()
+
+    def _stamp_index_rebuilt(self, index):
+        """Stamp an index rebuilt from committed state only (CREATE INDEX
+        build, REORGANIZE, restart recovery — all run under the DDL drain
+        with no writer in flight).  The tree exactly reflects the
+        committed horizon, so a snapshot at or after it trusts the
+        B-tree; the mutation-time stamp would sit past the horizon
+        forever when the rebuild itself advances no commit ticket."""
+        index.last_dml_lsn = self.versions.last_commit_lsn
 
 
 class Connection:
@@ -1159,6 +1203,7 @@ class Connection:
                     % (key, index_name)
                 )
             index.btree.insert(key, row_id)
+        server._stamp_index_rebuilt(index)
         return index
 
     def _execute_drop_table(self, statement):
@@ -1242,6 +1287,12 @@ class Connection:
             for row in rows:
                 row_id = table.storage.insert(row, page_lsn=stamp)
                 server._index_insert(table, row, row_id)
+            # The rebuild drained all writers and replayed committed rows
+            # only: re-stamp past the per-insert mutation stamps.
+            for index in indexes:
+                if getattr(index, "virtual", False):
+                    continue
+                server._stamp_index_rebuilt(index)
             old_file.truncate()
             server.checkpoint()
         return Result(notes={

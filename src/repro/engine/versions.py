@@ -15,7 +15,13 @@ transaction- and snapshot-level bookkeeping above them:
   and never queue behind writers;
 * chains are purged up to the oldest open snapshot whenever a
   transaction or snapshot ends, bounding version memory.
+
+Version-chain mutations are bracketed in race-sanitizer spans
+(:mod:`repro.analysis.races`) when a sanitizer is attached, keyed by
+``(storage, row)`` and guarded by the writer's held locks.
 """
+
+from repro.analysis.races import tap as _race_tap
 
 
 class _NullCounter:
@@ -33,6 +39,7 @@ class VersionManager:
         self._pending = {}   # txn_id -> [(storage, row_id), ...]
         self._storages = {}  # id(storage) -> storage with live chains
         self._snapshots = {}  # snapshot lsn -> open count
+        self.races = None    # RaceSanitizer, attached by the server
         self.last_commit_lsn = 0
         self.recorded = 0
         self.purged = 0
@@ -57,9 +64,11 @@ class VersionManager:
     def note_write(self, storage, row_id, before, txn_id):
         """Record the image ``txn_id`` is about to supersede at
         ``row_id`` (``before=None`` for an insert)."""
-        storage.remember_version(row_id, before, txn_id)
-        self._pending.setdefault(txn_id, []).append((storage, row_id))
-        self._storages[id(storage)] = storage
+        with _race_tap(self.races, "versions", (id(storage), row_id),
+                       "w", txn_id=txn_id):
+            storage.remember_version(row_id, before, txn_id)
+            self._pending.setdefault(txn_id, []).append((storage, row_id))
+            self._storages[id(storage)] = storage
         self.recorded += 1
         self._m_recorded.inc()
 
@@ -68,7 +77,9 @@ class VersionManager:
         advance the snapshot horizon (also called with no pending work,
         e.g. bulk loads, purely to advance the horizon)."""
         for storage, row_id in self._pending.pop(txn_id, ()):
-            storage.stamp_version(row_id, txn_id, commit_lsn)
+            with _race_tap(self.races, "versions", (id(storage), row_id),
+                           "w", txn_id=txn_id):
+                storage.stamp_version(row_id, txn_id, commit_lsn)
         if commit_lsn > self.last_commit_lsn:
             self.last_commit_lsn = commit_lsn
         self.purge()
@@ -77,7 +88,9 @@ class VersionManager:
         """Discard ``txn_id``'s pending entries (its heap mutations were
         undone by the compensation path, so the chains must forget it)."""
         for storage, row_id in self._pending.pop(txn_id, ()):
-            storage.discard_version(row_id, txn_id)
+            with _race_tap(self.races, "versions", (id(storage), row_id),
+                           "w", txn_id=txn_id):
+                storage.discard_version(row_id, txn_id)
         self.purge()
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,7 @@ Each task (unit of work) gets two quotas:
 
 import collections
 
+from repro.analysis.races import tap as _race_tap
 from repro.common.errors import MemoryQuotaExceededError
 
 
@@ -32,6 +33,7 @@ class AdmissionQueue:
         self._governor = governor
         self._admitted = set()
         self._queue = collections.deque()
+        self.races = None  # RaceSanitizer, attached by the server
         self.total_admissions = 0
         self.total_waits = 0
         self.peak_admitted = 0
@@ -68,23 +70,25 @@ class AdmissionQueue:
         """
         if who in self._admitted:
             return True
-        if who not in self._queue and not self._queue and (
-            len(self._admitted) < self.capacity()
-        ):
-            self._admit(who)
-            return True
-        if who not in self._queue:
-            self._queue.append(who)
-            self.total_waits += 1
-            if self._m_waits is not None:
-                self._m_waits.inc()
+        with _race_tap(self.races, "admission", "slots", "w"):
+            if who not in self._queue and not self._queue and (
+                len(self._admitted) < self.capacity()
+            ):
+                self._admit(who)
+                return True
+            if who not in self._queue:
+                self._queue.append(who)
+                self.total_waits += 1
+                if self._m_waits is not None:
+                    self._m_waits.inc()
         return False
 
     def release(self, who):
         """Give the slot back and promote queued sessions FIFO; returns
         the sessions promoted by this release."""
-        self._admitted.discard(who)
-        return self.promote()
+        with _race_tap(self.races, "admission", "slots", "w"):
+            self._admitted.discard(who)
+            return self.promote()
 
     def promote(self):
         """Admit queue heads into any free slots (also called after an
@@ -98,11 +102,12 @@ class AdmissionQueue:
 
     def withdraw(self, who):
         """Forget ``who`` entirely (session teardown / abort cascade)."""
-        self._admitted.discard(who)
-        try:
-            self._queue.remove(who)
-        except ValueError:
-            pass
+        with _race_tap(self.races, "admission", "slots", "w"):
+            self._admitted.discard(who)
+            try:
+                self._queue.remove(who)
+            except ValueError:
+                pass
 
     def _admit(self, who):
         self._admitted.add(who)
@@ -200,12 +205,22 @@ class MemoryGovernor:
     #: Completed tasks per adaptation decision.
     ADAPT_WINDOW = 16
 
+    #: Lock waits per completed task above which the window counts as
+    #: lock-pressured: deep lock queues mean admitted statements are
+    #: serialising on rows, so more of them only lengthens the queues.
+    LOCK_WAIT_RATE_LIMIT = 0.5
+
     def __init__(self, pool, max_pool_pages, multiprogramming_level=4,
-                 adaptive=False, metrics=None):
+                 adaptive=False, metrics=None, lock_stats_fn=None):
         self.pool = pool
         self.max_pool_pages = int(max_pool_pages)
         self.multiprogramming_level = max(1, int(multiprogramming_level))
         self.adaptive = adaptive
+        #: ``fn() -> (cumulative lock waits, cumulative deadlocks)``; the
+        #: server wires the lock manager's counters.
+        self.lock_stats_fn = lock_stats_fn
+        self._lock_waits_seen = 0
+        self._lock_deadlocks_seen = 0
         self._tasks = {}
         self._next_task_id = 0
         self._window_tasks = 0
@@ -260,15 +275,22 @@ class MemoryGovernor:
 
         Frequent soft-limit hits mean statements are starved for work
         memory: lower the multiprogramming level so each gets a larger
-        share of the pool.  No contention while concurrency exceeds the
-        level means the level is leaving parallelism on the table: raise
-        it.
+        share of the pool.  Deep lock queues or deadlocks over the window
+        mean admitted statements are serialising on rows — admitting more
+        only lengthens the queues, so the level falls too.  No contention
+        while concurrency exceeds the level means the level is leaving
+        parallelism on the table: raise it.
         """
         if self._window_tasks == 0:
             return self.multiprogramming_level
         hit_rate = self._window_soft_hits / self._window_tasks
+        lock_waits, lock_deadlocks = self._window_lock_pressure()
+        wait_rate = lock_waits / self._window_tasks
+        pressured = (
+            lock_deadlocks > 0 or wait_rate > self.LOCK_WAIT_RATE_LIMIT
+        )
         old_level = self.multiprogramming_level
-        if hit_rate > 0.5:
+        if hit_rate > 0.5 or pressured:
             self.multiprogramming_level = max(self.MIN_MPL, old_level // 2)
         elif (
             hit_rate < 0.05
@@ -285,6 +307,20 @@ class MemoryGovernor:
         self._window_soft_hits = 0
         self._window_peak_concurrency = len(self._tasks)
         return self.multiprogramming_level
+
+    def _window_lock_pressure(self):
+        """Lock waits and deadlocks accrued since the last adaptation
+        (deltas over the cumulative lock-manager counters)."""
+        if self.lock_stats_fn is None:
+            return 0, 0
+        waits, deadlocks = self.lock_stats_fn()
+        window = (
+            waits - self._lock_waits_seen,
+            deadlocks - self._lock_deadlocks_seen,
+        )
+        self._lock_waits_seen = waits
+        self._lock_deadlocks_seen = deadlocks
+        return window
 
     @property
     def active_requests(self):

@@ -136,12 +136,27 @@ class IndexScanOp(Operator):
         self.index_schema = index_schema
         self.sarg = sarg
         self.residual = residual_conjuncts
+        self.snapshot_fallbacks = 0
+
+    def adaptive_event_count(self):
+        return self.snapshot_fallbacks
 
     def execute(self, ctx):
         btree = self.index_schema.btree
         storage = self.quantifier.schema.storage
         qid = self.quantifier.id
         snapshot = ctx.snapshot_lsn
+        if snapshot is not None and (
+            getattr(self.index_schema, "last_dml_lsn", 0) > snapshot
+        ):
+            # The index changed after this snapshot was taken.  Entries
+            # *removed* since then are simply gone from the B-tree — no
+            # version chain can resurrect a key the scan never visits —
+            # so the tree cannot enumerate this snapshot.  Fall back to
+            # the exact heap path, keeping the sarg as a filter.
+            self.snapshot_fallbacks += 1
+            yield from self._snapshot_heap_scan(ctx, storage, qid)
+            return
         if "eq" in self.sarg:
             values = tuple(
                 evaluate(expr, {}, ctx.params) for expr in self.sarg["eq"]
@@ -166,6 +181,21 @@ class IndexScanOp(Operator):
             env = {qid: row}
             if all(
                 evaluate_predicate(c.expr, env, ctx.params) for c in self.residual
+            ):
+                yield env
+
+    def _snapshot_heap_scan(self, ctx, storage, qid):
+        bounds = self._bounds(ctx)
+        for __, row in storage.scan(
+            snapshot=ctx.snapshot_lsn, snapshot_txn=ctx.snapshot_txn
+        ):
+            ctx.charge(CPU_ROW_US)
+            if not self._key_in_bounds(row, bounds):
+                continue
+            env = {qid: row}
+            if all(
+                evaluate_predicate(c.expr, env, ctx.params)
+                for c in self.residual
             ):
                 yield env
 

@@ -186,6 +186,10 @@ class RecoveryManager:
                 report.indexes_rebuilt += 1
             for row_id, row in rows:
                 server._index_insert(table, row, row_id)
+            # Rebuilt from recovered committed state: stamp at the
+            # restarted horizon, not the per-insert mutation stamps.
+            for index in indexes:
+                server._stamp_index_rebuilt(index)
 
     def _bump_txn_ids(self, records):
         """New transactions must not collide with any logged id."""

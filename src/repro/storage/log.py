@@ -30,6 +30,7 @@ import collections
 import dataclasses
 import zlib
 
+from repro.analysis.races import tap as _race_tap
 from repro.common.errors import IOFaultError, TransactionError
 
 #: Log record kinds.
@@ -687,6 +688,7 @@ class GroupCommitCoordinator:
         self.config = config if config is not None else GroupCommitConfig()
         self._scheduler_fn = scheduler_fn
         self.sanitize = bool(sanitize)
+        self.races = None  # RaceSanitizer, attached by the server
         self._pending = []
         self._arrival_gaps = collections.deque(
             maxlen=max(2, self.config.arrival_history)
@@ -723,11 +725,16 @@ class GroupCommitCoordinator:
         record = log.append_commit(txn_id)
         ticket = CommitTicket(txn_id, record.lsn, self._clock.now)
         self._observe_arrival()
-        self._pending.append(ticket)
+        with _race_tap(self.races, "group_commit", "tickets", "w"):
+            self._pending.append(ticket)
         scheduler = (
             self._scheduler_fn() if self._scheduler_fn is not None else None
         )
         try:
+            # Group commit *requires* the straddle: the ticket is
+            # published to _pending precisely so a sibling's force (or
+            # the window park below) can settle it while we are off the
+            # baton; the except arm unpublishes it on failure.
             if (
                 not self.config.enabled
                 or self.window_us <= 0
@@ -735,16 +742,17 @@ class GroupCommitCoordinator:
                 or scheduler is None
                 or not scheduler.commit_can_wait()
             ):
-                self.flush()
+                self.flush()  # noqa: SIM011
             else:
-                scheduler.wait_for_commit(ticket, self)
+                scheduler.wait_for_commit(ticket, self)  # noqa: SIM011
                 if not ticket.durable:
-                    self.flush()
+                    self.flush()  # noqa: SIM011
         except BaseException:
             # The force died under us (injected I/O fault) or the session
             # was torn down: the commit did not happen, so the ticket
             # must not linger to be "committed" by a later batch.
-            self._pending = [t for t in self._pending if t is not ticket]
+            with _race_tap(self.races, "group_commit", "tickets", "w"):
+                self._pending = [t for t in self._pending if t is not ticket]
             raise
         if self.sanitize:
             self._assert_acked(log, ticket)
@@ -769,8 +777,9 @@ class GroupCommitCoordinator:
 
     def _settle(self, log):
         durable = log.durable_lsn
-        done = [t for t in self._pending if t.lsn <= durable]
-        self._pending = [t for t in self._pending if t.lsn > durable]
+        with _race_tap(self.races, "group_commit", "tickets", "w"):
+            done = [t for t in self._pending if t.lsn <= durable]
+            self._pending = [t for t in self._pending if t.lsn > durable]
         for ticket in done:
             log.finish_commit(ticket.txn_id)
             ticket.durable = True

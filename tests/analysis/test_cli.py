@@ -78,3 +78,48 @@ def test_module_invocation_on_repo_tree():
         cwd=repo_root, env=env, capture_output=True, text=True,
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_baseline_suppresses_known_violations(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", "import time\n")
+    main([path])
+    line = capsys.readouterr().out.splitlines()[0]
+    # Fingerprint = path:rule:message (position-independent).
+    prefix, message = line.split(": ", 1)
+    file_path = prefix.rsplit(":", 2)[0]
+    rule_id, text = message.split(" ", 1)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text(
+        "# accepted legacy findings\n%s:%s:%s\n" % (file_path, rule_id, text)
+    )
+    assert main(["--baseline", str(baseline), path]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_baseline_does_not_hide_new_violations(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", DIRTY)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("%s:SIM001:module 'time' is banned\n" % path)
+    # Whatever SIM001's exact message is, SIM006 is not baselined.
+    assert main(["--baseline", str(baseline), path]) == 1
+    assert "SIM006" in capsys.readouterr().out
+
+
+def test_missing_baseline_file_is_usage_error(tmp_path, capsys):
+    path = write(tmp_path, "clean.py", CLEAN)
+    assert main(["--baseline", str(tmp_path / "nope.txt"), path]) == 2
+
+
+def test_repo_baseline_is_empty():
+    """The committed baseline carries no suppressions: new SIM010–SIM013
+    findings in src/ fail CI outright."""
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    baseline = os.path.join(repo_root, "lint-baseline.txt")
+    with open(baseline) as handle:
+        entries = [
+            line.strip() for line in handle
+            if line.strip() and not line.startswith("#")
+        ]
+    assert entries == []

@@ -1,0 +1,313 @@
+"""SIM010–SIM013: each interprocedural rule flags a planted concurrency
+bug and stays quiet on the disciplined counterpart."""
+
+import textwrap
+
+import repro.analysis.conc  # noqa: F401  (registers the rules)
+import repro.analysis.rules  # noqa: F401
+from repro.analysis.conc import ProjectIndex, build_index
+from repro.analysis.lint import Linter
+
+import ast
+
+
+def lint(source, module_name="repro.engine.fake", select=None):
+    return Linter(select=select).check_source(
+        textwrap.dedent(source), path="fake.py", module_name=module_name
+    )
+
+
+def codes(source, **kwargs):
+    return [violation.rule_id for violation in lint(source, **kwargs)]
+
+
+def index_of(source, module_name="repro.engine.fake"):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_index([(module_name, tree)])
+
+
+class TestProjectIndex:
+    def test_direct_yield_seed_marks_caller(self):
+        index = index_of("""
+        def poke(self):
+            self.scheduler.yield_point("sched.statement")
+        """)
+        assert index.name_may_yield("poke")
+
+    def test_transitive_yield_through_call_graph(self):
+        index = index_of("""
+        def inner(self):
+            self.scheduler.yield_point("pool.miss")
+
+        def middle(self):
+            self.inner()
+
+        def outer(self):
+            self.middle()
+        """)
+        assert index.name_may_yield("outer")
+
+    def test_park_is_a_strict_subset_of_yield(self):
+        index = index_of("""
+        def offers(self):
+            self.scheduler.yield_point("sched.statement")
+
+        def parks(self):
+            self.scheduler.wait_for_lock(self.waiter)
+        """)
+        assert index.name_may_yield("offers")
+        assert not index.name_may_park("offers")
+        assert index.name_may_park("parks")
+
+    def test_container_mutators_never_resolve_as_yield(self):
+        # ``queue.remove(...)`` must not resolve to a project function
+        # that happens to be named ``remove`` and yields.
+        index = index_of("""
+        def remove(self, key):
+            self.pool.yield_hook(key)
+
+        def cleanup(self, queue, item):
+            queue.remove(item)
+        """)
+        assert index.name_may_yield("remove")
+        assert not index.name_may_yield("cleanup")
+
+    def test_coverage_requires_every_call_site_critical(self):
+        index = index_of("""
+        def _grant(self, key):
+            self.table[key] = 1
+
+        def safe(self):
+            with self.scheduler.critical_section():
+                self._grant(1)
+
+        def unsafe(self):
+            self._grant(2)
+        """)
+        assert not index.is_covered("repro.engine.fake._grant")
+
+    def test_covered_helper_and_transitive_coverage(self):
+        index = index_of("""
+        def _install(self, key):
+            self.table[key] = 1
+
+        def _grant_next(self, key):
+            self._install(key)
+
+        def release(self):
+            with self._critical():
+                self._grant_next(1)
+        """)
+        assert index.is_covered("repro.engine.fake._grant_next")
+        assert index.is_covered("repro.engine.fake._install")
+
+    def test_entry_points_are_never_covered(self):
+        index = index_of("""
+        def lonely(self):
+            self.table[1] = 2
+        """)
+        assert not index.is_covered("repro.engine.fake.lonely")
+
+
+class TestSIM010NoParkInCritical:
+    def test_direct_park_inside_critical_fires(self):
+        source = """
+        def wake(self):
+            with self.scheduler.critical_section():
+                self.scheduler.wait_for_lock(self.waiter)
+        """
+        assert "SIM010" in codes(source)
+
+    def test_transitive_park_inside_critical_fires(self):
+        source = """
+        def blocked(self):
+            self.scheduler.wait_for_lock(self.waiter)
+
+        def outer(self):
+            with self.scheduler.critical_section():
+                self.blocked()
+        """
+        assert "SIM010" in codes(source)
+
+    def test_pool_probe_inside_critical_is_clean(self):
+        # Probes may *offer* the baton (pool miss) but offers are
+        # suppressed inside the critical section — only parks are unsafe.
+        source = """
+        def probe(self, key):
+            with self._critical():
+                return self._table.get(key)
+        """
+        assert codes(source) == []
+
+    def test_park_outside_critical_is_clean(self):
+        source = """
+        def wait(self):
+            self.scheduler.wait_for_lock(self.waiter)
+        """
+        assert codes(source) == []
+
+
+class TestSIM011TornSharedWrites:
+    TORN = """
+    def publish(self, key, txn):
+        self._waiters.setdefault(key, []).append(txn)
+        self.scheduler.yield_point("sched.statement")
+        self._waits_for[txn] = set()
+    """
+
+    def test_straddling_yield_fires(self):
+        assert "SIM011" in codes(self.TORN)
+
+    def test_critical_section_coverage_is_clean(self):
+        source = """
+        def publish(self, key, txn):
+            with self.scheduler.critical_section():
+                self._waiters.setdefault(key, []).append(txn)
+                self.scheduler.yield_point("sched.statement")
+                self._waits_for[txn] = set()
+        """
+        assert codes(source) == []
+
+    def test_covered_callee_is_clean(self):
+        # _grant is only ever called under a critical section, so the
+        # coverage fixpoint suppresses the straddle inside it.
+        source = """
+        def _grant(self, key):
+            self._waiters[key] = 1
+            self.scheduler.yield_point("pool.miss")
+            self._waits_for[key] = 2
+
+        def release(self, key):
+            with self._critical():
+                self._grant(key)
+        """
+        assert codes(source) == []
+
+    def test_different_structures_do_not_pair(self):
+        source = """
+        def mixed(self, key):
+            self._waiters[key] = 1
+            self.scheduler.yield_point("sched.statement")
+            self._versions[key] = 2
+        """
+        assert codes(source) == []
+
+    def test_transitive_yield_between_writes_fires(self):
+        source = """
+        def _refill(self):
+            self.pool.yield_hook(1)
+
+        def torn(self, key):
+            self._versions[key] = 1
+            self._refill()
+            del self._versions[key]
+        """
+        assert "SIM011" in codes(source)
+
+    def test_noqa_suppresses_the_protocol_straddle(self):
+        source = """
+        def publish(self, key, txn):
+            self._waiters.setdefault(key, []).append(txn)
+            self.scheduler.wait_for_lock(txn)  # noqa: SIM011
+            self._waits_for[txn] = set()
+        """
+        assert codes(source) == []
+
+
+class TestSIM012LockDiscipline:
+    def test_release_not_in_finally_fires(self):
+        source = """
+        def ddl(self, txn, name):
+            self.lock_manager.acquire_table(txn, name, mode="X")
+            self.do_work(name)
+            self.lock_manager.release_all(txn)
+        """
+        assert "SIM012" in codes(source)
+
+    def test_try_finally_release_is_clean(self):
+        source = """
+        def ddl(self, txn, name):
+            self.lock_manager.acquire_table(txn, name, mode="X")
+            try:
+                self.do_work(name)
+            finally:
+                self.lock_manager.release_all(txn)
+        """
+        assert codes(source) == []
+
+    def test_row_lock_before_table_lock_fires(self):
+        source = """
+        def dml(self, txn, table, row):
+            self.lock_manager.acquire(txn, table, row)
+            self.lock_manager.acquire_table(txn, table)
+        """
+        assert "SIM012" in codes(source)
+
+    def test_table_then_row_order_is_clean(self):
+        source = """
+        def dml(self, txn, table, row):
+            self.lock_manager.acquire_table(txn, table)
+            self.lock_manager.acquire(txn, table, row)
+        """
+        assert codes(source) == []
+
+    def test_release_only_function_is_clean(self):
+        source = """
+        def commit(self, txn):
+            self.lock_manager.release_all(txn)
+        """
+        assert codes(source) == []
+
+
+class TestSIM013SnapshotReadLocks:
+    def test_snapshot_plus_row_lock_fires(self):
+        source = """
+        def read(self, txn, table, row):
+            lsn = self.server.versions.open_snapshot()
+            self.server.lock_manager.acquire(txn, table, row)
+        """
+        assert "SIM013" in codes(source)
+
+    def test_snapshot_without_locks_is_clean(self):
+        source = """
+        def read(self, table):
+            lsn = self.server.versions.open_snapshot()
+            try:
+                return list(table.storage.scan(snapshot=lsn))
+            finally:
+                self.server.versions.close_snapshot(lsn)
+        """
+        assert codes(source) == []
+
+    def test_operator_touching_lock_manager_fires(self):
+        source = """
+        def execute(self, ctx):
+            ctx.server.lock_manager.acquire(1, "t", row_id)
+            yield {}
+        """
+        assert "SIM013" in codes(source, module_name="repro.exec.fake")
+
+    def test_lock_free_operator_is_clean(self):
+        source = """
+        def execute(self, ctx):
+            for row_id, row in self.storage.scan(snapshot=ctx.snapshot_lsn):
+                yield {self.qid: row}
+        """
+        assert codes(source, module_name="repro.exec.fake") == []
+
+
+class TestRealTreeStaysClean:
+    def test_conc_rules_clean_on_src(self):
+        linter = Linter(select={"SIM010", "SIM011", "SIM012", "SIM013"})
+        violations = linter.check_paths(["src"])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_project_index_sees_the_engine(self):
+        linter = Linter()
+        linter.check_paths(["src"])
+        project = linter.project
+        assert isinstance(project, ProjectIndex)
+        # The load-bearing classifications behind SIM010/SIM011:
+        assert project.name_may_park("wait_for_lock")
+        assert project.name_may_yield("fetch")
+        assert not project.name_may_park("fetch")

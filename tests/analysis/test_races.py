@@ -1,0 +1,227 @@
+"""The deterministic race sanitizer: lockset span mechanics in isolation,
+then a planted torn version-chain write under the real scheduler."""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.analysis.races import (
+    CRITICAL_TOKEN,
+    RaceInterleavingError,
+    RaceSanitizer,
+    tap,
+)
+from repro.engine import WorkloadScheduler
+from repro.engine.scheduler import DONE, YIELD_STATEMENT
+
+
+class FakeSession:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeScheduler:
+    """Just enough scheduler surface for span bookkeeping."""
+
+    def __init__(self):
+        self.current = None
+        self.critical = 0
+
+    def running_session(self):
+        return self.current
+
+    def in_critical_section(self):
+        return self.critical > 0
+
+
+def make_sanitizer(guards=None):
+    scheduler = FakeScheduler()
+    sanitizer = RaceSanitizer(
+        scheduler_fn=lambda: scheduler,
+        lock_guards_fn=(lambda txn_id: guards[txn_id]) if guards else None,
+    )
+    return scheduler, sanitizer
+
+
+class TestSpanMechanics:
+    def test_inert_without_scheduler(self):
+        sanitizer = RaceSanitizer(scheduler_fn=lambda: None)
+        assert sanitizer.begin("versions", 1, "w") is None
+
+    def test_inert_without_running_session(self):
+        __, sanitizer = make_sanitizer()
+        assert sanitizer.begin("versions", 1, "w") is None
+        assert sanitizer.open_spans() == 0
+
+    def test_end_closes_the_span(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        span = sanitizer.begin("versions", 1, "w")
+        assert sanitizer.open_spans() == 1
+        sanitizer.end(span)
+        assert sanitizer.open_spans() == 0
+
+    def test_write_write_interleaving_raises(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("versions", ("t", 0), "w")
+        scheduler.current = FakeSession("s2")  # baton switched mid-span
+        with pytest.raises(RaceInterleavingError):
+            sanitizer.begin("versions", ("t", 0), "w")
+
+    def test_write_read_interleaving_raises(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("versions", ("t", 0), "w")
+        scheduler.current = FakeSession("s2")
+        with pytest.raises(RaceInterleavingError):
+            sanitizer.begin("versions", ("t", 0), "r")
+
+    def test_read_read_is_not_a_race(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("versions", ("t", 0), "r")
+        scheduler.current = FakeSession("s2")
+        assert sanitizer.begin("versions", ("t", 0), "r") is not None
+
+    def test_different_keys_do_not_conflict(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("versions", ("t", 0), "w")
+        scheduler.current = FakeSession("s2")
+        assert sanitizer.begin("versions", ("t", 1), "w") is not None
+
+    def test_same_session_reentrancy_is_fine(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("versions", ("t", 0), "w")
+        assert sanitizer.begin("versions", ("t", 0), "w") is not None
+
+    def test_shared_guard_token_suppresses(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("locks", "k", "w", guards={("t", 1, 0)})
+        scheduler.current = FakeSession("s2")
+        assert sanitizer.begin(
+            "locks", "k", "w", guards={("t", 1, 0)}
+        ) is not None
+
+    def test_disjoint_guards_still_race(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        sanitizer.begin("locks", "k", "w", guards={"a"})
+        scheduler.current = FakeSession("s2")
+        with pytest.raises(RaceInterleavingError):
+            sanitizer.begin("locks", "k", "w", guards={"b"})
+
+    def test_critical_section_is_an_implicit_guard(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.critical = 1
+        scheduler.current = FakeSession("s1")
+        span = sanitizer.begin("locks", "k", "w")
+        assert CRITICAL_TOKEN in span.guards
+        scheduler.current = FakeSession("s2")
+        assert sanitizer.begin("locks", "k", "w") is not None
+
+    def test_lock_guards_fn_supplies_the_lockset(self):
+        guards = {7: {("t", 1, 0)}, 8: {("t", 2, 0)}}
+        scheduler, sanitizer = make_sanitizer(guards)
+        scheduler.current = FakeSession("s1")
+        span = sanitizer.begin("versions", "k", "w", txn_id=7)
+        assert ("t", 1, 0) in span.guards
+        scheduler.current = FakeSession("s2")
+        with pytest.raises(RaceInterleavingError):
+            sanitizer.begin("versions", "k", "w", txn_id=8)
+
+    def test_tap_is_null_safe(self):
+        with tap(None, "versions", 1, "w"):
+            pass
+
+    def test_access_context_manager_closes_on_error(self):
+        scheduler, sanitizer = make_sanitizer()
+        scheduler.current = FakeSession("s1")
+        with pytest.raises(RuntimeError):
+            with sanitizer.access("versions", 1, "w"):
+                raise RuntimeError("boom")
+        assert sanitizer.open_spans() == 0
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("start_buffer_governor", False)
+    return Server(ServerConfig(**kwargs), sanitize=True)
+
+
+def seed_table(server, rows=4):
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    server.load_table("t", [(i, 0) for i in range(rows)])
+    return connection
+
+
+class TestPlantedTornWrite:
+    def test_torn_version_chain_write_trips_under_the_scheduler(self):
+        """Two sessions interleave inside an unguarded version-chain
+        mutation (the span is deliberately held across a yield point):
+        the second session's access must raise, deterministically."""
+        server = make_server()
+        seed_table(server)
+        scheduler = WorkloadScheduler(server, seed=7, switch_rate=1.0)
+        holder = [scheduler]
+
+        def torn(conn):
+            races = server.races
+            span = races.begin("versions", ("t", 0), "w")
+            assert span is not None
+            try:
+                # Planted bug: the baton is handed over while the
+                # version-chain mutation is still open.
+                holder[0].yield_point(YIELD_STATEMENT, always=True)
+            finally:
+                races.end(span)
+
+        torn.__name__ = "torn-write"
+        scheduler.add_session("s1", [torn])
+        scheduler.add_session("s2", [torn])
+        with pytest.raises(RaceInterleavingError):
+            scheduler.run()
+
+    def test_guarded_spans_do_not_trip(self):
+        """The same interleaving on different keys runs clean."""
+        server = make_server()
+        seed_table(server)
+        scheduler = WorkloadScheduler(server, seed=7, switch_rate=1.0)
+        holder = [scheduler]
+
+        def writer(key):
+            def body(conn):
+                races = server.races
+                with races.access("versions", ("t", key), "w"):
+                    holder[0].yield_point(YIELD_STATEMENT, always=True)
+            body.__name__ = "writer-%d" % key
+            return body
+
+        scheduler.add_session("s1", [writer(0)])
+        scheduler.add_session("s2", [writer(1)])
+        scheduler.run()
+        assert all(s.status == DONE for s in scheduler.sessions)
+
+    def test_real_workload_runs_clean_with_sanitizer(self):
+        """The engine's own taps never fire on a disciplined workload."""
+        server = make_server()
+        seed_table(server)
+        scheduler = WorkloadScheduler(server, seed=11, switch_rate=0.8)
+
+        def transfers(conn):
+            for __ in range(3):
+                yield "BEGIN"
+                yield "UPDATE t SET v = v + 1 WHERE id = 0"
+                yield "UPDATE t SET v = v - 1 WHERE id = 1"
+                yield "COMMIT"
+
+        scheduler.add_session("w0", transfers)
+        scheduler.add_session("w1", transfers)
+        report = scheduler.run()
+        assert report["statement_errors"] == 0
+        assert all(s.status == DONE for s in scheduler.sessions)
+        assert server.races is not None
+        assert server.races.checks > 0
+        assert server.races.open_spans() == 0

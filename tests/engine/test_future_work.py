@@ -219,3 +219,65 @@ class TestAdaptiveMpl:
         governor = self.make_governor(mpl=8, adaptive=False)
         self.run_window(governor, soft_hits_per_task=5)
         assert governor.multiprogramming_level == 8
+
+
+class TestLockPressureMpl:
+    """The lock manager's wait/deadlock counters feed the adaptive MPL:
+    deep lock queues mean admitted statements serialise on rows, so
+    admitting more only lengthens the queues."""
+
+    def make_governor(self, mpl=8):
+        volume = Volume(FlashDisk(SimClock(), 100_000))
+        pool = BufferPool(volume.create_file("temp"), capacity_pages=1024)
+        self.lock_stats = [0, 0]  # cumulative (waits, deadlocks)
+        return MemoryGovernor(
+            pool, 8192, multiprogramming_level=mpl, adaptive=True,
+            lock_stats_fn=lambda: tuple(self.lock_stats),
+        )
+
+    def run_window(self, governor, concurrency=1):
+        for __ in range(governor.ADAPT_WINDOW):
+            tasks = [governor.begin_task() for __c in range(concurrency)]
+            for task in tasks:
+                governor.end_task(task)
+
+    def test_deep_lock_queues_lower_the_level(self):
+        governor = self.make_governor(mpl=8)
+        # More than LOCK_WAIT_RATE_LIMIT waits per completed task.
+        self.lock_stats[0] = governor.ADAPT_WINDOW
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+
+    def test_any_deadlock_lowers_the_level(self):
+        governor = self.make_governor(mpl=8)
+        self.lock_stats[1] = 1
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+
+    def test_pressure_is_windowed_not_cumulative(self):
+        governor = self.make_governor(mpl=8)
+        self.lock_stats[0] = governor.ADAPT_WINDOW
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+        # No *new* waits in the next window: the old cumulative count
+        # must not keep halving the level.
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+
+    def test_no_lock_pressure_leaves_the_level_alone(self):
+        governor = self.make_governor(mpl=4)
+        self.run_window(governor, concurrency=2)
+        assert governor.multiprogramming_level == 4
+
+    def test_raise_arm_survives_quiet_lock_stats(self):
+        governor = self.make_governor(mpl=2)
+        self.run_window(governor, concurrency=4)
+        assert governor.multiprogramming_level == 4
+
+    def test_server_wires_the_lock_manager_counters(self):
+        server = make_server()
+        governor = server.memory_governor
+        assert governor.lock_stats_fn is not None
+        assert governor.lock_stats_fn() == (
+            server.lock_manager.waits, server.lock_manager.deadlocks
+        )
