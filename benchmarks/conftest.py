@@ -93,3 +93,21 @@ def once(benchmark):
                                   rounds=1, iterations=1)
 
     return runner
+
+
+@pytest.fixture
+def median_of(benchmark):
+    """Run the experiment body over several warm rounds; report the median.
+
+    For microsecond-scale rig experiments a single cold round is mostly
+    interpreter warm-up noise; the bench gate compares wall medians, so
+    these need warm, multi-round medians to be stable run-over-run.  The
+    experiment body must build fresh state each call.
+    """
+
+    def runner(fn, *args, rounds=15, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=rounds, iterations=1,
+                                  warmup_rounds=3)
+
+    return runner

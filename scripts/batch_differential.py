@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Differential batch-vs-row execution lane.
+
+For every seed given on the command line (default: the CI chaos seeds),
+a seeded query matrix — filters, LIKE/BETWEEN/IN predicates, arithmetic,
+joins, grouped aggregates with HAVING, DISTINCT, ORDER BY, LIMIT, NULL
+handling — runs against the same seeded data in **both** execution modes
+(``REPRO_BATCH=0`` row-at-a-time, ``REPRO_BATCH=1`` vectorized batches).
+The two modes must produce **byte-identical result sets** for every
+query: the batch engine's contract is that vectorization changes per-row
+CPU accounting, never row values or row order.
+
+Each mode also runs **twice**, and the two runs' statement traces
+(template, result rows, pool hits/misses, simulated elapsed time) must
+be byte-identical — determinism within a mode, on top of equivalence
+across modes.  Run under ``REPRO_SANITIZE=1`` so the runtime sanitizers
+are live while both paths execute.
+
+Usage::
+
+    REPRO_SANITIZE=1 python scripts/batch_differential.py 101 202 303
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, "src")
+
+from repro import Server, ServerConfig  # noqa: E402
+from repro.profiling import Tracer  # noqa: E402
+
+DEFAULT_SEEDS = (101, 202, 303)
+T1_ROWS = 500
+T2_ROWS = 300
+#: Small pool so scans miss and page accounting shows up in the trace.
+POOL_PAGES = 128
+
+
+def build_dataset(seed):
+    """Seeded rows for the two tables (deterministic per seed)."""
+    rng = random.Random(seed)
+    names = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta")
+    t1 = []
+    for i in range(T1_ROWS):
+        v = None if rng.random() < 0.1 else round(rng.uniform(0, 100), 2)
+        name = None if rng.random() < 0.05 else (
+            rng.choice(names) + str(rng.randrange(10))
+        )
+        t1.append((i, rng.randrange(20), v, name))
+    t2 = [
+        (i, rng.randrange(T1_ROWS), rng.randrange(50))
+        for i in range(T2_ROWS)
+    ]
+    return t1, t2
+
+
+def query_matrix(seed):
+    """The seeded queries; constants vary per seed, shapes do not."""
+    rng = random.Random(seed * 7919)
+    grp = rng.randrange(20)
+    lo, hi = sorted((rng.randrange(100), rng.randrange(100)))
+    limit = rng.randrange(5, 25)
+    in_list = ", ".join(str(rng.randrange(20)) for __ in range(4))
+    pattern = rng.choice(("al%", "%ta%", "_e%", "%a_"))
+    return [
+        # Vectorized scan + filter over mixed predicates.
+        "SELECT id, v FROM t1 WHERE grp = %d AND v > %d ORDER BY id" % (grp, lo),
+        "SELECT id, name FROM t1 WHERE name LIKE '%s' ORDER BY id" % pattern,
+        "SELECT id FROM t1 WHERE v BETWEEN %d AND %d ORDER BY id" % (lo, hi),
+        "SELECT id, grp FROM t1 WHERE grp IN (%s) ORDER BY id" % in_list,
+        "SELECT id FROM t1 WHERE v IS NULL ORDER BY id",
+        # Arithmetic and scalar functions through the vectorized evaluator.
+        "SELECT id, v * 2 + 1 FROM t1 WHERE ABS(v - 50) < %d ORDER BY id"
+        % (hi // 2 + 1),
+        "SELECT id, COALESCE(v, -1), LENGTH(name) FROM t1 "
+        "WHERE grp < 5 ORDER BY id",
+        # Hash join, with and without extra residual filtering.
+        "SELECT t1.id, t2.w FROM t1 JOIN t2 ON t1.id = t2.ref "
+        "ORDER BY t1.id, t2.id",
+        "SELECT t1.grp, t2.w FROM t1 JOIN t2 ON t1.id = t2.ref "
+        "WHERE t2.w < %d AND t1.v > %d ORDER BY t1.grp, t2.w, t2.id"
+        % (hi // 2 + 5, lo),
+        # Grouped aggregation, HAVING, sort, limit.
+        "SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t1 "
+        "GROUP BY grp ORDER BY grp",
+        "SELECT grp, COUNT(*) FROM t1 GROUP BY grp "
+        "HAVING COUNT(*) > %d ORDER BY grp" % (T1_ROWS // 40),
+        "SELECT grp, AVG(v) FROM t1 WHERE v IS NOT NULL "
+        "GROUP BY grp ORDER BY grp LIMIT %d" % limit,
+        # Distinct and aggregate-distinct.
+        "SELECT DISTINCT grp FROM t1 ORDER BY grp",
+        "SELECT COUNT(DISTINCT grp) FROM t1",
+        # Join feeding an aggregate (batch boundaries cross operators).
+        "SELECT t1.grp, COUNT(*), SUM(t2.w) FROM t1 JOIN t2 "
+        "ON t1.id = t2.ref GROUP BY t1.grp ORDER BY t1.grp",
+        "SELECT id, v FROM t1 ORDER BY id LIMIT %d" % limit,
+    ]
+
+
+def run_matrix(seed, batch_mode):
+    """One full pass of the matrix; returns (results bytes, trace lines)."""
+    os.environ["REPRO_BATCH"] = "1" if batch_mode else "0"
+    server = Server(ServerConfig(
+        start_buffer_governor=False,
+        initial_pool_pages=POOL_PAGES,
+    ))
+    server.tracer = Tracer()
+    connection = server.connect()
+    connection.execute(
+        "CREATE TABLE t1 (id INT PRIMARY KEY, grp INT, v DOUBLE, "
+        "name VARCHAR(20))"
+    )
+    connection.execute(
+        "CREATE TABLE t2 (id INT PRIMARY KEY, ref INT, w INT)"
+    )
+    t1, t2 = build_dataset(seed)
+    server.load_table("t1", t1)
+    server.load_table("t2", t2)
+    results = []
+    for sql in query_matrix(seed):
+        rows = connection.execute(sql).rows
+        results.append("%s\n%r" % (sql, rows))
+    trace = [
+        "%s rows=%d misses=%d hits=%d elapsed=%d" % (
+            event.template, event.rows, event.pool_misses,
+            event.pool_hits, event.elapsed_us,
+        )
+        for event in server.tracer.events
+    ]
+    return "\n".join(results).encode(), trace
+
+
+def differential(seed):
+    problems = []
+    row_results, row_trace = run_matrix(seed, batch_mode=False)
+    batch_results, batch_trace = run_matrix(seed, batch_mode=True)
+    if row_results != batch_results:
+        # Name the first diverging query so the failure is actionable.
+        for row_chunk, batch_chunk in zip(
+            row_results.decode().split("\n"), batch_results.decode().split("\n")
+        ):
+            if row_chunk != batch_chunk:
+                problems.append(
+                    "seed %d: batch and row result sets diverge at %r"
+                    % (seed, row_chunk[:120])
+                )
+                break
+        else:
+            problems.append(
+                "seed %d: batch and row result sets diverge in length" % seed
+            )
+    # Determinism within each mode: a second run must replay the same
+    # results and the same statement trace, byte for byte.
+    row_again, row_trace_again = run_matrix(seed, batch_mode=False)
+    batch_again, batch_trace_again = run_matrix(seed, batch_mode=True)
+    if (row_again, row_trace_again) != (row_results, row_trace):
+        problems.append("seed %d: row mode is not deterministic" % seed)
+    if (batch_again, batch_trace_again) != (batch_results, batch_trace):
+        problems.append("seed %d: batch mode is not deterministic" % seed)
+    print(
+        "seed %d: %d queries, %d result bytes, traces %d/%d statements%s"
+        % (
+            seed, len(query_matrix(seed)), len(batch_results),
+            len(row_trace), len(batch_trace),
+            " [FAIL]" if problems else " [ok]",
+        )
+    )
+    return problems
+
+
+def main(argv):
+    previous = os.environ.get("REPRO_BATCH")
+    seeds = [int(arg) for arg in argv] or list(DEFAULT_SEEDS)
+    problems = []
+    try:
+        for seed in seeds:
+            problems.extend(differential(seed))
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BATCH", None)
+        else:
+            os.environ["REPRO_BATCH"] = previous
+    for problem in problems:
+        print("FAIL %s" % problem)
+    if problems:
+        return 1
+    print(
+        "batch differential: %d seeds, batch == row, both deterministic"
+        % len(seeds)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -324,7 +324,23 @@ def main(argv=None):
                     baseline.add(line)
     linter = Linter(select=select)
     violations = linter.check_paths(args.paths)
+    stale = []
     if baseline:
+        # Drift guard: a baseline entry matching no current violation is
+        # stale — the finding was fixed (or its message changed) and the
+        # suppression must be retired, or it will silently mask a future
+        # reintroduction at the same spot.  Only entries this run could
+        # have produced count: the rule must be selected and the path
+        # under one of the scanned roots.
+        current = {v.fingerprint() for v in violations}
+        active = select if select else sorted(RULE_REGISTRY)
+        roots = tuple(path.rstrip("/") for path in args.paths)
+        stale = sorted(
+            entry for entry in baseline
+            if entry not in current
+            and entry.startswith(roots)
+            and any(":%s:" % rule_id in entry for rule_id in active)
+        )
         violations = [
             v for v in violations if v.fingerprint() not in baseline
         ]
@@ -335,5 +351,17 @@ def main(argv=None):
             "%d violation%s found"
             % (len(violations), "" if len(violations) == 1 else "s")
         )
+    if stale:
+        print(
+            "stale baseline: %d fingerprint%s in %s match no current "
+            "violation (fixed or reworded); remove %s:"
+            % (
+                len(stale), "" if len(stale) == 1 else "s", args.baseline,
+                "it" if len(stale) == 1 else "them",
+            )
+        )
+        for entry in stale:
+            print("  - %s" % entry)
+    if violations or stale:
         return 1
     return 0

@@ -2,6 +2,7 @@
 
 import contextlib
 import dataclasses
+import os
 
 from repro.analysis import sanitizers
 from repro.buffer import BufferGovernor, BufferPool, GovernorConfig
@@ -61,6 +62,11 @@ class ServerConfig:
     initial_pool_pages: int = 1024           # 4 MiB
     multiprogramming_level: int = 4
     optimizer_quota: int = 5000
+    #: Cost-proportional optimizer effort cap: the enumerator stops once
+    #: its simulated search time exceeds this multiple of the incumbent
+    #: plan's estimated cost (Section 4.1 — optimization effort should be
+    #: commensurate with the query's cost).  ``None`` disables the cap.
+    optimizer_effort_factor: float = 16.0
     governor: GovernorConfig = dataclasses.field(default_factory=GovernorConfig)
     checkpoint: CheckpointConfig = dataclasses.field(
         default_factory=CheckpointConfig
@@ -89,6 +95,18 @@ class ServerConfig:
     #: Read-only statements run against a commit-LSN snapshot instead of
     #: the latest heap, so they never queue behind writers.
     snapshot_reads: bool = True
+    #: Vectorized batch execution: SELECTs run through the operators'
+    #: column-major ``execute_batches`` protocol (migrated operators
+    #: evaluate whole columns at a time; unmigrated ones are adapted by
+    #: the row shim).  ``None`` defers to the ``REPRO_BATCH`` environment
+    #: variable (default on); the differential CI lane runs both modes
+    #: and requires byte-identical results.
+    batch_execution: object = None
+
+    def batch_execution_enabled(self):
+        if self.batch_execution is not None:
+            return bool(self.batch_execution)
+        return os.environ.get("REPRO_BATCH", "1") != "0"
 
 
 class Result:
@@ -517,12 +535,20 @@ class Server:
         )
         if not isinstance(quota, int) or quota < 1:
             quota = self.config.optimizer_quota
+        effort = self.catalog.options.get(
+            "optimizer_effort_factor", self.config.optimizer_effort_factor
+        )
+        if isinstance(effort, (int, float)) and effort <= 0:
+            effort = None  # SET OPTION optimizer_effort_factor = 0: cap off
+        elif not isinstance(effort, (int, float)):
+            effort = self.config.optimizer_effort_factor
         return Optimizer(
             self.catalog,
             self._make_estimator(),
             context,
             quota=quota,
             metrics=self.metrics,
+            effort_factor=effort,
         )
 
     # ------------------------------------------------------------------ #
@@ -858,6 +884,7 @@ class Connection:
             metrics=server.metrics, fault_plan=server.fault_plan,
             yield_hook=server.spill_yield_point,
             snapshot_lsn=snapshot_lsn, snapshot_txn=self._txn_id,
+            batch_mode=server.config.batch_execution_enabled(),
         )
         collector = ExecStatsCollector()
         executor = Executor(

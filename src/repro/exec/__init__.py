@@ -20,13 +20,25 @@ behaviours:
   work sharing and graceful thread reduction (Section 4.4).
 """
 
-from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.batch import Batch, BatchBuilder, batches_to_rows, rows_to_batches
+from repro.exec.expr import (
+    evaluate,
+    evaluate_batch,
+    evaluate_predicate,
+    evaluate_predicate_batch,
+)
 from repro.exec.memory import AdmissionQueue, MemoryGovernor, Task
 from repro.exec.executor import Executor, ExecutionContext
 
 __all__ = [
     "evaluate",
+    "evaluate_batch",
     "evaluate_predicate",
+    "evaluate_predicate_batch",
+    "Batch",
+    "BatchBuilder",
+    "batches_to_rows",
+    "rows_to_batches",
     "AdmissionQueue",
     "MemoryGovernor",
     "Task",

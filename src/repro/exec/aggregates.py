@@ -10,11 +10,20 @@ run merging.
 import heapq
 
 from repro.common.errors import ExecutionError
-from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.batch import Batch, rows_to_batches
+from repro.exec.expr import (
+    evaluate,
+    evaluate_batch,
+    evaluate_predicate,
+    evaluate_predicate_batch,
+)
 from repro.exec.spill import SpillFile, WorkMemory
 from repro.optimizer.costmodel import (
+    CPU_HASH_BUILD_BATCH_US,
     CPU_HASH_BUILD_US,
+    CPU_ROW_BATCH_US,
     CPU_ROW_US,
+    CPU_SORT_FACTOR_BATCH_US,
     CPU_SORT_FACTOR_US,
 )
 from repro.exec.operators import Operator
@@ -44,7 +53,17 @@ class AggState:
         if name == "COUNT" and self.call.star:
             self.count += 1
             return
-        value = evaluate(self.call.args[0], env, params)
+        self.accumulate_value(evaluate(self.call.args[0], env, params))
+
+    def accumulate_value(self, value):
+        """Fold one pre-evaluated argument value in (the batch path:
+        argument columns are vectorized once per batch, then folded here
+        row by row — accumulation order and results match
+        :meth:`accumulate` exactly)."""
+        name = self.call.name
+        if name == "COUNT" and self.call.star:
+            self.count += 1
+            return
         if value is None:
             return
         if self.distinct is not None:
@@ -178,6 +197,60 @@ class HashGroupByOp(Operator):
             if self._fallback is not None:
                 self._fallback.free()
 
+    def execute_batches(self, ctx):
+        """Batch protocol: group keys and aggregate arguments vectorize
+        once per batch; per-row group insertion, soft-limit checks and
+        the temp-table fallback run in the row path's exact order, so
+        fallback engagement is identical across modes."""
+        self._ctx = ctx
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        self._groups = {}
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
+        group_bytes = 32 + 24 * len(self.aggregates)
+        try:
+            for batch in self.child.execute_batches(ctx):
+                ctx.charge(batch.count * CPU_HASH_BUILD_BATCH_US)
+                key_columns = [
+                    evaluate_batch(expr, batch, ctx.params)
+                    for expr, __, __t in self.group_keys
+                ]
+                value_columns = [
+                    None if call.name == "COUNT" and call.star
+                    else evaluate_batch(call.args[0], batch, ctx.params)
+                    for call in self.aggregates
+                ]
+                for position in range(batch.count):
+                    key = tuple(
+                        column[position] for column in key_columns
+                    )
+                    values = [
+                        None if column is None else column[position]
+                        for column in value_columns
+                    ]
+                    if self.fallback_engaged:
+                        self._fallback_accumulate_values(key, values)
+                        continue
+                    states = self._groups.get(key)
+                    if states is None:
+                        if self._memory.would_exceed_soft(group_bytes):
+                            self._engage_fallback()
+                            self._fallback_accumulate_values(key, values)
+                            continue
+                        states = [AggState(call) for call in self.aggregates]
+                        self._groups[key] = states
+                        self._memory.add(group_bytes)
+                    for state, value in zip(states, values):
+                        state.accumulate_value(value)
+            self._emitting = True
+            yield from rows_to_batches(
+                self._emit(ctx, row_cost=CPU_ROW_BATCH_US), ctx.batch_rows
+            )
+        finally:
+            ctx.task.unregister_consumer(self)
+            self._memory.release_all()
+            if self._fallback is not None:
+                self._fallback.free()
+
     # -- fallback ------------------------------------------------------- #
 
     def _engage_fallback(self):
@@ -206,9 +279,25 @@ class HashGroupByOp(Operator):
             self._fallback.insert(key, [s.serialize() for s in states])
             self.fallback_rows_written += 1
 
+    def _fallback_accumulate_values(self, key, values):
+        """The batch path's fallback accumulate: same temp-table probe
+        and merge sequence as :meth:`_fallback_accumulate`, fed with
+        pre-evaluated argument values."""
+        states = [AggState(call) for call in self.aggregates]
+        for state, value in zip(states, values):
+            state.accumulate_value(value)
+        existing = self._fallback.lookup(key)
+        if existing is not None:
+            for state, partial in zip(states, existing):
+                state.merge_serialized(partial)
+            self._fallback.update(key, [s.serialize() for s in states])
+        else:
+            self._fallback.insert(key, [s.serialize() for s in states])
+            self.fallback_rows_written += 1
+
     # -- output ------------------------------------------------------------ #
 
-    def _emit(self, ctx):
+    def _emit(self, ctx, row_cost=CPU_ROW_US):
         from repro.sql.binder import GROUP_ENV
 
         emitted = False
@@ -218,12 +307,12 @@ class HashGroupByOp(Operator):
                 for state, partial in zip(states, serialized):
                     state.merge_serialized(partial)
                 emitted = True
-                ctx.charge(CPU_ROW_US)
+                ctx.charge(row_cost)
                 yield {GROUP_ENV: key + tuple(s.finalize() for s in states)}
         else:
             for key, states in self._groups.items():
                 emitted = True
-                ctx.charge(CPU_ROW_US)
+                ctx.charge(row_cost)
                 yield {GROUP_ENV: key + tuple(s.finalize() for s in states)}
         if not emitted and not self.group_keys:
             # Scalar aggregation over zero rows yields one row.
@@ -407,33 +496,58 @@ class SortOp(Operator):
         try:
             for env in self.child.execute(ctx):
                 ctx.charge(CPU_SORT_FACTOR_US * 4)
-                if (
-                    self._memory.would_exceed_soft(self.ROW_BYTES)
-                    and self._current
-                ):
-                    self._flush_current_run()
-                self._current.append(env)
-                self._memory.add(self.ROW_BYTES)
+                self._absorb(env)
             self._merging = True
-            key_of = self._key_function(ctx)
-            current = self._current
-            current.sort(key=key_of)
-            runs = self._runs
-            if not runs:
-                for env in current:
-                    yield env
-                return
-            streams = [
-                ((key_of(env), index, env) for env in self._read_run(run))
-                for index, run in enumerate(runs)
-            ]
-            streams.append((key_of(env), len(runs), env) for env in current)
-            for __, __i, env in heapq.merge(*streams):
-                ctx.charge(CPU_ROW_US)
-                yield env
+            yield from self._merge_emit(ctx, CPU_ROW_US)
         finally:
             ctx.task.unregister_consumer(self)
             self._memory.release_all()
+
+    def execute_batches(self, ctx):
+        """Batch protocol: batched transport in and out; run spilling
+        decisions stay per-row (same soft-limit check sequence as the
+        row path), so the spilled runs are identical across modes."""
+        self._ctx = ctx
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        self._current = []
+        self._runs = []
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
+        try:
+            for batch in self.child.execute_batches(ctx):
+                ctx.charge(batch.count * CPU_SORT_FACTOR_BATCH_US * 4)
+                for env in batch.rows():
+                    self._absorb(env)
+            self._merging = True
+            yield from rows_to_batches(
+                self._merge_emit(ctx, CPU_ROW_BATCH_US), ctx.batch_rows
+            )
+        finally:
+            ctx.task.unregister_consumer(self)
+            self._memory.release_all()
+
+    def _absorb(self, env):
+        if self._memory.would_exceed_soft(self.ROW_BYTES) and self._current:
+            self._flush_current_run()
+        self._current.append(env)
+        self._memory.add(self.ROW_BYTES)
+
+    def _merge_emit(self, ctx, row_cost):
+        key_of = self._key_function(ctx)
+        current = self._current
+        current.sort(key=key_of)
+        runs = self._runs
+        if not runs:
+            for env in current:
+                yield env
+            return
+        streams = [
+            ((key_of(env), index, env) for env in self._read_run(run))
+            for index, run in enumerate(runs)
+        ]
+        streams.append((key_of(env), len(runs), env) for env in current)
+        for __, __i, env in heapq.merge(*streams):
+            ctx.charge(row_cost)
+            yield env
 
     def _flush_current_run(self):
         """Spill the rows buffered so far as one sorted run.
@@ -513,6 +627,17 @@ class HavingOp(Operator):
             ):
                 yield env
 
+    def execute_batches(self, ctx):
+        for batch in self.child.execute_batches(ctx):
+            for expr in self.conjunct_exprs:
+                if batch.count == 0:
+                    break
+                mask = evaluate_predicate_batch(expr, batch, ctx.params)
+                if not all(mask):
+                    batch = batch.take(mask)
+            if batch.count:
+                yield batch
+
 
 class ProjectOp(Operator):
     """Evaluates the select list; output rows are plain tuples."""
@@ -527,6 +652,17 @@ class ProjectOp(Operator):
             yield tuple(
                 evaluate(expr, env, ctx.params) for expr, __, __t in self.items
             )
+
+    def execute_batches(self, ctx):
+        """Vectorized select list: each item evaluates as one whole
+        column; the output batch is tuple-shaped (``layout is None``)."""
+        for batch in self.child.execute_batches(ctx):
+            ctx.charge(batch.count * CPU_ROW_BATCH_US)
+            columns = [
+                evaluate_batch(expr, batch, ctx.params)
+                for expr, __, __t in self.items
+            ]
+            yield Batch.from_columns(None, columns, batch.count)
 
 
 class LimitOp(Operator):
@@ -543,3 +679,16 @@ class LimitOp(Operator):
             emitted += 1
             if emitted >= self.limit:
                 return
+
+    def execute_batches(self, ctx):
+        if self.limit <= 0:
+            return
+        remaining = self.limit
+        for batch in self.child.execute_batches(ctx):
+            if batch.count >= remaining:
+                yield batch if batch.count == remaining else batch.slice(
+                    0, remaining
+                )
+                return
+            remaining -= batch.count
+            yield batch

@@ -1,6 +1,7 @@
 """Plan interpretation: plan trees -> operator trees -> row streams."""
 
 from repro.common.errors import ExecutionError
+from repro.exec.batch import DEFAULT_BATCH_ROWS, batches_to_rows
 from repro.exec.aggregates import (
     HashDistinctOp,
     HashGroupByOp,
@@ -32,7 +33,8 @@ class ExecutionContext:
 
     def __init__(self, pool, temp_file, stats, clock, task, params=None,
                  feedback_enabled=True, metrics=None, fault_plan=None,
-                 yield_hook=None, snapshot_lsn=None, snapshot_txn=None):
+                 yield_hook=None, snapshot_lsn=None, snapshot_txn=None,
+                 batch_mode=False, batch_rows=DEFAULT_BATCH_ROWS):
         self.pool = pool
         self.temp_file = temp_file
         self.stats = stats
@@ -42,6 +44,11 @@ class ExecutionContext:
         self.feedback_enabled = feedback_enabled
         self.metrics = metrics
         self.fault_plan = fault_plan
+        #: Vectorized execution: drive the plan through the operators'
+        #: ``execute_batches`` protocol instead of row ``execute``.
+        self.batch_mode = batch_mode
+        #: Rows per batch for batch construction and the row shims.
+        self.batch_rows = batch_rows
         #: Workload-scheduler yield point, fired at spill-file flushes so
         #: concurrent sessions can interleave at I/O boundaries.
         self.yield_hook = yield_hook
@@ -77,6 +84,7 @@ class ExecutionContext:
             params, self.feedback_enabled, metrics=self.metrics,
             fault_plan=self.fault_plan, yield_hook=self.yield_hook,
             snapshot_lsn=self.snapshot_lsn, snapshot_txn=self.snapshot_txn,
+            batch_mode=self.batch_mode, batch_rows=self.batch_rows,
         )
         clone.cte_tables = self.cte_tables
         clone.notes = self.notes
@@ -112,6 +120,11 @@ class Executor:
         if result.recursive_cte is not None:
             self._materialize_cte(result.recursive_cte, ctx)
         operator = self.build(result.plan, depth=0)
+        if ctx.batch_mode:
+            # Batch protocol through the tree; the cursor surface above
+            # stays row-at-a-time, so unpack at the very top.
+            yield from batches_to_rows(operator.execute_batches(ctx))
+            return
         yield from operator.execute(ctx)
 
     def _materialize_cte(self, cte, ctx):

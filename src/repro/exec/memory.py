@@ -210,6 +210,16 @@ class MemoryGovernor:
     #: serialising on rows, so more of them only lengthens the queues.
     LOCK_WAIT_RATE_LIMIT = 0.5
 
+    #: Operator spill events per completed task above which the window
+    #: counts as spill-pressured: statements are overflowing their work
+    #: memory onto the temp file, so each should get a larger share.
+    SPILL_RATE_LIMIT = 0.5
+
+    #: Mean commits per group-commit flush at or above which the window's
+    #: commit traffic counts as bursty: transactions are queueing behind
+    #: the log, and more concurrent statements drain the queue better.
+    COMMIT_BURST_BATCH = 4.0
+
     def __init__(self, pool, max_pool_pages, multiprogramming_level=4,
                  adaptive=False, metrics=None, lock_stats_fn=None):
         self.pool = pool
@@ -221,6 +231,12 @@ class MemoryGovernor:
         self.lock_stats_fn = lock_stats_fn
         self._lock_waits_seen = 0
         self._lock_deadlocks_seen = 0
+        # Delta state over the shared metrics registry: operator spills
+        # (``exec.spill_events``) and group-commit traffic
+        # (``wal.group_commit.batch_size`` count/sum).
+        self._spill_events_seen = 0
+        self._wal_commits_seen = 0
+        self._wal_flushes_seen = 0
         self._tasks = {}
         self._next_task_id = 0
         self._window_tasks = 0
@@ -273,28 +289,38 @@ class MemoryGovernor:
     def adapt_multiprogramming_level(self):
         """One adaptation decision over the completed-task window.
 
-        Frequent soft-limit hits mean statements are starved for work
-        memory: lower the multiprogramming level so each gets a larger
-        share of the pool.  Deep lock queues or deadlocks over the window
-        mean admitted statements are serialising on rows — admitting more
-        only lengthens the queues, so the level falls too.  No contention
-        while concurrency exceeds the level means the level is leaving
-        parallelism on the table: raise it.
+        Frequent soft-limit hits or operator spills mean statements are
+        starved for work memory: lower the multiprogramming level so each
+        gets a larger share of the pool.  Deep lock queues or deadlocks
+        over the window mean admitted statements are serialising on rows —
+        admitting more only lengthens the queues, so the level falls too.
+        Absent any of that pressure, the level rises when concurrency
+        exceeded it (parallelism left on the table) or when group-commit
+        flushes carried bursty batches (transactions queueing behind the
+        log; more concurrent statements drain the queue).
         """
         if self._window_tasks == 0:
             return self.multiprogramming_level
         hit_rate = self._window_soft_hits / self._window_tasks
         lock_waits, lock_deadlocks = self._window_lock_pressure()
         wait_rate = lock_waits / self._window_tasks
+        spill_rate = self._window_spill_events() / self._window_tasks
         pressured = (
             lock_deadlocks > 0 or wait_rate > self.LOCK_WAIT_RATE_LIMIT
         )
         old_level = self.multiprogramming_level
-        if hit_rate > 0.5 or pressured:
+        if (
+            hit_rate > 0.5
+            or spill_rate > self.SPILL_RATE_LIMIT
+            or pressured
+        ):
             self.multiprogramming_level = max(self.MIN_MPL, old_level // 2)
         elif (
             hit_rate < 0.05
-            and self._window_peak_concurrency > old_level
+            and (
+                self._window_peak_concurrency > old_level
+                or self._window_commit_burst() >= self.COMMIT_BURST_BATCH
+            )
         ):
             self.multiprogramming_level = min(self.MAX_MPL, old_level * 2)
         if self.multiprogramming_level != old_level:
@@ -321,6 +347,40 @@ class MemoryGovernor:
         self._lock_waits_seen = waits
         self._lock_deadlocks_seen = deadlocks
         return window
+
+    def _window_spill_events(self):
+        """Operator spill events accrued since the last adaptation (delta
+        over the executor's ``exec.spill_events`` counter)."""
+        spills = self._metric_value("exec.spill_events")
+        window = spills - self._spill_events_seen
+        self._spill_events_seen = spills
+        return window
+
+    def _window_commit_burst(self):
+        """Mean commits per group-commit flush over the window (deltas
+        over the ``wal.group_commit.batch_size`` histogram)."""
+        stats = self._metric_value("wal.group_commit.batch_size")
+        if not isinstance(stats, dict):
+            return 0.0
+        flushes = stats.get("count", 0)
+        commits = stats.get("sum", 0)
+        window_flushes = flushes - self._wal_flushes_seen
+        window_commits = commits - self._wal_commits_seen
+        self._wal_flushes_seen = flushes
+        self._wal_commits_seen = commits
+        if window_flushes <= 0:
+            return 0.0
+        return window_commits / window_flushes
+
+    def _metric_value(self, name, default=0):
+        """A registry value, or ``default`` when the metric (or the whole
+        registry) is absent — rig setups wire neither."""
+        if self._metrics is None:
+            return default
+        try:
+            return self._metrics.value(name)
+        except KeyError:
+            return default
 
     @property
     def active_requests(self):

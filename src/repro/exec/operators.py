@@ -1,7 +1,13 @@
 """Scan and join operators."""
 
 from repro.common.errors import ExecutionError
-from repro.exec.expr import evaluate, evaluate_predicate
+from repro.exec.batch import Batch, BatchBuilder, rows_to_batches
+from repro.exec.expr import (
+    evaluate,
+    evaluate_batch,
+    evaluate_predicate,
+    evaluate_predicate_batch,
+)
 from repro.exec.spill import (
     SpillFile,
     SpillableBuffer,
@@ -9,9 +15,13 @@ from repro.exec.spill import (
     env_row_bytes,
 )
 from repro.optimizer.costmodel import (
+    CPU_HASH_BUILD_BATCH_US,
     CPU_HASH_BUILD_US,
+    CPU_HASH_PROBE_BATCH_US,
     CPU_HASH_PROBE_US,
+    CPU_PREDICATE_BATCH_US,
     CPU_PREDICATE_US,
+    CPU_ROW_BATCH_US,
     CPU_ROW_US,
     INDEX_NODE_US,
 )
@@ -25,10 +35,27 @@ HASH_PARTITIONS = 8
 
 class Operator:
     """Base class: operators yield environment dicts (or tuples for
-    Project and above)."""
+    Project and above).
+
+    Two protocols coexist during the batch migration:
+
+    * ``execute(ctx)`` — the row protocol, one environment per ``next()``;
+    * ``execute_batches(ctx)`` — the batch protocol, column-major
+      :class:`~repro.exec.batch.Batch` slabs per ``next()``.
+
+    Migrated operators implement both natively; everyone else inherits
+    the row shim below, which adapts the row stream at the boundary.  An
+    operator must never implement ``execute_batches`` *without* a row
+    ``execute`` (lint rule SIM005): the cursor and snapshot-resolution
+    surfaces stay row-at-a-time.
+    """
 
     def execute(self, ctx):
         raise NotImplementedError
+
+    def execute_batches(self, ctx):
+        """Batch protocol; the default adapts the row protocol (RowShim)."""
+        return rows_to_batches(self.execute(ctx), ctx.batch_rows)
 
     # memory-governor consumer protocol (overridden by memory users)
     memory_pages = 0
@@ -87,6 +114,60 @@ class SeqScanOp(Operator):
         finally:
             if completed and ctx.feedback_enabled:
                 self._send_feedback(ctx, storage, counters)
+
+    def execute_batches(self, ctx):
+        """Vectorized scan: pack column-major slabs, filter whole columns.
+
+        Identical semantics to :meth:`execute` — same predicate
+        conditioning for the feedback counters (conjunct *i* sees only
+        rows surviving conjuncts < *i*), same completion gate — but the
+        per-row dict build and expression walk are amortized over
+        ``ctx.batch_rows`` rows.
+        """
+        storage = self.quantifier.schema.storage
+        qid = self.quantifier.id
+        counters = [[0, 0] for __ in self.conjuncts]  # [scanned, matched]
+        completed = False
+        batch_rows = ctx.batch_rows
+        try:
+            pending = []
+            for __, row in storage.scan(
+                snapshot=ctx.snapshot_lsn, snapshot_txn=ctx.snapshot_txn
+            ):
+                pending.append(row)
+                if len(pending) >= batch_rows:
+                    batch = self._filter_batch(ctx, qid, pending, counters)
+                    pending = []
+                    if batch.count:
+                        yield batch
+            if pending:
+                batch = self._filter_batch(ctx, qid, pending, counters)
+                if batch.count:
+                    yield batch
+            completed = True
+        finally:
+            if completed and ctx.feedback_enabled:
+                self._send_feedback(ctx, storage, counters)
+
+    def _filter_batch(self, ctx, qid, rows, counters):
+        n_conjuncts = len(self.conjuncts)
+        count = len(rows)
+        ctx.charge(
+            count * (CPU_ROW_BATCH_US + n_conjuncts * CPU_PREDICATE_BATCH_US)
+        )
+        width = len(rows[0])
+        columns = [[row[i] for row in rows] for i in range(width)]
+        batch = Batch.from_columns(((qid, 0, width),), columns, count)
+        for index, conjunct in enumerate(self.conjuncts):
+            if batch.count == 0:
+                break
+            counters[index][0] += batch.count
+            mask = evaluate_predicate_batch(conjunct.expr, batch, ctx.params)
+            matched = sum(1 for keep in mask if keep)
+            counters[index][1] += matched
+            if matched != batch.count:
+                batch = batch.take(mask)
+        return batch
 
     def _send_feedback(self, ctx, storage, counters):
         table_rows = storage.row_count
@@ -311,6 +392,24 @@ class FilterOp(Operator):
                 for c in self.conjuncts
             ):
                 yield env
+
+    def execute_batches(self, ctx):
+        """Whole-column predicate evaluation; conjunct *i* only sees rows
+        surviving conjuncts < *i* (same evaluation set as the row path's
+        short-circuiting ``all``)."""
+        n_conjuncts = len(self.conjuncts)
+        for batch in self.child.execute_batches(ctx):
+            ctx.charge(batch.count * n_conjuncts * CPU_PREDICATE_BATCH_US)
+            for conjunct in self.conjuncts:
+                if batch.count == 0:
+                    break
+                mask = evaluate_predicate_batch(
+                    conjunct.expr, batch, ctx.params
+                )
+                if not all(mask):
+                    batch = batch.take(mask)
+            if batch.count:
+                yield batch
 
 
 class NLJoinOp(Operator):
@@ -540,6 +639,47 @@ class HashJoinOp(Operator):
                 if spill is not None:
                     spill.free()
 
+    def execute_batches(self, ctx):
+        """Batch protocol: vectorized key evaluation, batched emission.
+
+        Per-row memory accounting, partition placement, eviction and the
+        alternate-strategy switch are byte-for-byte the row path's — only
+        key evaluation (whole columns) and output transport (batches) are
+        vectorized, so spill and adaptive decisions are identical across
+        modes.
+        """
+        self._ctx = ctx
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        self._partitions = [dict() for __ in range(HASH_PARTITIONS)]
+        self._spills = [None] * HASH_PARTITIONS
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
+        try:
+            self._build_batches(ctx)
+            semi_switchable = (
+                self.join_type == Quantifier.SEMI and not self.residual
+            )
+            if (
+                self.alternate is not None
+                and self.alternate_threshold is not None
+                and self.build_row_count <= self.alternate_threshold
+                and (self.join_type == Quantifier.INNER or semi_switchable)
+            ):
+                self.switched_to_alternate = True
+                ctx.note("hash_join_switched")
+                # The alternate probes row-at-a-time (index NL is
+                # unmigrated); adapt its output at the boundary.
+                yield from rows_to_batches(
+                    self._execute_alternate(ctx), ctx.batch_rows
+                )
+                return
+            yield from self._probe_batches(ctx)
+        finally:
+            ctx.task.unregister_consumer(self)
+            self._memory.release_all()
+            for spill in self._spills:
+                if spill is not None:
+                    spill.free()
+
     def _build(self, ctx):
         for env in self.right.execute(ctx):
             ctx.charge(CPU_HASH_BUILD_US)
@@ -560,6 +700,31 @@ class HashJoinOp(Operator):
                 self._spills[index].append((key, env))
             else:
                 partition.setdefault(key, []).append(env)
+
+    def _build_batches(self, ctx):
+        for batch in self.right.execute_batches(ctx):
+            ctx.charge(batch.count * CPU_HASH_BUILD_BATCH_US)
+            key_columns = [
+                evaluate_batch(expr, batch, ctx.params)
+                for expr in self.build_keys
+            ]
+            for position in range(batch.count):
+                self.build_row_count += 1
+                env = batch.env_at(position)
+                self._row_bytes = max(self._row_bytes, env_row_bytes(env))
+                key = tuple(column[position] for column in key_columns)
+                index = hash(key) % HASH_PARTITIONS
+                if self._partitions[index] is None:
+                    self._spills[index].append((key, env))
+                    continue
+                self._memory.add(self._row_bytes)
+                # Same re-check as the row path: the allocation may have
+                # evicted this very partition.
+                partition = self._partitions[index]
+                if partition is None:
+                    self._spills[index].append((key, env))
+                else:
+                    partition.setdefault(key, []).append(env)
 
     def _execute_alternate(self, ctx):
         """The index-NL switch: build rows become the outer input.
@@ -630,7 +795,68 @@ class HashJoinOp(Operator):
                 yield from self._emit_matches(ctx, left_env, key, build_table)
             probe_spill.free()
 
-    def _emit_matches(self, ctx, left_env, key, table):
+    def _probe_batches(self, ctx):
+        """Batch probe: vectorized probe-key columns, emission re-packed
+        into batches; spill routing matches the row path row-for-row."""
+        probe_spills = [None] * HASH_PARTITIONS
+        builder = BatchBuilder(ctx.batch_rows)
+        for batch in self.left.execute_batches(ctx):
+            ctx.charge(batch.count * CPU_HASH_PROBE_BATCH_US)
+            key_columns = [
+                evaluate_batch(expr, batch, ctx.params)
+                for expr in self.probe_keys
+            ]
+            for position in range(batch.count):
+                key = tuple(column[position] for column in key_columns)
+                index = hash(key) % HASH_PARTITIONS
+                if self._partitions[index] is None:
+                    if probe_spills[index] is None:
+                        probe_spills[index] = SpillFile(
+                            ctx.temp_file, self._row_bytes,
+                            ctx.pool.page_size,
+                            fault_plan=getattr(ctx, "fault_plan", None),
+                            yield_hook=getattr(ctx, "yield_hook", None),
+                        )
+                    probe_spills[index].append(
+                        (key, batch.env_at(position))
+                    )
+                    self.probe_rows_spilled += 1
+                    continue
+                for out_env in self._emit_matches(
+                    ctx, batch.env_at(position), key,
+                    self._partitions[index], row_cost=CPU_ROW_BATCH_US,
+                ):
+                    done = builder.add(out_env)
+                    if done is not None:
+                        yield done
+        # Spilled partitions: reload the build side and re-probe.  This
+        # leg stays row-at-a-time (spill files read back rows), so it
+        # charges the unamortized row constants.
+        for index in range(HASH_PARTITIONS):
+            probe_spill = probe_spills[index]
+            if probe_spill is None:
+                if self._spills[index] is not None:
+                    self._spills[index].free()
+                continue
+            build_table = {}
+            if self._spills[index] is not None:
+                for key, env in self._spills[index].read_all():
+                    build_table.setdefault(key, []).append(env)
+                self._spills[index].free()
+            for key, left_env in probe_spill.read_all():
+                ctx.charge(CPU_HASH_PROBE_US)
+                for out_env in self._emit_matches(
+                    ctx, left_env, key, build_table
+                ):
+                    done = builder.add(out_env)
+                    if done is not None:
+                        yield done
+            probe_spill.free()
+        tail = builder.finish()
+        if tail is not None:
+            yield tail
+
+    def _emit_matches(self, ctx, left_env, key, table, row_cost=CPU_ROW_US):
         rows = table.get(key)
         matched = False
         if rows and all(value is not None for value in key):
@@ -647,7 +873,7 @@ class HashJoinOp(Operator):
                     return
                 if self.join_type == Quantifier.ANTI:
                     break
-                ctx.charge(CPU_ROW_US)
+                ctx.charge(row_cost)
                 yield merged
         if not matched:
             if self.join_type == Quantifier.ANTI:

@@ -113,11 +113,15 @@ class BloomFilter:
 class JoinStage:
     """One hash join in the pipeline: build rows keyed by ``build_key``."""
 
-    def __init__(self, build_rows, build_key, probe_key, row_fetch_us=CPU_ROW_US):
+    def __init__(self, build_rows, build_key, probe_key,
+                 row_fetch_us=CPU_ROW_US, build_us=CPU_HASH_BUILD_US):
         self.build_rows = build_rows
         self.build_key = build_key
         self.probe_key = probe_key
         self.row_fetch_us = row_fetch_us
+        #: Per-row hash insert cost; batch mode passes the amortized
+        #: batch constant (workers fetch whole batches FCFS).
+        self.build_us = build_us
         self.table = None
 
     def build(self, pool):
@@ -125,7 +129,7 @@ class JoinStage:
         n = pool.n_workers
         private = [dict() for __ in range(n)]
         for index, row in enumerate(self.build_rows):
-            pool.dispatch(self.row_fetch_us + CPU_HASH_BUILD_US)
+            pool.dispatch(self.row_fetch_us + self.build_us)
             table = private[index % n]
             table.setdefault(self.build_key(row), []).append(row)
         merged = {}
@@ -184,11 +188,14 @@ class ParallelPipeline:
     """A scan feeding join/filter stages, optionally into a group by."""
 
     def __init__(self, probe_rows, stages, group_by=None,
-                 probe_fetch_us=CPU_ROW_US):
+                 probe_fetch_us=CPU_ROW_US, probe_us=CPU_HASH_PROBE_US):
         self.probe_rows = probe_rows
         self.stages = stages
         self.group_by = group_by
         self.probe_fetch_us = probe_fetch_us
+        #: Per-row hash probe cost; batch mode passes the amortized
+        #: batch constant.
+        self.probe_us = probe_us
 
     def run(self, n_workers, ctx=None, reduce_to=None, reduce_at_fraction=0.5):
         """Execute; returns (output rows or group dict, PipelineStats).
@@ -257,7 +264,7 @@ class ParallelPipeline:
             if isinstance(stage, JoinStage):
                 next_rows = []
                 for item in current:
-                    cost += CPU_HASH_PROBE_US
+                    cost += self.probe_us
                     for match in stage.probe(item):
                         next_rows.append((item, match))
                 current = next_rows

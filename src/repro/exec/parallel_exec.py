@@ -18,10 +18,16 @@ Division of labour:
   serially on the joined rows.
 """
 
+from repro.exec.batch import batches_to_rows
 from repro.exec.expr import evaluate
 from repro.exec.operators import Operator
 from repro.exec.parallel import JoinStage, ParallelPipeline
 from repro.optimizer import plans as p
+from repro.optimizer.costmodel import (
+    CPU_HASH_BUILD_BATCH_US,
+    CPU_HASH_PROBE_BATCH_US,
+    CPU_ROW_BATCH_US,
+)
 from repro.sql.binder import Quantifier
 
 
@@ -84,26 +90,50 @@ def execute_parallel(plan, executor, ctx, n_workers):
         ctx.metrics.gauge("exec.parallel_workers").set(n_workers)
 
     # 1. Materialize the leaf (probe) input and every build input through
-    #    the ordinary operators: scan I/O stays serial and sequential.
-    probe_rows = list(executor.build(leaf, depth=1).execute(ctx))
+    #    the ordinary operators: scan I/O stays serial and sequential.  In
+    #    batch mode the scans run vectorized (and charge the amortized
+    #    batch constants); the materialized rows feed the pipeline either
+    #    way.
+    batch_mode = getattr(ctx, "batch_mode", False)
+    probe_rows = _materialize(executor.build(leaf, depth=1), ctx, batch_mode)
     stages = []
     for join in joins:
-        build_rows = list(executor.build(join.right, depth=1).execute(ctx))
-        stages.append(_make_stage(join, build_rows, ctx.params))
+        build_rows = _materialize(
+            executor.build(join.right, depth=1), ctx, batch_mode
+        )
+        stages.append(_make_stage(join, build_rows, ctx.params, batch_mode))
 
-    # 2. Parallel build + probe via the FCFS worker pipeline.
-    pipeline = ParallelPipeline(probe_rows, stages)
+    # 2. Parallel build + probe via the FCFS worker pipeline.  Batch mode
+    #    models workers fetching whole batches FCFS: the per-morsel fetch
+    #    and probe constants amortize exactly like the serial operators'.
+    if batch_mode:
+        pipeline = ParallelPipeline(
+            probe_rows, stages,
+            probe_fetch_us=CPU_ROW_BATCH_US,
+            probe_us=CPU_HASH_PROBE_BATCH_US,
+        )
+    else:
+        pipeline = ParallelPipeline(probe_rows, stages)
     output, stats = pipeline.run(n_workers=n_workers, ctx=ctx)
 
     # 3. Flatten the pipeline's nested (probe, build) tuples back into
     #    environment rows and run the serial remainder of the plan.
     joined_envs = [_flatten_env(item) for item in output]
     serial_top = _rebuild_serial(wrappers, executor, joined_envs)
-    rows = list(serial_top.execute(ctx))
+    if batch_mode:
+        rows = list(batches_to_rows(serial_top.execute_batches(ctx)))
+    else:
+        rows = list(serial_top.execute(ctx))
     return rows, stats
 
 
-def _make_stage(join, build_envs, params):
+def _materialize(operator, ctx, batch_mode):
+    if batch_mode:
+        return list(batches_to_rows(operator.execute_batches(ctx)))
+    return list(operator.execute(ctx))
+
+
+def _make_stage(join, build_envs, params, batch_mode=False):
     build_keys = join.build_keys
     probe_keys = join.probe_keys
 
@@ -115,6 +145,12 @@ def _make_stage(join, build_envs, params):
             evaluate(expr, _flatten_env(item), params) for expr in probe_keys
         )
 
+    if batch_mode:
+        return JoinStage(
+            build_envs, build_key, probe_key,
+            row_fetch_us=CPU_ROW_BATCH_US,
+            build_us=CPU_HASH_BUILD_BATCH_US,
+        )
     return JoinStage(build_envs, build_key, probe_key)
 
 

@@ -25,10 +25,16 @@ enumerator:
 import math
 
 from repro.common.errors import OptimizerError
+from repro.optimizer.costmodel import OPTIMIZER_NODE_US
 from repro.sql.binder import Quantifier
 
 #: Improvement ratio that triggers quota redistribution from the root.
 REDISTRIBUTION_IMPROVEMENT = 0.20
+
+#: Floor for the cost-proportional effort cap: a search never stops on
+#: effort grounds before this many nodes, so small queries (whose spaces
+#: complete naturally well under it) are unaffected.
+MIN_EFFORT_NODES = 128
 
 #: Rough per-stack-frame bytes for optimizer memory accounting.
 _FRAME_BYTES = 320
@@ -43,6 +49,7 @@ class EnumerationStats:
         self.plans_completed = 0
         self.prunes = 0
         self.quota_denials = 0
+        self.effort_stops = 0
         self.improvements = 0
         self.first_plan_cost = None
         self.best_cost_trace = []  # [(nodes_visited, best_cost)]
@@ -64,11 +71,19 @@ class OptimizerGovernor:
     (plain early halting).
     """
 
-    def __init__(self, quota, mode="governor"):
+    def __init__(self, quota, mode="governor", effort_factor=None):
         if mode not in ("governor", "fifo"):
             raise ValueError("mode must be 'governor' or 'fifo'")
         self.initial_quota = quota
         self.mode = mode
+        #: Cost-proportional effort cap (Section 4.1: "query optimization
+        #: must therefore be cheap"): once a complete strategy exists, stop
+        #: searching when the simulated time already spent optimizing
+        #: (``nodes_visited * OPTIMIZER_NODE_US``) exceeds ``effort_factor``
+        #: times the incumbent plan's own estimated cost — past that point
+        #: the search can no longer pay for itself.  ``None`` disables the
+        #: cap (exhaustive/ablation rigs construct their own governors).
+        self.effort_factor = effort_factor
 
     def child_quota(self, remaining, child_rank):
         if self.mode == "fifo":
@@ -114,6 +129,15 @@ class JoinEnumerator:
         self._best_steps = None
         self._best_cost = math.inf
         self._redistribute_requested = False
+        #: qid -> join conjuncts referencing it, precomputed once: the
+        #: candidate scan walks this short list instead of re-filtering
+        #: every block conjunct at every node of the search.
+        self._join_conjuncts = {}
+        for quantifier in self.block.quantifiers:
+            self._join_conjuncts[quantifier.id] = [
+                conjunct for conjunct in self.block.conjuncts
+                if conjunct.is_join and quantifier.id in conjunct.refs
+            ]
 
     # ------------------------------------------------------------------ #
     # entry point
@@ -146,6 +170,9 @@ class JoinEnumerator:
         quota -= 1
         if len(placed) == len(self.block.quantifiers):
             self._complete(steps, prefix_cost)
+            return quota
+        if self._effort_exhausted():
+            self.stats.effort_stops += 1
             return quota
         candidates = self._candidates(placed, steps, prefix_rows, prefix_cost)
         self.stats.note_memory(len(steps) + 1, len(candidates))
@@ -182,6 +209,18 @@ class JoinEnumerator:
                 # unwinds).
                 self._redistribute_requested = len(steps) > 0
         return max(0, quota)
+
+    def _effort_exhausted(self):
+        """True when the cost-proportional effort cap says to stop: a
+        complete strategy exists and the simulated optimization time spent
+        so far exceeds ``effort_factor`` times the incumbent's cost."""
+        factor = self.governor.effort_factor
+        if factor is None or self._best_steps is None:
+            return False
+        if self.stats.nodes_visited < MIN_EFFORT_NODES:
+            return False
+        budget_nodes = factor * self._best_cost / OPTIMIZER_NODE_US
+        return self.stats.nodes_visited >= budget_nodes
 
     def _complete(self, steps, cost):
         self.stats.plans_completed += 1
@@ -238,11 +277,7 @@ class JoinEnumerator:
     def _joinable_conjuncts(self, quantifier, placed):
         """WHERE conjuncts that become fully placed by adding
         ``quantifier``."""
-        for conjunct in self.block.conjuncts:
-            if not conjunct.is_join:
-                continue
-            if quantifier.id not in conjunct.refs:
-                continue
+        for conjunct in self._join_conjuncts[quantifier.id]:
             if conjunct.refs - {quantifier.id} <= placed:
                 yield conjunct
 

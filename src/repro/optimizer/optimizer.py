@@ -66,13 +66,14 @@ class Optimizer:
     """Cost-based optimizer over one catalog + statistics + cost context."""
 
     def __init__(self, catalog, estimator, cost_context, quota=DEFAULT_QUOTA,
-                 governor_mode="governor", metrics=None):
+                 governor_mode="governor", metrics=None, effort_factor=None):
         self.catalog = catalog
         self.estimator = estimator
         self.cost_context = cost_context
         self.cost_model = CostModel(cost_context)
         self.quota = quota
         self.governor_mode = governor_mode
+        self.effort_factor = effort_factor
         self.last_stats = None
         self.metrics = metrics
 
@@ -147,7 +148,8 @@ class Optimizer:
             for quantifier in block.quantifiers
         }
         governor = OptimizerGovernor(
-            quota if quota is not None else self.quota, self.governor_mode
+            quota if quota is not None else self.quota, self.governor_mode,
+            effort_factor=self.effort_factor,
         )
         enumerator = JoinEnumerator(
             block, self.cost_model, self.estimator, self.catalog,

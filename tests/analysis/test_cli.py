@@ -110,6 +110,48 @@ def test_missing_baseline_file_is_usage_error(tmp_path, capsys):
     assert main(["--baseline", str(tmp_path / "nope.txt"), path]) == 2
 
 
+def test_stale_baseline_fingerprint_fails_with_diff(tmp_path, capsys):
+    """A baseline entry matching no current violation is drift: the
+    finding was fixed and the suppression must be retired."""
+    path = write(tmp_path, "clean.py", CLEAN)
+    baseline = tmp_path / "baseline.txt"
+    stale_entry = "%s:SIM001:module 'time' is banned" % path
+    baseline.write_text(stale_entry + "\n")
+    assert main(["--baseline", str(baseline), path]) == 1
+    out = capsys.readouterr().out
+    assert "stale baseline" in out
+    assert stale_entry in out
+
+
+def test_stale_guard_skips_unselected_rules(tmp_path, capsys):
+    """With --select, entries for rules that did not run are not stale."""
+    path = write(tmp_path, "clean.py", CLEAN)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("%s:SIM006:whatever\n" % path)
+    assert main(["--select", "SIM001", "--baseline", str(baseline), path]) == 0
+
+
+def test_stale_guard_skips_unscanned_paths(tmp_path, capsys):
+    """Entries for files outside the scanned roots are not stale."""
+    path = write(tmp_path, "clean.py", CLEAN)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("/elsewhere/old.py:SIM001:module 'time' is banned\n")
+    assert main(["--baseline", str(baseline), path]) == 0
+
+
+def test_matched_baseline_entry_is_not_stale(tmp_path, capsys):
+    path = write(tmp_path, "dirty.py", "import time\n")
+    main([path])
+    line = capsys.readouterr().out.splitlines()[0]
+    prefix, message = line.split(": ", 1)
+    file_path = prefix.rsplit(":", 2)[0]
+    rule_id, text = message.split(" ", 1)
+    baseline = tmp_path / "baseline.txt"
+    baseline.write_text("%s:%s:%s\n" % (file_path, rule_id, text))
+    assert main(["--baseline", str(baseline), path]) == 0
+    assert "stale" not in capsys.readouterr().out
+
+
 def test_repo_baseline_is_empty():
     """The committed baseline carries no suppressions: new SIM010–SIM013
     findings in src/ fail CI outright."""

@@ -179,6 +179,56 @@ class TestSIM005OperatorProtocol:
         """
         assert codes(source) == []
 
+    def test_execute_batches_without_execute_fires(self):
+        source = """
+        class BatchOnly:
+            def execute_batches(self, ctx):
+                yield from ()
+        """
+        assert "SIM005" in codes(source)
+
+    def test_both_protocols_are_clean(self):
+        source = """
+        class DualOp(Operator):
+            def execute(self, ctx):
+                yield from ()
+
+            def execute_batches(self, ctx):
+                yield from ()
+        """
+        assert codes(source) == []
+
+    def test_row_call_inside_execute_batches_fires(self):
+        source = """
+        class MixerOp(Operator):
+            def execute(self, ctx):
+                yield from ()
+
+            def execute_batches(self, ctx):
+                for row in self.child.execute(ctx):
+                    yield row
+        """
+        assert "SIM005" in codes(source)
+
+    def test_shimmed_row_call_is_clean(self):
+        source = """
+        class ShimOp(Operator):
+            def execute(self, ctx):
+                yield from ()
+
+            def execute_batches(self, ctx):
+                return rows_to_batches(self.execute(ctx), ctx.batch_rows)
+        """
+        assert codes(source) == []
+
+    def test_row_call_outside_execute_batches_is_clean(self):
+        source = """
+        class RunnerOp(Operator):
+            def execute(self, ctx):
+                yield from self.child.execute(ctx)
+        """
+        assert codes(source) == []
+
 
 class TestSIM006MutableDefaults:
     def test_list_default_fires(self):

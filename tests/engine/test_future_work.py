@@ -12,6 +12,7 @@ from repro.buffer import BufferPool
 from repro.common import SimClock
 from repro.common.errors import ExecutionError, TransactionError
 from repro.exec import MemoryGovernor
+from repro.profiling.metrics import MetricsRegistry
 from repro.storage import FlashDisk, Volume
 
 
@@ -281,3 +282,98 @@ class TestLockPressureMpl:
         assert governor.lock_stats_fn() == (
             server.lock_manager.waits, server.lock_manager.deadlocks
         )
+
+
+class TestWorkloadSignalMpl:
+    """Executor spills and group-commit traffic feed the adaptive MPL
+    through the shared metrics registry: spill pressure argues the level
+    down (statements are overflowing work memory), bursty commit batches
+    argue it up (transactions are queueing behind the log)."""
+
+    def make_governor(self, mpl=8):
+        volume = Volume(FlashDisk(SimClock(), 100_000))
+        pool = BufferPool(volume.create_file("temp"), capacity_pages=1024)
+        self.metrics = MetricsRegistry()
+        return MemoryGovernor(
+            pool, 8192, multiprogramming_level=mpl, adaptive=True,
+            metrics=self.metrics,
+        )
+
+    def run_window(self, governor, concurrency=1):
+        for __ in range(governor.ADAPT_WINDOW):
+            tasks = [governor.begin_task() for __c in range(concurrency)]
+            for task in tasks:
+                governor.end_task(task)
+
+    def test_spill_pressure_lowers_the_level(self):
+        governor = self.make_governor(mpl=8)
+        # More than SPILL_RATE_LIMIT spill events per completed task.
+        self.metrics.counter("exec.spill_events").inc(
+            governor.ADAPT_WINDOW
+        )
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+
+    def test_spill_pressure_is_windowed_not_cumulative(self):
+        governor = self.make_governor(mpl=8)
+        self.metrics.counter("exec.spill_events").inc(
+            governor.ADAPT_WINDOW
+        )
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+        # No *new* spills in the next window: the old cumulative count
+        # must not keep halving the level.
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+
+    def test_rare_spills_leave_the_level_alone(self):
+        governor = self.make_governor(mpl=8)
+        # Well under SPILL_RATE_LIMIT per task: not pressure.
+        self.metrics.counter("exec.spill_events").inc(2)
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 8
+
+    def test_commit_bursts_raise_the_level(self):
+        governor = self.make_governor(mpl=4)
+        histogram = self.metrics.histogram("wal.group_commit.batch_size")
+        # Mean batch >= COMMIT_BURST_BATCH: commits queue behind the log
+        # even though concurrency never exceeded the level.
+        for __ in range(8):
+            histogram.observe(6)
+        self.run_window(governor, concurrency=2)
+        assert governor.multiprogramming_level == 8
+
+    def test_small_commit_batches_do_not_raise(self):
+        governor = self.make_governor(mpl=4)
+        histogram = self.metrics.histogram("wal.group_commit.batch_size")
+        for __ in range(8):
+            histogram.observe(1)
+        self.run_window(governor, concurrency=2)
+        assert governor.multiprogramming_level == 4
+
+    def test_commit_burst_is_windowed_not_cumulative(self):
+        governor = self.make_governor(mpl=4)
+        histogram = self.metrics.histogram("wal.group_commit.batch_size")
+        for __ in range(8):
+            histogram.observe(6)
+        self.run_window(governor, concurrency=2)
+        assert governor.multiprogramming_level == 8
+        # A quiet window (no new flushes) must not keep doubling.
+        self.run_window(governor, concurrency=2)
+        assert governor.multiprogramming_level == 8
+
+    def test_spill_pressure_beats_commit_bursts(self):
+        governor = self.make_governor(mpl=8)
+        self.metrics.histogram("wal.group_commit.batch_size").observe(16)
+        self.metrics.counter("exec.spill_events").inc(
+            governor.ADAPT_WINDOW
+        )
+        self.run_window(governor)
+        assert governor.multiprogramming_level == 4
+
+    def test_absent_metrics_are_inert(self):
+        # A registry without either metric (and rigs without a registry
+        # at all) must not perturb the decision.
+        governor = self.make_governor(mpl=4)
+        self.run_window(governor, concurrency=2)
+        assert governor.multiprogramming_level == 4

@@ -1,0 +1,282 @@
+"""Batch-execution edge cases.
+
+The batch engine's contract is row equivalence: vectorization changes
+per-row CPU accounting, never row values, row order, or error outcomes.
+These tests pin the awkward corners — empty batches, spills straddling a
+batch boundary, statement aborts mid-batch, and snapshot resolution
+through the row shim — by running the same statements in both modes.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.common.errors import ExecutionError, SpillWriteError
+from repro.exec.batch import (
+    Batch,
+    BatchBuilder,
+    batches_to_rows,
+    rows_to_batches,
+)
+from repro.faults import FaultPlan, FaultRates
+
+
+def make_server(batch=True, **kwargs):
+    kwargs.setdefault("start_buffer_governor", False)
+    kwargs.setdefault("initial_pool_pages", 512)
+    return Server(ServerConfig(batch_execution=batch, **kwargs))
+
+
+def both_modes(statements, query, **kwargs):
+    """Run the setup + query in each mode; returns (row rows, batch rows)."""
+    results = []
+    for batch in (False, True):
+        server = make_server(batch=batch, **kwargs)
+        conn = server.connect()
+        for sql, rows in statements:
+            if rows is None:
+                conn.execute(sql)
+            else:
+                server.load_table(sql, rows)
+        results.append(conn.execute(query).rows)
+    return results[0], results[1]
+
+
+class TestBatchUnit:
+    def test_empty_tuple_rows_round_trip(self):
+        batch = Batch.from_tuples([(), (), ()], width=0)
+        assert batch.count == 3
+        assert list(batch.rows()) == [(), (), ()]
+
+    def test_take_empty_mask_keeps_layout(self):
+        batch = Batch.from_envs([{0: (1, 2)}, {0: (3, 4)}])
+        empty = batch.take([False, False])
+        assert empty.count == 0
+        assert empty.layout == batch.layout
+        assert list(empty.rows()) == []
+
+    def test_slice_past_the_end_clamps(self):
+        batch = Batch.from_tuples([(1,), (2,)], width=1)
+        assert list(batch.slice(0, 10).rows()) == [(1,), (2,)]
+        assert batch.slice(2, 10).count == 0
+
+    def test_column_missing_key_is_none(self):
+        batch = Batch.from_envs([{0: (1,)}])
+        assert batch.column(7, 0) is None
+
+    def test_column_index_past_width_raises_like_the_row_path(self):
+        batch = Batch.from_envs([{0: (1,), 1: (2, 3)}])
+        with pytest.raises(IndexError):
+            batch.column(0, 1)
+
+    def test_builder_flushes_on_shape_change(self):
+        builder = BatchBuilder(batch_rows=10)
+        first = builder.add({0: (1,)})
+        assert first is None
+        flushed = builder.add({0: (1,), 1: (2,)})  # new layout signature
+        assert flushed is not None and flushed.count == 1
+        tail = builder.finish()
+        assert tail is not None and tail.count == 1
+
+    def test_builder_single_row_batches_drop_nothing(self):
+        rows = [{0: (i,)} for i in range(5)]
+        out = list(batches_to_rows(rows_to_batches(iter(rows), 1)))
+        assert out == rows
+
+    def test_builder_finish_empty_is_none(self):
+        assert BatchBuilder().finish() is None
+
+    def test_mixed_shapes_round_trip_in_order(self):
+        rows = [{0: (1,)}, {0: (2,)}, (3, 4), (5, 6), {1: (7, 8)}]
+        out = list(batches_to_rows(rows_to_batches(iter(rows), 3)))
+        assert out == rows
+
+
+class TestEmptyBatches:
+    SETUP = [
+        ("CREATE TABLE t (id INT PRIMARY KEY, g INT, v INT)", None),
+        ("t", [(i, i % 7, i * 3) for i in range(400)]),
+    ]
+
+    @pytest.mark.parametrize("query", [
+        "SELECT id FROM t WHERE v < 0",
+        "SELECT g, COUNT(*) FROM t WHERE v < 0 GROUP BY g",
+        "SELECT SUM(v) FROM t WHERE v < 0",
+        "SELECT a.id FROM t a JOIN t b ON a.id = b.v WHERE b.v < 0",
+        "SELECT DISTINCT g FROM t WHERE id > 10000",
+        "SELECT id FROM t WHERE v < 0 ORDER BY id LIMIT 5",
+    ])
+    def test_zero_row_results_agree(self, query):
+        row_rows, batch_rows = both_modes(self.SETUP, query)
+        assert batch_rows == row_rows
+
+    def test_aggregate_over_empty_input_yields_its_null_row(self):
+        row_rows, batch_rows = both_modes(
+            self.SETUP, "SELECT COUNT(*), SUM(v) FROM t WHERE v < 0"
+        )
+        assert batch_rows == row_rows == [(0, None)]
+
+
+class TestSpillStraddle:
+    """Work memory runs out mid-batch: the spill must land between two
+    rows of one batch without losing or duplicating either side."""
+
+    SETUP = [
+        ("CREATE TABLE r (id INT PRIMARY KEY, b INT)", None),
+        ("r", [(i, i % 100) for i in range(900)]),
+        ("CREATE TABLE s (id INT PRIMARY KEY, b INT, c INT)", None),
+        ("s", [(i, i % 100, i % 50) for i in range(700)]),
+    ]
+    #: ~2-page soft limit (128 pages / 64 slots): hash builds larger
+    #: than one batch must spill partway through a batch.
+    TIGHT = dict(initial_pool_pages=128, multiprogramming_level=64)
+
+    def test_join_spilling_mid_batch_matches_row_mode(self):
+        query = (
+            "SELECT r.id, s.id FROM r JOIN s ON r.b = s.b "
+            "ORDER BY r.id, s.id"
+        )
+        row_rows, batch_rows = both_modes(self.SETUP, query, **self.TIGHT)
+        assert batch_rows == row_rows
+        assert len(batch_rows) == 700 * 9  # every s row meets 9 r rows
+
+    def test_group_by_fallback_mid_batch_matches_row_mode(self):
+        query = (
+            "SELECT b, COUNT(*), SUM(id) FROM r GROUP BY b ORDER BY b"
+        )
+        row_rows, batch_rows = both_modes(self.SETUP, query, **self.TIGHT)
+        assert batch_rows == row_rows
+
+    def test_sort_spilling_mid_batch_matches_row_mode(self):
+        query = "SELECT id, b FROM r ORDER BY b, id"
+        row_rows, batch_rows = both_modes(self.SETUP, query, **self.TIGHT)
+        assert batch_rows == row_rows
+
+    def test_batch_mode_actually_spilled(self):
+        server = make_server(batch=True, **self.TIGHT)
+        conn = server.connect()
+        for sql, rows in self.SETUP:
+            if rows is None:
+                conn.execute(sql)
+            else:
+                server.load_table(sql, rows)
+        conn.execute(
+            "SELECT r.id, s.id FROM r JOIN s ON r.b = s.b "
+            "ORDER BY r.id, s.id"
+        )
+        assert server.metrics.snapshot()["exec.spill_events"] >= 1
+
+
+def quiet_rates(**overrides):
+    rates = FaultRates(
+        disk_read_error=0.0,
+        disk_write_error=0.0,
+        disk_latency=0.0,
+        working_set_outage=0.0,
+        spill_write_error=0.0,
+    )
+    for name, value in overrides.items():
+        setattr(rates, name, value)
+    return rates
+
+
+class TestMidBatchAbort:
+    """A statement dying partway through a batch must release its quota
+    and leave the server healthy, exactly like a row-mode abort."""
+
+    def loaded(self, plan=None, **kwargs):
+        server = make_server(batch=True, fault_plan=plan, **kwargs)
+        conn = server.connect()
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        server.load_table("t", [(i, (i * 37) % 1000) for i in range(3000)])
+        return server, conn
+
+    def test_expression_error_mid_batch_aborts_cleanly(self):
+        server, conn = self.loaded()
+        # Row id=500 divides by zero partway through a 256-row batch.
+        with pytest.raises(ExecutionError):
+            conn.execute("SELECT v / (id - 500) FROM t")
+        assert server.memory_governor.total_used_pages() == 0
+        assert conn.execute("SELECT COUNT(*) FROM t").rows == [(3000,)]
+
+    def test_spill_fault_mid_batch_aborts_cleanly(self):
+        plan = FaultPlan(21, quiet_rates(spill_write_error=1.0))
+        server, conn = self.loaded(
+            plan=plan, initial_pool_pages=128, multiprogramming_level=16
+        )
+        with pytest.raises(SpillWriteError):
+            conn.execute("SELECT id, v FROM t ORDER BY v, id")
+        assert plan.statement_aborts == 1
+        assert server.memory_governor.total_used_pages() == 0
+        # Healed, the same statement completes in batch mode.
+        plan.rates.spill_write_error = 0.0
+        result = conn.execute("SELECT id, v FROM t ORDER BY v, id")
+        assert len(result.rows) == 3000
+
+
+class TestSnapshotThroughShim:
+    """Snapshot-LSN row resolution stays correct in batch mode: the scan
+    operators resolve versions per row, and the index-scan fallback (an
+    unmigrated operator behind the row shim) still engages."""
+
+    def seeded(self):
+        server = make_server(batch=True)
+        writer = server.connect()
+        writer.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        server.load_table("t", [(i, 0) for i in range(10)])
+        return server, writer, server.connect()
+
+    def test_uncommitted_write_invisible_in_batch_mode(self):
+        server, writer, reader = self.seeded()
+        writer.begin()
+        writer.execute("UPDATE t SET v = 99 WHERE id = 0")
+        assert reader.execute(
+            "SELECT v FROM t WHERE id = 0"
+        ).rows == [(0,)]
+        assert writer.execute(
+            "SELECT v FROM t WHERE id = 0"
+        ).rows == [(99,)]
+        writer.commit()
+        assert reader.execute(
+            "SELECT v FROM t WHERE id = 0"
+        ).rows == [(99,)]
+
+    def test_index_fallback_resolves_through_the_shim(self):
+        server, writer, reader = self.seeded()
+        before = server.metrics.counter("exec.adaptive_fallbacks").value
+        writer.begin()
+        writer.execute("DELETE FROM t WHERE id = 5")
+        # The pk entry is gone; only the versioned-heap fallback can
+        # resolve the before-image — through the IndexScan row shim.
+        assert reader.execute(
+            "SELECT v FROM t WHERE id = 5"
+        ).rows == [(0,)]
+        after = server.metrics.counter("exec.adaptive_fallbacks").value
+        assert after == before + 1
+        writer.rollback()
+
+
+class TestExplainAnalyzeBatches:
+    SETUP = [
+        ("CREATE TABLE t (id INT PRIMARY KEY, g INT)", None),
+        ("t", [(i, i % 5) for i in range(600)]),
+    ]
+    QUERY = "SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g"
+
+    def run_one(self, batch):
+        server = make_server(batch=batch)
+        conn = server.connect()
+        for sql, rows in self.SETUP:
+            if rows is None:
+                conn.execute(sql)
+            else:
+                server.load_table(sql, rows)
+        return conn.execute(self.QUERY).explain(analyze=True)
+
+    def test_batch_mode_reports_batches_per_operator(self):
+        text = self.run_one(batch=True)
+        assert "batches=" in text
+        assert "rows_per_batch=" in text
+
+    def test_row_mode_rendering_is_unchanged(self):
+        text = self.run_one(batch=False)
+        assert "batches=" not in text
