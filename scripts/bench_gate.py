@@ -21,7 +21,10 @@ prove the claimed speedup against the previous PR's committed baseline.
 Per experiment, pairs where both sides carry the simulated measure are
 preferred (and wall-only siblings of a simulated pair are skipped as
 cross-machine noise); wall medians are compared only when the experiment
-has no simulated measure at all.
+has no simulated measure at all, and those pairs get the required factor
+scaled down by half the wall band (a 3x claim checks as 2.25x at the
+default ``--wall-threshold`` 0.50) — the same noise allowance the
+regression direction already grants wall comparisons.
 
 Usage::
 
@@ -39,7 +42,7 @@ import os
 import sys
 
 #: Experiments whose regression fails the bench job.
-DEFAULT_GATED = ("e5", "e9", "e14", "e18", "e19", "e20")
+DEFAULT_GATED = ("e5", "e9", "e14", "e18", "e19", "e20", "e21")
 DEFAULT_THRESHOLD = 0.15
 #: Single-round wall medians are noisy even on one machine; only a
 #: drastic regression is signal.
@@ -161,14 +164,17 @@ def parse_expectations(spec):
     return expectations
 
 
-def check_improvements(baseline, fresh, expectations):
+def check_improvements(baseline, fresh, expectations,
+                       wall_threshold=DEFAULT_WALL_THRESHOLD):
     """Returns (rows, failures) requiring base/fresh >= factor.
 
     Per experiment: pairs where baseline *and* fresh carry the simulated
     measure are compared on it; when any simulated pair exists, wall-only
     siblings are skipped (their medians are cross-machine noise next to a
     deterministic SimClock sum).  Only an experiment with no simulated
-    pair anywhere falls back to wall medians.
+    pair anywhere falls back to wall medians, and then the required
+    factor is relaxed by half the wall band — single-round wall medians
+    swing run to run even on one machine.
     """
     rows = []
     failures = []
@@ -195,16 +201,19 @@ def check_improvements(baseline, fresh, expectations):
                 pairs.append((name, base_value, fresh_value, "wall-median-s"))
         for name, base_value, fresh_value, kind in pairs:
             label = name.replace("test_", "")
+            required = factor
+            if kind == "wall-median-s":
+                required = factor * (1 - wall_threshold / 2)
             ratio = base_value / fresh_value if fresh_value else float("inf")
-            verdict = "ok" if ratio >= factor else "TOO SLOW"
-            if ratio < factor:
+            verdict = "ok" if ratio >= required else "TOO SLOW"
+            if ratio < required:
                 failures.append(
                     "%s: %s %.4g -> %.4g (%.2fx < required %.2gx)"
-                    % (label, kind, base_value, fresh_value, ratio, factor)
+                    % (label, kind, base_value, fresh_value, ratio, required)
                 )
             rows.append(
                 (label, kind, "%.4g" % base_value, "%.4g" % fresh_value,
-                 "%.2fx (need %.2gx) %s" % (ratio, factor, verdict))
+                 "%.2fx (need %.2gx) %s" % (ratio, required, verdict))
             )
         if simulated_only and len(pairs) < len(names):
             skipped = len(names) - len(pairs)
@@ -251,7 +260,9 @@ def main(argv=None):
     fresh = load_benchmarks(args.fresh)
     if args.expect_improvement:
         expectations = parse_expectations(args.expect_improvement)
-        rows, failures = check_improvements(baseline, fresh, expectations)
+        rows, failures = check_improvements(
+            baseline, fresh, expectations, args.wall_threshold
+        )
         print(
             "bench gate: %s (fresh) must improve on %s (baseline): %s"
             % (args.fresh, baseline_path, args.expect_improvement)

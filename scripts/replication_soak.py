@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Replication soak: seeded chaos on a 1-primary/2-replica cluster.
+
+For every seed given on the command line (default: the CI chaos seeds),
+two scenarios run — a clean shutdown (every statement must ack and the
+promoted replica must equal the abandoned primary row for row) and a
+kill inside a batched ``wal.group_force`` (the full replicated crash
+oracle: zero acknowledged loss, no invented commits, committed-exactly
+against a single-node reference replay).  Each scenario runs **twice**
+per seed and the two runs must match byte for byte: scheduler trace,
+fault-plan log, promoted node's physical page fingerprint, acked and
+surviving statement lists, and the shipping counters.  Run under
+``REPRO_SANITIZE=1`` so the scheduler invariant checks are live.
+
+Usage::
+
+    REPRO_SANITIZE=1 python scripts/replication_soak.py 101 202 303
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.engine.server import ServerConfig  # noqa: E402
+from repro.faults import FaultPlan, FaultRates  # noqa: E402
+from repro.recovery import CrashPoint  # noqa: E402
+from repro.replication import (  # noqa: E402
+    ReplicatedCrashHarness,
+    ReplicationConfig,
+    state_fingerprint,
+)
+from repro.storage.log import CRASH_GROUP_FORCE  # noqa: E402
+
+DEFAULT_SEEDS = (101, 202, 303)
+N_SESSIONS = 4
+STATEMENTS = 6
+POOL_PAGES = 24
+CRASH_OCCURRENCE = 10
+
+#: Device chaos on the primary plus network chaos on the links; the
+#: replicas' own devices stay quiet (the cluster arms them so).
+SOAK_RATES = FaultRates(
+    disk_read_error=0.03,
+    disk_write_error=0.03,
+    disk_latency=0.02,
+    log_force_error=0.02,
+    spill_write_error=0.03,
+    net_send_drop=0.10,
+    net_partition=0.02,
+)
+
+SCHEMA = ["CREATE TABLE t (id INT PRIMARY KEY, v INT)"]
+LOADS = [("t", [(i, i % 13) for i in range(400)])]
+
+
+def make_config(seed):
+    return ServerConfig(
+        replication=ReplicationConfig(n_replicas=2),
+        fault_plan=FaultPlan(seed=seed, rates=SOAK_RATES),
+        start_buffer_governor=False,
+        start_checkpoint_governor=False,
+        initial_pool_pages=POOL_PAGES,
+        multiprogramming_level=3,
+    )
+
+
+def make_sessions():
+    return [
+        (
+            "s%d" % k,
+            [
+                "INSERT INTO t VALUES (%d, %d)"
+                % (10_000 + 1_000 * k + i, (k * 7 + i) % 13)
+                for i in range(STATEMENTS)
+            ],
+        )
+        for k in range(N_SESSIONS)
+    ]
+
+
+def run_once(seed, crash):
+    harness = ReplicatedCrashHarness(
+        make_config(seed), SCHEMA, LOADS, make_sessions(),
+        crash_point=(
+            CrashPoint(CRASH_GROUP_FORCE, CRASH_OCCURRENCE) if crash
+            else None
+        ),
+        seed=seed, tear_spare_tail=crash,
+    )
+    report = harness.run()
+    cluster = harness.cluster
+    promoted = cluster.controller.promoted
+    return {
+        "crashed": report.crashed,
+        "promoted": report.promoted_name,
+        "torn": report.torn_replica,
+        "failover_us": report.failover_us,
+        "acked": [sql for sql, __ in report.acked_statements],
+        "survivors": sorted(report.survivors),
+        "rows_verified": report.rows_verified,
+        "trace": harness.scheduler.trace_lines(),
+        "fault_log": cluster.primary.fault_plan.log_lines(),
+        "fingerprint": state_fingerprint(promoted.server),
+        "shipping": (
+            cluster.primary.metrics.value("repl.frames_published"),
+            cluster.publisher.ship_retries,
+            tuple(
+                (r.name, r.frames_received, r.records_applied)
+                for r in cluster.replicas
+            ),
+            tuple(
+                (link.name, link.delivered, link.drops, link.partitions)
+                for link in cluster.network.links
+            ),
+        ),
+        "primary_rows": sorted(
+            tuple(row) for __, row in _primary_rows(cluster)
+        ),
+        "promoted_rows": _promoted_rows(promoted),
+    }
+
+
+def _primary_rows(cluster):
+    table = cluster.primary.catalog.table("t")
+    return list(table.storage.scan())
+
+
+def _promoted_rows(promoted):
+    conn = promoted.server.connect()
+    try:
+        return sorted(
+            tuple(row) for row in conn.execute("SELECT id, v FROM t").rows
+        )
+    finally:
+        conn.close()
+
+
+COMPARED = (
+    "crashed", "promoted", "torn", "failover_us", "acked", "survivors",
+    "rows_verified", "trace", "fault_log", "fingerprint", "shipping",
+    "promoted_rows",
+)
+
+
+def soak(seed, crash):
+    label = "crash" if crash else "clean"
+    first = run_once(seed, crash)
+    second = run_once(seed, crash)
+    problems = []
+    for key in COMPARED:
+        if first[key] != second[key]:
+            problems.append(
+                "%s seed %d: %r differs between runs" % (label, seed, key)
+            )
+    if crash:
+        if not first["crashed"]:
+            problems.append(
+                "%s seed %d: the crash point never fired" % (label, seed)
+            )
+    else:
+        expected = N_SESSIONS * STATEMENTS
+        if len(first["acked"]) != expected:
+            problems.append(
+                "%s seed %d: %d/%d statements acked on a clean run"
+                % (label, seed, len(first["acked"]), expected)
+            )
+        if first["promoted_rows"] != first["primary_rows"]:
+            problems.append(
+                "%s seed %d: promoted rows diverge from the abandoned "
+                "primary" % (label, seed)
+            )
+    published, retries, replicas, links = first["shipping"]
+    print(
+        "%s seed %d: %d acked, %d survivors, %d frames shipped, "
+        "%d ship retries, links %s, failover %s us, trace %d bytes%s"
+        % (
+            label, seed, len(first["acked"]), len(first["survivors"]),
+            published, retries,
+            "/".join(
+                "%s sent=%d drop=%d part=%d" % (n.split(">")[-1], s, d, p)
+                for n, s, d, p in links
+            ),
+            first["failover_us"], len(first["trace"]),
+            " [FAIL]" if problems else " [ok]",
+        )
+    )
+    return problems
+
+
+def main(argv):
+    seeds = [int(arg) for arg in argv] or list(DEFAULT_SEEDS)
+    problems = []
+    for seed in seeds:
+        problems.extend(soak(seed, crash=False))
+        problems.extend(soak(seed, crash=True))
+    for problem in problems:
+        print("FAIL %s" % problem)
+    if problems:
+        return 1
+    print("replication soak: %d seeds, all deterministic" % len(seeds))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

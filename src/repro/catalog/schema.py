@@ -111,10 +111,26 @@ class IndexSchema:
         #: Set by the engine: the BTree instance.
         self.btree = None
         #: LSN stamp of the last DML/DDL that touched this index's
-        #: entries.  A snapshot older than the stamp cannot trust the
-        #: B-tree (entries removed after the snapshot are simply gone),
-        #: so the scan falls back to the exact heap path.
+        #: entries (observability; fallback decisions use the narrower
+        #: per-key state below).
         self.last_dml_lsn = 0
+        #: Per-key delete stamps: ``key tuple -> LSN`` of the mutation
+        #: that removed the entry.  Only *removals* can blind a snapshot
+        #: index scan (an entry inserted after the snapshot is filtered
+        #: by the visibility check; an entry deleted after it is simply
+        #: gone from the tree), so only keys stamped here — and only when
+        #: the stamp postdates the snapshot and the key falls inside the
+        #: scan's bounds — force the heap fallback.  Pruned against the
+        #: oldest open snapshot by the engine.
+        self.delete_stamps = {}
+        #: LSN horizon of the last full rebuild (CREATE INDEX, restart
+        #: recovery, REORGANIZE): the whole tree reflects this committed
+        #: horizon, so snapshots older than it cannot use the index.
+        self.rebuild_lsn = 0
+        #: Standby mode (replication): the tree is not maintained at all
+        #: while shipped WAL is applied heap-only; every snapshot scan
+        #: falls back until promotion rebuilds the index.
+        self.always_fallback = False
 
     def __repr__(self):
         return "IndexSchema(%s ON %s(%s)%s)" % (

@@ -19,6 +19,7 @@ This package provides:
 """
 
 from repro.dtt.calibration import (
+    RetryRecalibrator,
     approximate_write_curve,
     calibrate_device,
     calibrate_read_curve,
@@ -36,4 +37,5 @@ __all__ = [
     "calibrate_write_curve",
     "approximate_write_curve",
     "calibrate_device",
+    "RetryRecalibrator",
 ]

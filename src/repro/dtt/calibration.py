@@ -10,6 +10,7 @@ through random reads confined to windows of varying band size, averages the
 measured per-page cost, and fits a :class:`~repro.dtt.curve.DTTCurve`.
 """
 
+import collections
 import random
 
 from repro.common.errors import CalibrationError, IOFaultError, TransientIOError
@@ -147,6 +148,84 @@ def calibrate_write_curve(device, bands=DEFAULT_BANDS, samples_per_band=64,
     if not points:
         raise CalibrationError("no band sizes were measurable on this device")
     return DTTCurve(points)
+
+
+class RetryRecalibrator:
+    """Fault-aware recalibration: re-measure the device when statements
+    keep paying injected-fault retries.
+
+    A device that has started stalling (injected transient faults model
+    exactly that) makes the catalog's DTT model optimistic: the optimizer
+    keeps pricing I/O at healthy-device cost while every statement burns
+    retry backoff on top.  This governor watches the per-statement retry
+    count over a sliding window of recent statements; when the mean
+    crosses the threshold it re-runs device calibration — measured on
+    the device *as it now behaves* — and installs the result, so costing
+    tracks the hardware the workload actually experiences.
+
+    One full window of cooldown follows every trigger (successful or
+    not): calibration itself drives the device and must not be able to
+    re-trigger itself off its own retries.
+    """
+
+    def __init__(self, server, window=32, threshold=2.0,
+                 samples_per_band=16, metrics=None):
+        self.server = server
+        self.window = max(1, int(window))
+        self.threshold = float(threshold)
+        self.samples_per_band = samples_per_band
+        self.recalibrations = 0
+        self.recalibrations_aborted = 0
+        self._recent = collections.deque(maxlen=self.window)
+        self._cooldown = 0
+        self._m_recalibrations = (
+            metrics.counter("dtt.recalibrations")
+            if metrics is not None else None
+        )
+        self._m_aborted = (
+            metrics.counter("dtt.recalibrations_aborted")
+            if metrics is not None else None
+        )
+
+    def observe(self, statement_retries):
+        """Fold one finished statement's retry count in; returns True
+        when this observation triggered a recalibration."""
+        self._recent.append(int(statement_retries))
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return False
+        if len(self._recent) < self.window:
+            return False
+        if sum(self._recent) / len(self._recent) < self.threshold:
+            return False
+        return self._recalibrate()
+
+    def _recalibrate(self):
+        server = self.server
+        self._cooldown = self.window
+        self._recent.clear()
+        try:
+            model = calibrate_device(
+                server.disk, server.config.page_size,
+                samples_per_band=self.samples_per_band,
+            )
+        except (CalibrationError, IOFaultError):
+            # The device is too sick to even measure right now; keep the
+            # old model and let the cooldown expire before trying again.
+            self.recalibrations_aborted += 1
+            if self._m_aborted is not None:
+                self._m_aborted.inc()
+            return False
+        server.catalog.dtt_model = model
+        self.recalibrations += 1
+        if self._m_recalibrations is not None:
+            self._m_recalibrations.inc()
+        if server.tracer is not None:
+            server.tracer.record_system(
+                "dtt-recalibrate", server.clock.now,
+                "trigger=retry-window window=%d" % self.window,
+            )
+        return True
 
 
 def calibrate_device(device, page_size, bands=DEFAULT_BANDS,

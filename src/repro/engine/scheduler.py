@@ -50,6 +50,7 @@ RUNNING = "running"
 WAITING_ADMISSION = "waiting-admission"
 WAITING_COMMIT = "waiting-commit"
 WAITING_LOCK = "waiting-lock"
+WAITING_REPL = "waiting-repl"
 DONE = "done"
 FAILED = "failed"
 ABORTED = "aborted"
@@ -59,6 +60,7 @@ YIELD_POOL_MISS = "pool.miss"
 YIELD_SPILL = "exec.spill"
 YIELD_STATEMENT = "sched.statement"
 YIELD_LOCK = "lock.wait"
+YIELD_REPL_APPLY = "repl.apply"
 
 #: Consecutive no-progress dispatch attempts tolerated before the run is
 #: declared deadlocked (each attempt may legitimately fail under a
@@ -77,14 +79,20 @@ class Session:
     an iterable (generators welcome: they observe earlier results).
     """
 
-    def __init__(self, name, statements):
+    def __init__(self, name, statements, server=None):
         self.name = name
         self.statements = statements
+        #: Foreign server this session connects to instead of the
+        #: scheduler's own (replica apply actors).  Foreign sessions
+        #: skip the primary's MPL admission queue — they compete for a
+        #: different server's resources.
+        self.server = server
         self.status = READY
         self.event = threading.Event()
         self.thread = None
         self.ticket = None
         self.lock_waiter = None
+        self.repl_ready_fn = None
         self.in_statement = False
         self.statements_run = 0
         self.statements_failed = 0
@@ -117,6 +125,12 @@ class WorkloadScheduler:
         self._aborting = False
         self._fatal = None
         self._started = False
+        #: Zero-argument callables consulted when every session is
+        #: blocked and neither a flush nor a lock victim can help:
+        #: return True after producing an event that can unblock a
+        #: session (the replication cluster's hook advances the shared
+        #: clock to the next in-flight frame arrival).
+        self.progress_hooks = []
         self.trace = []
         self.switches = 0
         self._m_switches = server.metrics.counter("sched.switches")
@@ -129,19 +143,23 @@ class WorkloadScheduler:
         )
         self._m_commit_waits = server.metrics.counter("sched.commit_waits")
         self._m_lock_waits = server.metrics.counter("sched.lock_waits")
+        self._m_repl_waits = server.metrics.counter("sched.repl_waits")
 
     # ------------------------------------------------------------------ #
     # workload definition
     # ------------------------------------------------------------------ #
 
-    def add_session(self, name, statements):
+    def add_session(self, name, statements, server=None):
         if self._started:
             raise SchedulerDeadlockError(
                 "cannot add sessions to a started scheduler"
             )
         if any(s.name == name for s in self._sessions):
             raise ValueError("duplicate session name %r" % (name,))
-        session = Session(name, statements)
+        session = Session(
+            name, statements,
+            server=server if server is not self.server else None,
+        )
         self._sessions.append(session)
         return session
 
@@ -288,6 +306,36 @@ class WorkloadScheduler:
                 self._park(session)
         finally:
             session.ticket = None
+
+    # ------------------------------------------------------------------ #
+    # replication surface
+    # ------------------------------------------------------------------ #
+
+    def wait_for_repl(self, ready_fn):
+        """Park the current (replica apply) session until ``ready_fn()``.
+
+        Apply actors have no work of their own to generate: between
+        deliverable frames they park here instead of spinning on the
+        baton, and ``_resolve_waiters`` re-readies them as soon as the
+        predicate turns true (a frame arrived, or every producer
+        session reached a terminal state and the actor should drain).
+        """
+        session = self._current
+        if session is None or (
+            threading.current_thread() is not session.thread
+        ):
+            return
+        if ready_fn():
+            return
+        session.repl_ready_fn = ready_fn
+        session.status = WAITING_REPL
+        self._m_repl_waits.inc()
+        self._trace(session, "wait:repl")
+        try:
+            if not self._dispatch_from(session):
+                self._park(session)
+        finally:
+            session.repl_ready_fn = None
 
     # ------------------------------------------------------------------ #
     # lock-manager surface
@@ -467,6 +515,15 @@ class WorkloadScheduler:
                     session,
                     "lock-granted" if waiter.granted else "lock-victim",
                 )
+        for session in self._sessions:
+            if (
+                session.status == WAITING_REPL
+                and session.repl_ready_fn is not None
+                and session.repl_ready_fn()
+            ):
+                session.status = READY
+                self._ready.append(session)
+                self._trace(session, "repl-ready")
         for promoted in self._admission().promote():
             if promoted.status == WAITING_ADMISSION:
                 promoted.status = READY
@@ -532,6 +589,9 @@ class WorkloadScheduler:
                     plan.note_statement_abort()
                 self._trace(session, "flush-fault-absorbed")
                 return False
+        for hook in self.progress_hooks:
+            if hook():
+                return True
         return self._break_lock_stall()
 
     def _break_lock_stall(self):
@@ -589,7 +649,8 @@ class WorkloadScheduler:
         self._finish(session)
 
     def _run_session(self, session):
-        conn = self.server.connect()
+        foreign = session.server is not None
+        conn = (session.server if foreign else self.server).connect()
         try:
             source = session.statements
             items = source(conn) if callable(source) else source
@@ -603,8 +664,9 @@ class WorkloadScheduler:
                     sql, params = (
                         item if isinstance(item, tuple) else (item, None)
                     )
-                self._acquire_admission(session)
-                self._assert_admitted(session)
+                if not foreign:
+                    self._acquire_admission(session)
+                    self._assert_admitted(session)
                 session.in_statement = True
                 try:
                     if call is not None:
@@ -630,7 +692,8 @@ class WorkloadScheduler:
                         conn.rollback()
                 finally:
                     session.in_statement = False
-                    self._release_admission(session)
+                    if not foreign:
+                        self._release_admission(session)
                 self.yield_point(YIELD_STATEMENT, always=True)
         finally:
             if not self._aborting:
@@ -674,7 +737,8 @@ class WorkloadScheduler:
     def _next_parked(self):
         for session in self._sessions:
             if session.status in (
-                READY, WAITING_ADMISSION, WAITING_COMMIT, WAITING_LOCK
+                READY, WAITING_ADMISSION, WAITING_COMMIT, WAITING_LOCK,
+                WAITING_REPL,
             ):
                 return session
         return None

@@ -83,6 +83,13 @@ class ServerConfig:
     #: Optional :class:`repro.faults.FaultPlan` for deterministic chaos;
     #: ``None`` defers to the ``REPRO_FAULTS=<seed>`` environment default.
     fault_plan: object = None
+    #: Fault-aware DTT recalibration: when the mean injected-fault retry
+    #: count per statement over the last ``window`` statements crosses
+    #: ``threshold``, the server re-runs device calibration so the cost
+    #: model tracks the device as it currently behaves.  Window <= 0
+    #: disables the trigger.
+    dtt_recalibration_window: int = 32
+    dtt_recalibration_threshold: float = 2.0
     #: Optional :class:`repro.storage.log.GroupCommitConfig`; ``None``
     #: uses the adaptive defaults.  Commits always route through the
     #: coordinator — without a scheduler it degenerates to the classic
@@ -102,6 +109,13 @@ class ServerConfig:
     #: variable (default on); the differential CI lane runs both modes
     #: and requires byte-identical results.
     batch_execution: object = None
+    #: Optional :class:`repro.replication.ReplicationConfig`: the server
+    #: is a replicating primary — its WAL pages stream to replicas, and
+    #: commits ack only after at least one replica durably holds them.
+    #: Wiring (taps, publisher, coordinator gate) is installed by
+    #: :class:`repro.replication.ReplicatedCluster`; this field carries
+    #: the knobs.
+    replication: object = None
 
     def batch_execution_enabled(self):
         if self.batch_execution is not None:
@@ -328,6 +342,19 @@ class Server:
         self._m_elapsed = self.metrics.histogram("statements.elapsed_us")
         self._m_checkpoints = self.metrics.counter("ckpt.checkpoints")
         self._m_ckpt_pages = self.metrics.counter("ckpt.pages_flushed")
+        #: Fault-aware DTT recalibration (Section 4.2 meets the chaos
+        #: plan): armed only when both a fault plan and a positive window
+        #: are configured.
+        self.dtt_recalibrator = None
+        if plan is not None and self.config.dtt_recalibration_window > 0:
+            from repro.dtt import RetryRecalibrator
+
+            self.dtt_recalibrator = RetryRecalibrator(
+                self,
+                window=self.config.dtt_recalibration_window,
+                threshold=self.config.dtt_recalibration_threshold,
+                metrics=self.metrics,
+            )
 
     def _attach_races(self):
         """Point every tapped component at the race sanitizer (re-run
@@ -653,7 +680,28 @@ class Server:
                 continue
             key = tuple(row[table.column_index(c)] for c in index.column_names)
             index.btree.delete(key, row_id)
+            # Removals are the only mutations that can blind a snapshot
+            # index scan, so they are stamped per key: a scan whose
+            # bounds miss every stamped key keeps the exact index path.
+            index.delete_stamps[key] = self.txn_log.peek_next_lsn()
+            if len(index.delete_stamps) > 512:
+                self._prune_delete_stamps(index)
             self._stamp_index(index)
+
+    def _prune_delete_stamps(self, index):
+        """Drop delete stamps no snapshot can be blinded by: every open
+        snapshot (and every future one) sits at or above the horizon, so
+        a stamp at or below it can never postdate a snapshot again."""
+        horizon = self.versions.oldest_snapshot()
+        if horizon is None:
+            horizon = self.versions.last_commit_lsn
+        else:
+            horizon = min(horizon, self.versions.last_commit_lsn)
+        index.delete_stamps = {
+            key: lsn
+            for key, lsn in index.delete_stamps.items()
+            if lsn > horizon
+        }
 
     def _stamp_index(self, index):
         """Record that the index's entries changed at the current end of
@@ -670,6 +718,9 @@ class Server:
         B-tree; the mutation-time stamp would sit past the horizon
         forever when the rebuild itself advances no commit ticket."""
         index.last_dml_lsn = self.versions.last_commit_lsn
+        index.rebuild_lsn = self.versions.last_commit_lsn
+        index.delete_stamps = {}
+        index.always_fallback = False
 
 
 class Connection:
@@ -784,6 +835,14 @@ class Connection:
                     pool_hits=server.pool.hits - hits_before,
                     plan_signature=plan_sig,
                     error=error,
+                )
+            if plan is not None and server.dtt_recalibrator is not None:
+                # Fault-aware recalibration: this statement's retry count
+                # feeds the sliding window; crossing the threshold
+                # re-measures the (now hostile) device and installs the
+                # new DTT model before the next statement is optimized.
+                server.dtt_recalibrator.observe(
+                    plan.retries - retries_before
                 )
             if server.sanitize and server.pin_checks_quiescent():
                 # Statement boundary: every pin taken while executing this

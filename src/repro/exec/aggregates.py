@@ -440,6 +440,47 @@ class HashDistinctOp(Operator):
             ctx.task.unregister_consumer(self)
             self._memory.release_all()
 
+    def execute_batches(self, ctx):
+        """Batch protocol: probe keys materialize once per batch; the
+        seen-set probes, soft-limit checks, and the indexed-temp fallback
+        run per position in the row path's exact order, so duplicate
+        elimination and fallback engagement are identical across modes.
+        Survivors leave as one mask-take per input batch."""
+        self._ctx = ctx
+        self._memory = WorkMemory(ctx.task, ctx.pool.page_size)
+        self._seen = set()
+        ctx.task.register_consumer(self, depth=getattr(self, "depth", 1))
+        try:
+            for batch in self.child.execute_batches(ctx):
+                if batch.count == 0:
+                    continue
+                ctx.charge(batch.count * CPU_HASH_BUILD_BATCH_US)
+                keys = list(zip(*batch.columns))
+                mask = [False] * batch.count
+                for position, key in enumerate(keys):
+                    if key in self._seen:
+                        continue
+                    if self._fallback_index is not None:
+                        if self._fallback_index.search(key):
+                            continue
+                        self._fallback_index.insert(key, RowId(0, 0))
+                        mask[position] = True
+                        continue
+                    if self._memory.would_exceed_soft(self.ROW_BYTES):
+                        self._engage_fallback()
+                        self._fallback_index.insert(key, RowId(0, 0))
+                        mask[position] = True
+                        continue
+                    self._seen.add(key)
+                    self._memory.add(self.ROW_BYTES)
+                    mask[position] = True
+                survivors = batch.take(mask)
+                if survivors.count:
+                    yield survivors
+        finally:
+            ctx.task.unregister_consumer(self)
+            self._memory.release_all()
+
     def _engage_fallback(self):
         """Move the seen-set to an indexed temp structure and free memory."""
         self.fallback_engaged = True

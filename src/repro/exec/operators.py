@@ -227,14 +227,12 @@ class IndexScanOp(Operator):
         storage = self.quantifier.schema.storage
         qid = self.quantifier.id
         snapshot = ctx.snapshot_lsn
-        if snapshot is not None and (
-            getattr(self.index_schema, "last_dml_lsn", 0) > snapshot
-        ):
-            # The index changed after this snapshot was taken.  Entries
-            # *removed* since then are simply gone from the B-tree — no
-            # version chain can resurrect a key the scan never visits —
-            # so the tree cannot enumerate this snapshot.  Fall back to
-            # the exact heap path, keeping the sarg as a filter.
+        if snapshot is not None and self._must_fall_back(ctx, snapshot):
+            # Some key this scan might need was *removed* from the B-tree
+            # after this snapshot was taken (or the whole tree postdates
+            # it) — no version chain can resurrect a key the scan never
+            # visits, so the tree cannot enumerate this snapshot.  Fall
+            # back to the exact heap path, keeping the sarg as a filter.
             self.snapshot_fallbacks += 1
             yield from self._snapshot_heap_scan(ctx, storage, qid)
             return
@@ -280,12 +278,37 @@ class IndexScanOp(Operator):
             ):
                 yield env
 
+    def _must_fall_back(self, ctx, snapshot):
+        """Can the B-tree enumerate this snapshot?  Only *removals* blind
+        an index scan (inserted-after entries are filtered by the
+        visibility re-check below), so the tree is trusted unless a key
+        inside this scan's bounds was deleted after the snapshot — or the
+        whole tree postdates it (rebuild), or it is not maintained at all
+        (replication standby)."""
+        schema = self.index_schema
+        if getattr(schema, "always_fallback", False):
+            return True
+        if getattr(schema, "rebuild_lsn", 0) > snapshot:
+            return True
+        stamps = getattr(schema, "delete_stamps", None)
+        if not stamps or max(stamps.values()) <= snapshot:
+            return False
+        bounds = self._bounds(ctx)
+        return any(
+            lsn > snapshot and self._key_tuple_in_bounds(key, bounds)
+            for key, lsn in stamps.items()
+        )
+
     def _key_in_bounds(self, row, bounds):
         table = self.quantifier.schema
         key = tuple(
             row[table.column_index(c)]
             for c in self.index_schema.column_names
         )
+        return self._key_tuple_in_bounds(key, bounds)
+
+    @staticmethod
+    def _key_tuple_in_bounds(key, bounds):
         low, high, low_inc, high_inc = bounds
         if low is not None:
             prefix = key[: len(low)]

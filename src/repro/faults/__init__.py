@@ -27,6 +27,9 @@ from repro.faults.plan import (
     DISK_WRITE_ERROR,
     DISK_WRITE_LATENCY,
     HOSTILE_GRAB,
+    NET_LATENCY,
+    NET_PARTITION,
+    NET_SEND_DROP,
     SPILL_WRITE_ERROR,
     WORKING_SET_OUTAGE,
     FaultPlan,
@@ -72,6 +75,9 @@ __all__ = [
     "FaultyDisk",
     "HOSTILE_GRAB",
     "HostileProcess",
+    "NET_LATENCY",
+    "NET_PARTITION",
+    "NET_SEND_DROP",
     "SPILL_WRITE_ERROR",
     "WORKING_SET_OUTAGE",
     "plan_from_env",

@@ -45,12 +45,22 @@ SCHED_INTERLEAVE = "sched.interleave"
 #: freed lock wakes.  Seeded so contended wakeup order is part of the
 #: same-seed determinism contract, never recorded in the injection log.
 LOCK_WAKEUP = "locks.wakeup"
+#: Replication network faults: one shipped WAL frame dropped in flight
+#: (go-back-N retransmits it), and a bounded link partition (every send
+#: fails until the seeded heal time).  Per-link decision streams are
+#: suffixed ``site#link`` so one link's draws never disturb another's;
+#: ``record`` logs the canonical site with a ``link=`` detail.
+NET_SEND_DROP = "net.send_drop"
+NET_PARTITION = "net.partition"
+#: Decision stream like ``sched.interleave``: per-link latency draws for
+#: the simulated network.  Never recorded in the injection log.
+NET_LATENCY = "net.latency"
 
 ALL_SITES = (
     DISK_READ_ERROR, DISK_WRITE_ERROR, DISK_READ_LATENCY,
     DISK_WRITE_LATENCY, WORKING_SET_OUTAGE, HOSTILE_GRAB, SPILL_WRITE_ERROR,
     LOG_FORCE_ERROR, LOG_TORN_TAIL, CKPT_CRASH, SCHED_INTERLEAVE,
-    LOCK_WAKEUP,
+    LOCK_WAKEUP, NET_SEND_DROP, NET_PARTITION, NET_LATENCY,
 )
 
 #: One injected fault, as recorded in the replayable log.
@@ -101,6 +111,20 @@ class FaultRates:
     io_retry_limit: int = 5
     io_retry_backoff_us: int = 100
     spill_retry_limit: int = 4
+    #: Replication network shape: per-frame drop probability, per-send
+    #: partition-onset probability with bounded seeded duration, and the
+    #: per-frame delivery latency band.  Drop/partition default to 0 so
+    #: nothing outside the replication tier ever draws on them.
+    net_send_drop: float = 0.0
+    net_partition: float = 0.0
+    net_partition_min_us: int = 5_000
+    net_partition_max_us: int = 40_000
+    net_latency_min_us: int = 50
+    net_latency_max_us: int = 400
+    #: Bounded retransmission budget for one synchronous ship (per
+    #: commit-settle attempt); exhaustion degrades the statement, not
+    #: the server.
+    net_ship_retry_limit: int = 8
 
 
 class FaultPlan:

@@ -1,0 +1,282 @@
+"""Cluster assembly: one replicating primary plus N standby replicas.
+
+:class:`ReplicatedCluster` owns the wiring the individual pieces stay
+ignorant of: it builds the primary from a ``ServerConfig`` whose
+``replication`` field carries a :class:`ReplicationConfig`, stands up
+the replicas as full servers sharing the primary's simulated clock (but
+with quiet fault plans — the chaos lives on the primary's disk and the
+network links, not on replica devices), strings one network link per
+replica, installs the publisher as a WAL stream tap, and arms the
+group-commit coordinator's synchronous ack gate.
+
+It also owns the scheduler integration.  Replica apply actors run as
+*foreign* sessions of the primary's workload scheduler (they connect to
+the replica server, so they skip the primary's MPL admission): each is a
+generator that parks in ``wait_for_repl`` until a frame's arrival time
+passes or every producer session has finished, then applies deliverable
+frames with ``repl.apply`` yield points between them.  When every
+session is parked and no flush or lock victim can help, the cluster's
+progress hook advances the shared clock to the earliest in-flight
+arrival — the one event that can wake an apply actor.
+
+Archive-and-restore is the degenerate one-replica case: ship everything,
+stop the primary, promote the sole replica.
+"""
+
+import dataclasses
+
+from repro.common.errors import ReproError
+from repro.engine.scheduler import WAITING_REPL, YIELD_REPL_APPLY
+from repro.engine.server import Server, ServerConfig
+from repro.faults.plan import FaultPlan, FaultRates
+from repro.replication.failover import FailoverController
+from repro.replication.network import SimNetwork
+from repro.replication.replica import Replica
+from repro.replication.stream import LogStreamPublisher
+
+
+@dataclasses.dataclass
+class ReplicationConfig:
+    """Knobs carried by ``ServerConfig.replication`` on the primary."""
+
+    #: Standby count; 1 is the archive-and-restore degenerate case.
+    n_replicas: int = 1
+    #: Commits ack only after their frames are durably received by at
+    #: least one replica.  ``False`` degrades to pure asynchronous
+    #: shipping (acked commits can be lost with the primary).
+    sync_ack: bool = True
+    #: Replica checkpoint cadence, in applied frames.
+    replica_checkpoint_frames: int = 32
+
+
+def _quiet_plan(seed):
+    """A fault plan that never injects: replicas stay deterministic under
+    ``REPRO_FAULTS`` without adding their own device chaos."""
+    return FaultPlan(seed, rates=FaultRates(
+        disk_read_error=0.0, disk_write_error=0.0, disk_latency=0.0,
+        working_set_outage=0.0, spill_write_error=0.0, log_force_error=0.0,
+    ))
+
+
+class ReplicatedCluster:
+    """Primary + replicas + network + publisher + failover controller."""
+
+    def __init__(self, config=None):
+        if config is None:
+            config = ServerConfig(replication=ReplicationConfig())
+        repl_config = config.replication
+        if repl_config is None:
+            repl_config = ReplicationConfig()
+        self.repl_config = repl_config
+        self.primary = Server(config)
+        self.clock = self.primary.clock
+        plan = self.primary.fault_plan
+        seed = plan.seed if plan is not None else 0
+        self.network = SimNetwork(self.clock, fault_plan=plan, seed=seed)
+        self.publisher = LogStreamPublisher(
+            self.clock, fault_plan=plan, metrics=self.primary.metrics
+        )
+        self.replicas = []
+        for ordinal in range(max(1, repl_config.n_replicas)):
+            name = "replica-%d" % (ordinal + 1)
+            standby = Server(
+                self._replica_config(config, seed, ordinal), clock=self.clock
+            )
+            replica = Replica(
+                name, standby,
+                checkpoint_every_frames=repl_config.replica_checkpoint_frames,
+            )
+            self.publisher.attach(
+                self.network.link("primary->%s" % name, replica)
+            )
+            self.replicas.append(replica)
+        self.primary.txn_log.stream_taps.append(self.publisher.tap)
+        if repl_config.sync_ack:
+            self.primary.group_commit.replication = self.publisher
+        self.controller = FailoverController(self)
+        self._scheduler = None
+
+    @staticmethod
+    def _replica_config(config, seed, ordinal):
+        return dataclasses.replace(
+            config,
+            replication=None,
+            fault_plan=_quiet_plan(seed * 1_000 + ordinal),
+            start_buffer_governor=False,
+            start_checkpoint_governor=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # setup
+    # ------------------------------------------------------------------ #
+
+    def connect(self):
+        return self.primary.connect()
+
+    def execute_schema(self, statements):
+        """Apply DDL on every node (DDL is not logged, so it cannot ride
+        the stream), then put the replicas into standby mode."""
+        conn = self.primary.connect()
+        try:
+            for sql in statements:
+                conn.execute(sql)
+                for replica in self.replicas:
+                    replica.execute_ddl(sql)
+        finally:
+            conn.close()
+        for replica in self.replicas:
+            replica.enter_standby()
+
+    def load_table(self, table_name, rows):
+        """Bulk-load on the primary; the logged load ships like any DML."""
+        loaded = self.primary.load_table(table_name, rows)
+        self.sync()
+        return loaded
+
+    def sync(self, max_rounds=64):
+        """Ship every published frame everywhere and apply it.
+
+        Setup and end-of-run helper — the scheduled path applies at
+        arrival times instead.  Retries through partitions by advancing
+        the clock to heal times; a link that still cannot catch up after
+        ``max_rounds`` is a wiring bug, not injected chaos.
+        """
+        target = len(self.publisher.frames)
+        rounds = 0
+        while any(
+            self.publisher.link_cursor(link) < target
+            for link in self.publisher.links
+        ):
+            if self.publisher.pump():
+                continue
+            rounds += 1
+            if rounds > max_rounds:
+                raise ReproError(
+                    "replication sync stalled: %s"
+                    % [
+                        (link.name, self.publisher.link_cursor(link))
+                        for link in self.publisher.links
+                    ]
+                )
+            self._stall_for_sync(target)
+        applied = 0
+        for replica in self.replicas:
+            applied += replica.drain()
+        return applied
+
+    def _stall_for_sync(self, target):
+        """Advance the clock toward whatever frees a *lagging* link: the
+        earliest heal among partitioned stragglers (the publisher's own
+        stall only heal-jumps when every link is down — here a link that
+        already caught up must not mask a partitioned one), else one
+        retry backoff quantum."""
+        now = self.clock.now
+        heals = [
+            link.partitioned_until
+            for link in self.publisher.links
+            if self.publisher.link_cursor(link) < target
+            and link.partitioned_until > now
+        ]
+        if heals:
+            self.clock.advance(min(heals) - now)
+        else:
+            self.clock.advance(self.publisher.rates.io_retry_backoff_us)
+
+    # ------------------------------------------------------------------ #
+    # scheduler integration
+    # ------------------------------------------------------------------ #
+
+    def attach_scheduler(self, scheduler):
+        """Register the apply actors and the progress hook.
+
+        Call *after* the workload sessions are added: session order is
+        part of the determinism contract, and the first-added session
+        receives the baton first.
+        """
+        if scheduler.server is not self.primary:
+            raise ReproError(
+                "scheduler must run the cluster's primary server"
+            )
+        self._scheduler = scheduler
+        scheduler.progress_hooks.append(self._advance_to_next_arrival)
+        for replica in self.replicas:
+            scheduler.add_session(
+                "apply:%s" % replica.name,
+                self._apply_source(replica, scheduler),
+                server=replica.server,
+            )
+
+    def _apply_source(self, replica, scheduler):
+        def source(conn):
+            def ready():
+                return (
+                    replica.has_deliverable()
+                    or self._producers_done(scheduler)
+                )
+
+            while True:
+                scheduler.wait_for_repl(ready)
+                if replica.has_deliverable():
+                    yield self._apply_step(replica, scheduler)
+                    continue
+                if not self._producers_done(scheduler):
+                    continue  # spurious wakeup: re-park
+                if not replica.inbox:
+                    return
+                # Producers finished with frames still in flight: pull
+                # the clock to the next arrival and keep applying.
+                arrival = replica.next_arrival_us()
+                if arrival > self.clock.now:
+                    self.clock.advance(arrival - self.clock.now)
+        return source
+
+    @staticmethod
+    def _apply_step(replica, scheduler):
+        def apply_frames(conn):
+            while replica.has_deliverable():
+                replica.apply_one()
+                scheduler.yield_point(YIELD_REPL_APPLY)
+        apply_frames.__name__ = "repl.apply"
+        return apply_frames
+
+    @staticmethod
+    def _producers_done(scheduler):
+        from repro.engine.scheduler import ABORTED, DONE, FAILED
+
+        return all(
+            session.status in (DONE, FAILED, ABORTED)
+            for session in scheduler.sessions
+            if session.server is None
+        )
+
+    def _advance_to_next_arrival(self):
+        """Scheduler progress hook: every session is parked and neither a
+        flush nor a lock victim helped — the only remaining event is an
+        in-flight frame arrival, so jump the clock there."""
+        scheduler = self._scheduler
+        if scheduler is None:
+            return False
+        if not any(
+            session.status == WAITING_REPL
+            for session in scheduler.sessions
+        ):
+            return False
+        now = self.clock.now
+        arrivals = [
+            entry.arrival_us
+            for replica in self.replicas
+            for entry in replica.inbox
+            if entry.arrival_us > now
+        ]
+        if not arrivals:
+            return False
+        self.clock.advance(min(arrivals) - now)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # failover
+    # ------------------------------------------------------------------ #
+
+    def fail_over(self):
+        """Promote the best replica (the primary is presumed dead)."""
+        return self.controller.promote_best()

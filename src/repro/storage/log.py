@@ -134,6 +134,13 @@ class TransactionLog:
         #: CrashHarness hook: ``fn(site)`` called at each CRASH_* site;
         #: raising from it simulates the process dying right there.
         self.crash_hook = None
+        #: Replication stream taps: ``fn(page_no, first_lsn, payload)``
+        #: called once per data page the instant it becomes durable.
+        #: Taps must never raise — the durable LSN has already advanced,
+        #: so a tap failure must not be able to unwind a local commit
+        #: (the synchronous-replication ack gate lives in the group
+        #: commit coordinator instead, see ``GroupCommitCoordinator``).
+        self.stream_taps = []
         self._m_forces = None
         self._m_pages = None
         self._m_force_retries = None
@@ -424,12 +431,13 @@ class TransactionLog:
             if extra_site is not None:
                 self._crash_point(extra_site)
             page_no = self._allocate_data_page()
-            self._write_log_page(
-                page_no, _frame_page(lsn, [tuple(record) for record in chunk])
-            )
+            payload = _frame_page(lsn, [tuple(record) for record in chunk])
+            self._write_log_page(page_no, payload)
             self._page_index.append((page_no, lsn))
             self._durable_lsn = lsn + len(chunk) - 1
             pages_written += 1
+            for tap in self.stream_taps:
+                tap(page_no, lsn, payload)
         if self._m_forces is not None:
             self._m_forces.inc()
             self._m_pages.inc(pages_written)
@@ -689,6 +697,11 @@ class GroupCommitCoordinator:
         self._scheduler_fn = scheduler_fn
         self.sanitize = bool(sanitize)
         self.races = None  # RaceSanitizer, attached by the server
+        #: LogStreamPublisher when this server replicates synchronously:
+        #: a ticket settles only once its LSN is both locally durable
+        #: *and* durably received by at least one replica, so no acked
+        #: commit can be lost to a primary failure.
+        self.replication = None
         self._pending = []
         self._arrival_gaps = collections.deque(
             maxlen=max(2, self.config.arrival_history)
@@ -771,12 +784,25 @@ class GroupCommitCoordinator:
             # A partial force may still have covered some tickets (the
             # durable LSN advances page by page): settle those so their
             # sessions can ack, and leave the rest pending for a retry.
-            self._settle(log)
+            # A replication-ship failure here must not mask the force
+            # error — leaving tickets pending is always safe.
+            try:
+                self._settle(log)
+            except IOFaultError:
+                # Only the sync replication ship inside _settle raises
+                # this; count it so the absorbed fault stays visible.
+                if self.replication is not None:
+                    self.replication.record_fault()
             raise
         return self._settle(log)
 
     def _settle(self, log):
         durable = log.durable_lsn
+        if self.replication is not None:
+            # Synchronous ship: retransmit until every locally durable
+            # page is on at least one replica (or the bounded retry
+            # budget dies, degrading this commit statement only).
+            durable = min(durable, self.replication.ensure_acked(durable))
         with _race_tap(self.races, "group_commit", "tickets", "w"):
             done = [t for t in self._pending if t.lsn <= durable]
             self._pending = [t for t in self._pending if t.lsn > durable]

@@ -1,0 +1,146 @@
+"""Unit tests for the shipping pieces: links, publisher, replica receive.
+
+The network's delivery contract is what makes failover safe: per-link
+reception is gap-free in LSN order (a failed send parks the cursor and
+the frame is retransmitted), latency delays apply *visibility* but never
+durable receipt, and every draw comes from a per-link seeded substream so
+same-seed runs ship byte-identical schedules.
+"""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import IOFaultError
+from repro.faults.plan import FaultPlan, FaultRates
+from repro.replication import (
+    LogStreamPublisher,
+    ReplicationFrame,
+    SimNetwork,
+)
+
+
+class StubReceiver:
+    """Records (first_lsn, arrival_us) pairs like a replica would."""
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, frame, arrival_us):
+        self.received.append((frame.first_lsn, arrival_us))
+
+
+def make_frame(n, lsn, records=4):
+    return ReplicationFrame(n, lsn, {"records": [None] * records})
+
+
+def make_plan(seed=7, **rates):
+    return FaultPlan(seed, rates=FaultRates(**rates))
+
+
+class TestNetworkLink:
+    def test_arrivals_are_non_decreasing_per_link(self):
+        clock = SimClock()
+        plan = make_plan(net_latency_min_us=50, net_latency_max_us=400)
+        network = SimNetwork(clock, fault_plan=plan)
+        link = network.link("primary->r1", StubReceiver())
+        arrivals = []
+        lsn = 0
+        for n in range(20):
+            arrivals.append(link.send(make_frame(n, lsn)))
+            lsn += 4
+            clock.advance(10)  # sends outpace the latency spread
+        assert all(a is not None for a in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_drop_fails_the_send_and_counts(self):
+        clock = SimClock()
+        plan = make_plan(net_send_drop=1.0)
+        network = SimNetwork(clock, fault_plan=plan)
+        receiver = StubReceiver()
+        link = network.link("primary->r1", receiver)
+        assert link.send(make_frame(0, 0)) is None
+        assert link.drops == 1
+        assert receiver.received == []
+
+    def test_forced_partition_blocks_until_heal(self):
+        clock = SimClock()
+        network = SimNetwork(clock, fault_plan=make_plan())
+        receiver = StubReceiver()
+        link = network.link("primary->r1", receiver)
+        heal_at = link.partition(10_000)
+        assert link.send(make_frame(0, 0)) is None
+        assert receiver.received == []
+        clock.advance(heal_at - clock.now)
+        assert link.send(make_frame(0, 0)) is not None
+        assert [lsn for lsn, __ in receiver.received] == [0]
+
+    def test_duplicate_link_names_rejected(self):
+        network = SimNetwork(SimClock(), fault_plan=make_plan())
+        network.link("primary->r1", StubReceiver())
+        with pytest.raises(ValueError):
+            network.link("primary->r1", StubReceiver())
+
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            clock = SimClock()
+            plan = make_plan(
+                seed=seed, net_send_drop=0.2,
+                net_latency_min_us=50, net_latency_max_us=400,
+            )
+            network = SimNetwork(clock, fault_plan=plan)
+            receiver = StubReceiver()
+            link = network.link("primary->r1", receiver)
+            lsn = 0
+            for n in range(30):
+                if link.send(make_frame(n, lsn)) is not None:
+                    lsn += 4
+                clock.advance(25)
+            return receiver.received
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
+
+
+class TestPublisher:
+    def make(self, **rates):
+        clock = SimClock()
+        plan = make_plan(**rates)
+        network = SimNetwork(clock, fault_plan=plan)
+        publisher = LogStreamPublisher(clock, fault_plan=plan)
+        receiver = StubReceiver()
+        link = publisher.attach(network.link("primary->r1", receiver))
+        return clock, publisher, link, receiver
+
+    def test_tap_ships_immediately_when_healthy(self):
+        __, publisher, link, receiver = self.make()
+        publisher.tap(1, 0, {"records": [None] * 4})
+        assert publisher.link_cursor(link) == 1
+        assert [lsn for lsn, __ in receiver.received] == [0]
+        assert publisher.acked_lsn() == 3
+
+    def test_failed_send_parks_the_cursor_and_resends_in_order(self):
+        clock, publisher, link, receiver = self.make()
+        heal_at = link.partition(5_000)
+        publisher.tap(1, 0, {"records": [None] * 4})
+        publisher.tap(2, 4, {"records": [None] * 4})
+        assert publisher.link_cursor(link) == 0
+        assert publisher.acked_lsn() == -1
+        clock.advance(heal_at - clock.now)
+        assert publisher.pump() == 2
+        assert [lsn for lsn, __ in receiver.received] == [0, 4]
+
+    def test_ensure_acked_stalls_through_a_partition(self):
+        clock, publisher, link, receiver = self.make()
+        link.partition(3_000)
+        publisher.tap(1, 0, {"records": [None] * 4})
+        assert publisher.acked_lsn() == -1
+        acked = publisher.ensure_acked(3)
+        assert acked >= 3
+        assert publisher.sync_stalls >= 1
+        assert clock.now >= 3_000  # the clock jumped to the heal
+
+    def test_ensure_acked_gives_up_typed_after_the_retry_budget(self):
+        clock, publisher, link, receiver = self.make(net_send_drop=1.0)
+        publisher.tap(1, 0, {"records": [None] * 4})
+        with pytest.raises(IOFaultError):
+            publisher.ensure_acked(3)
