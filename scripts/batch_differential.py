@@ -5,7 +5,8 @@ For every seed given on the command line (default: the CI chaos seeds),
 a seeded query matrix — filters, LIKE/BETWEEN/IN predicates, arithmetic,
 joins, grouped aggregates with HAVING, DISTINCT, ORDER BY, LIMIT, NULL
 handling — runs against the same seeded data in **both** execution modes
-(``REPRO_BATCH=0`` row-at-a-time, ``REPRO_BATCH=1`` vectorized batches).
+(``ServerConfig(batch_execution=False)`` row-at-a-time, ``=True``
+vectorized batches).
 The two modes must produce **byte-identical result sets** for every
 query: the batch engine's contract is that vectorization changes per-row
 CPU accounting, never row values or row order.
@@ -21,7 +22,6 @@ Usage::
     REPRO_SANITIZE=1 python scripts/batch_differential.py 101 202 303
 """
 
-import os
 import random
 import sys
 
@@ -100,10 +100,10 @@ def query_matrix(seed):
 
 def run_matrix(seed, batch_mode):
     """One full pass of the matrix; returns (results bytes, trace lines)."""
-    os.environ["REPRO_BATCH"] = "1" if batch_mode else "0"
     server = Server(ServerConfig(
         start_buffer_governor=False,
         initial_pool_pages=POOL_PAGES,
+        batch_execution=batch_mode,
     ))
     server.tracer = Tracer()
     connection = server.connect()
@@ -170,17 +170,10 @@ def differential(seed):
 
 
 def main(argv):
-    previous = os.environ.get("REPRO_BATCH")
     seeds = [int(arg) for arg in argv] or list(DEFAULT_SEEDS)
     problems = []
-    try:
-        for seed in seeds:
-            problems.extend(differential(seed))
-    finally:
-        if previous is None:
-            os.environ.pop("REPRO_BATCH", None)
-        else:
-            os.environ["REPRO_BATCH"] = previous
+    for seed in seeds:
+        problems.extend(differential(seed))
     for problem in problems:
         print("FAIL %s" % problem)
     if problems:

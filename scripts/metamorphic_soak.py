@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Metamorphic soak: seeded query generation under TLP + NoREC oracles.
+
+For every seed given on the command line (default: the CI chaos seeds),
+two adversarial harness configurations run — a quiescent sweep and a
+chaos + scheduler-burst sweep — pushing generated statements through
+the ternary-logic-partitioning and plan-variation oracles
+(:mod:`repro.testgen`).  Each configuration runs **twice** and must
+produce byte-identical run logs (oracle digests included); across both
+configurations at least ``MIN_ORACLE_STATEMENTS`` generated statements
+per seed must pass the oracles with **zero violations**.
+
+On a violation the shrunken ``(seed, schema_seed, statement_index)``
+triple plus the statement trace is written as a JSON artifact under
+``REPRO_ARTIFACT_DIR`` (default ``artifacts/metamorphic``) — the CI
+lane uploads that directory, and the triple replays locally as::
+
+    PYTHONPATH=src python -c \
+        "from repro.testgen import replay_triple; \
+         replay_triple(SEED, SCHEMA_SEED, INDEX, raise_on_violation=True)"
+
+Run under ``REPRO_SANITIZE=1`` so the runtime sanitizers are live.
+
+Usage::
+
+    REPRO_SANITIZE=1 python scripts/metamorphic_soak.py 101 202 303
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.testgen import AdversarialHarness  # noqa: E402
+
+DEFAULT_SEEDS = (101, 202, 303)
+
+#: The acceptance floor: generated statements through the oracles, per
+#: seed, summed over both configurations (each counted once — the
+#: byte-identical second run re-checks the same statements).
+MIN_ORACLE_STATEMENTS = 2000
+
+#: Statement-slot budgets per configuration (~35% of slots are DML, the
+#: rest oracle checks; sized so the floor clears with margin).
+QUIESCENT_STATEMENTS = int(os.environ.get("REPRO_SOAK_STATEMENTS", "2400"))
+CHAOS_STATEMENTS = max(200, QUIESCENT_STATEMENTS // 2)
+
+ARTIFACT_DIR = os.environ.get(
+    "REPRO_ARTIFACT_DIR", os.path.join("artifacts", "metamorphic")
+)
+
+
+def configurations(seed):
+    """The per-seed harness configurations (schema varies across them)."""
+    return (
+        ("quiescent", dict(
+            schema_seed=seed, statements=QUIESCENT_STATEMENTS,
+        )),
+        ("chaos+bursts", dict(
+            schema_seed=seed + 17, statements=CHAOS_STATEMENTS,
+            chaos=True, scheduler_bursts=True,
+        )),
+    )
+
+
+def write_artifact(name, payload):
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, name)
+    with open(path, "w") as handle:
+        if isinstance(payload, str):
+            handle.write(payload)
+        else:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def soak(seed):
+    problems = []
+    oracle_statements = 0
+    for label, kwargs in configurations(seed):
+        first = AdversarialHarness(seed, **kwargs).run()
+        second = AdversarialHarness(seed, **kwargs).run()
+        oracle_statements += first.oracle_statements
+        if first.log_text() != second.log_text():
+            problems.append(
+                "seed %d [%s]: run logs differ between runs" % (seed, label)
+            )
+            write_artifact(
+                "log-divergence-seed%d-%s-run1.log"
+                % (seed, label.replace("+", "-")),
+                first.log_text(),
+            )
+            write_artifact(
+                "log-divergence-seed%d-%s-run2.log"
+                % (seed, label.replace("+", "-")),
+                second.log_text(),
+            )
+        for violation in first.violations:
+            problems.append(
+                "seed %d [%s]: %s" % (seed, label, violation.describe()[:200])
+            )
+            path = write_artifact(
+                "violation-seed%d-schema%d-stmt%d.json" % (
+                    violation.seed, violation.schema_seed,
+                    violation.statement_index,
+                ),
+                violation.to_dict(),
+            )
+            print("artifact: %s" % path)
+        print("seed %d [%s]: %s" % (seed, label, first.summary()))
+    if oracle_statements < MIN_ORACLE_STATEMENTS:
+        problems.append(
+            "seed %d: only %d oracle statements (< %d floor)"
+            % (seed, oracle_statements, MIN_ORACLE_STATEMENTS)
+        )
+    return problems
+
+
+def main(argv):
+    seeds = [int(arg) for arg in argv] or list(DEFAULT_SEEDS)
+    problems = []
+    for seed in seeds:
+        problems.extend(soak(seed))
+    for problem in problems:
+        print("FAIL %s" % problem)
+    if problems:
+        return 1
+    print(
+        "metamorphic soak: %d seeds, TLP + NoREC clean, "
+        "twice-per-seed logs byte-identical" % len(seeds)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,8 +17,15 @@ See :mod:`repro.engine` for the server facade, and DESIGN.md in the
 repository root for the full system inventory.
 """
 
-from repro.engine import Result, Server, ServerConfig, connect
+from repro.engine import (
+    Result,
+    Server,
+    ServerConfig,
+    StatementOverrides,
+    connect,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["connect", "Server", "ServerConfig", "Result", "__version__"]
+__all__ = ["connect", "Server", "ServerConfig", "StatementOverrides",
+           "Result", "__version__"]

@@ -9,9 +9,16 @@ call from the application, and can shut down automatically when the last
 connection disconnects").
 """
 
-from repro.engine.server import Result, Server, ServerConfig, connect
+from repro.engine.server import (
+    Result,
+    Server,
+    ServerConfig,
+    StatementOverrides,
+    connect,
+)
 from repro.engine.cursor import Cursor, FiberScheduler
 from repro.engine.scheduler import Session, WorkloadScheduler
 
-__all__ = ["Server", "ServerConfig", "Result", "connect", "Cursor",
-           "FiberScheduler", "Session", "WorkloadScheduler"]
+__all__ = ["Server", "ServerConfig", "StatementOverrides", "Result",
+           "connect", "Cursor", "FiberScheduler", "Session",
+           "WorkloadScheduler"]

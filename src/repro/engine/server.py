@@ -123,6 +123,34 @@ class ServerConfig:
         return os.environ.get("REPRO_BATCH", "1") != "0"
 
 
+@dataclasses.dataclass
+class StatementOverrides:
+    """Per-statement execution overrides.
+
+    ``Connection.execute(sql, overrides=...)`` applies these to one
+    statement only, leaving the server configuration untouched.  They are
+    the NoREC plan-variation knobs of :mod:`repro.testgen`: the same
+    query re-run under every combination must return the same multiset,
+    so each toggle the optimizer or executor can flip is overridable at
+    statement granularity.  ``None`` fields inherit the server default.
+    """
+
+    #: Vectorized batch execution on/off for this statement.
+    batch_execution: object = None
+    #: Commit-LSN snapshot reads on/off for this statement (off reads the
+    #: latest committed heap directly).
+    snapshot_reads: object = None
+    #: Forbid index access paths: every base-table access becomes a heap
+    #: scan (index-NL joins and hash-join index alternates included).
+    force_heap_scan: bool = False
+    #: Plan-cache routing for this statement.  ``True`` routes a plain
+    #: SELECT through the connection's plan cache (keyed by statement
+    #: text, trained and verified like a procedure statement); ``False``
+    #: forces a CALL to bypass the cache; ``None`` keeps the default
+    #: (cache for procedure bodies only).
+    use_plan_cache: object = None
+
+
 class Result:
     """Rows plus execution metadata."""
 
@@ -544,7 +572,7 @@ class Server:
     # optimizer plumbing
     # ------------------------------------------------------------------ #
 
-    def make_optimizer(self):
+    def make_optimizer(self, use_indexes=True):
         context = CostModelContext(
             self.catalog.dtt_model,
             self.config.page_size,
@@ -576,6 +604,7 @@ class Server:
             quota=quota,
             metrics=self.metrics,
             effort_factor=effort,
+            use_indexes=use_indexes,
         )
 
     # ------------------------------------------------------------------ #
@@ -767,7 +796,7 @@ class Connection:
             raise ExecutionError("connection is closed")
         return Cursor(self, sql, params)
 
-    def execute(self, sql, params=None):
+    def execute(self, sql, params=None, overrides=None):
         if self._closed:
             raise ExecutionError("connection is closed")
         server = self.server
@@ -781,7 +810,7 @@ class Connection:
         result = None
         error = None
         try:
-            result = self._execute(sql, params)
+            result = self._execute(sql, params, overrides)
             if plan is not None:
                 # Surface what this statement survived: retried or
                 # absorbed injections show up in EXPLAIN ANALYZE.
@@ -851,12 +880,14 @@ class Connection:
                 # mid-statement — its pins are legitimate.)
                 server.pool.assert_no_pins("statement end")
 
-    def _execute(self, sql, params=None):
+    def _execute(self, sql, params=None, overrides=None):
         statement = parse_statement(sql)
         self.server.statements_executed += 1
         self.server._m_statements.inc()
         if isinstance(statement, ast.SelectStatement):
-            return self._execute_select(statement, params)
+            return self._execute_select(
+                statement, params, overrides=overrides, sql_text=sql
+            )
         if isinstance(statement, ast.InsertStatement):
             return self._execute_insert(statement, params)
         if isinstance(statement, ast.UpdateStatement):
@@ -887,7 +918,7 @@ class Connection:
         if isinstance(statement, ast.DropIndexStatement):
             return self._execute_drop_index(statement)
         if isinstance(statement, ast.CallStatement):
-            return self._execute_call(statement, params)
+            return self._execute_call(statement, params, overrides)
         if isinstance(statement, ast.SetOptionStatement):
             self.server.catalog.options[statement.name] = statement.value
             return Result()
@@ -905,11 +936,24 @@ class Connection:
     # -- SELECT ------------------------------------------------------------ #
 
     def _execute_select(self, statement, params, use_plan_cache_key=None,
-                        procedure_params=None):
+                        procedure_params=None, overrides=None,
+                        sql_text=None):
         server = self.server
         binder = Binder(server.catalog, procedure_params=procedure_params)
         block = binder.bind(statement)
-        optimizer = server.make_optimizer()
+        optimizer = server.make_optimizer(
+            use_indexes=not (overrides is not None
+                             and overrides.force_heap_scan)
+        )
+        if (
+            use_plan_cache_key is None
+            and overrides is not None
+            and overrides.use_plan_cache
+            and sql_text is not None
+        ):
+            # Per-statement plan-cache opt-in: a plain SELECT trains,
+            # caches, and verifies exactly like a procedure statement.
+            use_plan_cache_key = "sql:%s" % sql_text
 
         def optimize():
             result = optimizer.optimize_select(block)
@@ -933,9 +977,15 @@ class Connection:
         # Read-only statements take no locks: they run against the
         # commit-LSN snapshot taken here, so they never queue behind
         # writers (own uncommitted writes stay visible via snapshot_txn).
+        snapshot_enabled = server.config.snapshot_reads
+        batch_enabled = server.config.batch_execution_enabled()
+        if overrides is not None:
+            if overrides.snapshot_reads is not None:
+                snapshot_enabled = bool(overrides.snapshot_reads)
+            if overrides.batch_execution is not None:
+                batch_enabled = bool(overrides.batch_execution)
         snapshot_lsn = (
-            server.versions.open_snapshot()
-            if server.config.snapshot_reads else None
+            server.versions.open_snapshot() if snapshot_enabled else None
         )
         ctx = ExecutionContext(
             server.pool, server.temp_file, server.stats, server.clock, task,
@@ -943,7 +993,7 @@ class Connection:
             metrics=server.metrics, fault_plan=server.fault_plan,
             yield_hook=server.spill_yield_point,
             snapshot_lsn=snapshot_lsn, snapshot_txn=self._txn_id,
-            batch_mode=server.config.batch_execution_enabled(),
+            batch_mode=batch_enabled,
         )
         collector = ExecStatsCollector()
         executor = Executor(
@@ -1389,7 +1439,7 @@ class Connection:
 
     # -- procedures --------------------------------------------------------- #
 
-    def _execute_call(self, statement, params):
+    def _execute_call(self, statement, params, overrides=None):
         """CALL runs the procedure body through the plan cache."""
         server = self.server
         procedure = server.catalog.procedure(statement.name)
@@ -1398,10 +1448,14 @@ class Connection:
         body_statement = parse_statement(procedure.body_sql)
         if not isinstance(body_statement, ast.SelectStatement):
             raise ExecutionError("procedure body must be a SELECT")
+        cache_key = "proc:%s" % statement.name
+        if overrides is not None and overrides.use_plan_cache is False:
+            cache_key = None  # NoREC variant: fresh optimization
         return self._execute_select(
             body_statement, body_params,
-            use_plan_cache_key="proc:%s" % statement.name,
+            use_plan_cache_key=cache_key,
             procedure_params=procedure.parameters,
+            overrides=overrides,
         )
 
     # ------------------------------------------------------------------ #

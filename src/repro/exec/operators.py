@@ -310,11 +310,20 @@ class IndexScanOp(Operator):
     @staticmethod
     def _key_tuple_in_bounds(key, bounds):
         low, high, low_inc, high_inc = bounds
+        if low is not None or high is not None:
+            # SQL comparison with NULL is unknown: a NULL key (or a NULL
+            # bound, e.g. ``col = NULL``) can never satisfy a sarg.
+            if any(value is None for value in key):
+                return False
         if low is not None:
+            if any(value is None for value in low):
+                return False
             prefix = key[: len(low)]
             if prefix < low or (prefix == low and not low_inc):
                 return False
         if high is not None:
+            if any(value is None for value in high):
+                return False
             prefix = key[: len(high)]
             if prefix > high or (prefix == high and not high_inc):
                 return False

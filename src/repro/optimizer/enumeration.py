@@ -117,11 +117,14 @@ class JoinEnumerator:
     """Enumerates left-deep join strategies for one query block."""
 
     def __init__(self, block, cost_model, estimator, catalog,
-                 governor=None, quantifier_info=None):
+                 governor=None, quantifier_info=None, use_indexes=True):
         self.block = block
         self.cost_model = cost_model
         self.estimator = estimator
         self.catalog = catalog
+        #: When False, index-NL probe steps are never generated (the
+        #: force-heap-scan plan-variation mode used by the NoREC oracle).
+        self.use_indexes = use_indexes
         self.governor = governor if governor is not None else OptimizerGovernor(5000)
         self.stats = EnumerationStats()
         #: qid -> _QuantifierInfo (precomputed sizes and local conjuncts).
@@ -306,6 +309,13 @@ class JoinEnumerator:
                 ))
             return produced
         n_predicates = len(new_conjuncts) + len(on_conjuncts)
+        # A LEFT quantifier's match condition is its ON clause alone:
+        # WHERE conjuncts filter after NULL-extension, so they may not
+        # drive index probes or hash keys.
+        if quantifier.join_type == Quantifier.LEFT:
+            condition_conjuncts = on_conjuncts
+        else:
+            condition_conjuncts = new_conjuncts + on_conjuncts
         # Nested-loop join: rescan the inner per outer row (with the
         # optimistic half-pool buffering for the repeated scans).
         nlj_cost = self.cost_model.nested_loop_join(
@@ -317,7 +327,7 @@ class JoinEnumerator:
         ))
         # Index nested loops via an equi conjunct on an indexed column.
         for index_schema, probe_exprs, cold, warm, warmup in (
-            self._probe_options(quantifier, placed, new_conjuncts + on_conjuncts)
+            self._probe_options(quantifier, placed, condition_conjuncts)
         ):
             cost = self.cost_model.index_nl_join(
                 prefix_rows, cold, warm, warmup, out_rows
@@ -326,8 +336,8 @@ class JoinEnumerator:
                 quantifier, "index", index_schema, None, "inlj",
                 (index_schema, probe_exprs), out_rows, cost, new_conjuncts,
             ))
-        # Hash join on any equi conjunct.
-        if any(c.equi is not None for c in new_conjuncts + on_conjuncts):
+        # Hash join on any equi conjunct of the match condition.
+        if any(c.equi is not None for c in condition_conjuncts):
             hash_cost = (
                 info.seq_scan_cost  # build side must be produced once
                 + self.cost_model.hash_join(
@@ -342,6 +352,8 @@ class JoinEnumerator:
         return produced
 
     def _probe_options(self, quantifier, placed, conjuncts):
+        if not self.use_indexes:
+            return
         if quantifier.kind != Quantifier.BASE:
             return
         info = self.info[quantifier.id]
@@ -444,6 +456,10 @@ class QuantifierInfo:
         #: [(index_schema, sarg, cost, rows)] sargable options at level 1.
         self.index_access_options = []
         self.local_conjuncts = []
+        #: Single-quantifier WHERE conjuncts on a null-supplied (LEFT)
+        #: quantifier: they must filter *after* the outer join, never
+        #: inside its scan, or NULL-extended rows survive wrongly.
+        self.post_join_conjuncts = []
         self.clustering = {}  # index name -> clustering fraction
         #: Optimized sub-plan for derived/procedure quantifiers.
         self.sub_plan = None

@@ -66,7 +66,8 @@ class Optimizer:
     """Cost-based optimizer over one catalog + statistics + cost context."""
 
     def __init__(self, catalog, estimator, cost_context, quota=DEFAULT_QUOTA,
-                 governor_mode="governor", metrics=None, effort_factor=None):
+                 governor_mode="governor", metrics=None, effort_factor=None,
+                 use_indexes=True):
         self.catalog = catalog
         self.estimator = estimator
         self.cost_context = cost_context
@@ -76,6 +77,11 @@ class Optimizer:
         self.effort_factor = effort_factor
         self.last_stats = None
         self.metrics = metrics
+        #: When False every SELECT access path falls back to heap scans:
+        #: no sargable index options, no index-NL probes, no hash-join
+        #: index alternates.  DML's heuristic bypass keeps its index picks
+        #: (it must still locate rows to modify efficiently).
+        self.use_indexes = use_indexes
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -153,7 +159,7 @@ class Optimizer:
         )
         enumerator = JoinEnumerator(
             block, self.cost_model, self.estimator, self.catalog,
-            governor, info,
+            governor, info, use_indexes=self.use_indexes,
         )
         steps, stats = enumerator.enumerate()
         join_plan = self._build_join_tree(steps, block, info)
@@ -174,11 +180,19 @@ class Optimizer:
 
     def _quantifier_info(self, quantifier, block):
         info = QuantifierInfo()
-        info.local_conjuncts = [
+        single_refs = [
             conjunct
             for conjunct in block.conjuncts
             if conjunct.refs == frozenset({quantifier.id})
         ]
+        if quantifier.join_type == Quantifier.LEFT:
+            # WHERE conjuncts on the null-supplied side filter after the
+            # outer join (pushing them into the scan would NULL-extend
+            # rows the WHERE clause is supposed to eliminate).
+            info.post_join_conjuncts = single_refs
+            info.local_conjuncts = []
+        else:
+            info.local_conjuncts = single_refs
         local_selectivity = 1.0
         for conjunct in info.local_conjuncts:
             local_selectivity *= self.estimator.local_selectivity(
@@ -239,6 +253,8 @@ class Optimizer:
             info.clustering[index_schema.name] = (
                 index_schema.btree.cached_clustering()
             )
+            if not self.use_indexes:
+                continue
             option = self._sargable_option(
                 quantifier, info, index_schema, resident
             )
@@ -302,9 +318,16 @@ class Optimizer:
         for step in steps[1:]:
             quantifier = step.quantifier
             conjuncts = list(step.new_conjuncts)
-            if quantifier.join_type in (
-                Quantifier.SEMI, Quantifier.ANTI, Quantifier.LEFT
-            ):
+            post_join_filter = []
+            if quantifier.join_type == Quantifier.LEFT:
+                # Only the ON condition decides matching (and hence
+                # NULL-extension); WHERE conjuncts placed at this step
+                # filter the joined rows afterwards.
+                post_join_filter = conjuncts + list(
+                    info[quantifier.id].post_join_conjuncts
+                )
+                conjuncts = list(quantifier.on_conjuncts)
+            elif quantifier.join_type in (Quantifier.SEMI, Quantifier.ANTI):
                 conjuncts = conjuncts + list(quantifier.on_conjuncts)
             join_type = quantifier.join_type
             cumulative += step.step_cost
@@ -329,6 +352,11 @@ class Optimizer:
                 node = NLJoinPlan(plan, right, join_type, conjuncts)
             node.est_rows = step.out_rows
             node.est_cost_us = cumulative
+            if post_join_filter:
+                filtered = FilterPlan(node, post_join_filter)
+                filtered.est_rows = node.est_rows
+                filtered.est_cost_us = node.est_cost_us
+                node = filtered
             plan = node
         return plan
 
@@ -362,16 +390,20 @@ class Optimizer:
         index on the probe column: if the build input turns out tiny, the
         executor probes that index per build row instead of scanning the
         probe side."""
+        if not self.use_indexes:
+            return
         placed_steps = steps[: steps.index(step)]
         if len(placed_steps) != 1:
             return
         probe_q = placed_steps[0].quantifier
         if probe_q.kind != Quantifier.BASE:
             return
-        equi = next((c.equi for c in hash_node.conjuncts if c.equi), None)
-        if equi is None:
+        equi_conjunct = next(
+            (c for c in hash_node.conjuncts if c.equi), None
+        )
+        if equi_conjunct is None:
             return
-        (qa, ca), (qb, cb) = equi
+        (qa, ca), (qb, cb) = equi_conjunct.equi
         probe_col = ca if qa == probe_q.id else cb if qb == probe_q.id else None
         if probe_col is None:
             return
@@ -383,10 +415,10 @@ class Optimizer:
             if index_schema.column_names[0] != column_name:
                 continue
             build_side_expr = (
-                hash_node.conjuncts[0].expr.left
-                if getattr(hash_node.conjuncts[0].expr.left, "quantifier_id", None)
+                equi_conjunct.expr.left
+                if getattr(equi_conjunct.expr.left, "quantifier_id", None)
                 != probe_q.id
-                else hash_node.conjuncts[0].expr.right
+                else equi_conjunct.expr.right
             )
             # The alternate always probes with inner-join emission: for a
             # semi join the executor deduplicates the build keys instead,

@@ -1,0 +1,55 @@
+"""Adversarial workload factory: seeded schemas, seeded queries, and
+expected-output-free oracles.
+
+The statement generators in :mod:`repro.workloads` exercise *fixed*
+shapes, so the chaos/crash/scheduler matrices can only assert invariants
+(determinism, recovery, absence of crashes).  This package closes the
+semantic gap: :class:`SchemaGenerator` derives an arbitrary typed schema
+(NULL fractions, secondary indexes, seeded rows) from one integer,
+:class:`QueryGenerator` derives SELECTs with nested predicates, joins,
+aggregates, and ORDER/LIMIT from another, and two oracles judge the
+results without ever knowing the expected output:
+
+* **TLP** (ternary-logic partitioning): for any predicate ``p``, the
+  rows of ``WHERE (p)``, ``WHERE NOT (p)`` and ``WHERE (p) IS NULL``
+  must union — as a multiset — to the unpartitioned result, including
+  the aggregate- and DISTINCT-combining variants.
+* **NoREC** (plan variation): the same query re-run with execution
+  features toggled per statement (batch execution on/off, snapshot
+  reads on/off, index scans forced to heap fallback, plan cache used
+  vs bypassed) must return the identical multiset.
+
+Because everything is derived from seeds, every violation shrinks *by
+construction* to a ``(seed, schema_seed, statement_index)`` triple plus
+the statement trace; :func:`replay_triple` re-runs exactly that
+statement as an ordinary assertion.
+"""
+
+from repro.testgen.schema import ColumnSpec, GeneratedSchema, SchemaGenerator, TableSpec
+from repro.testgen.queries import GeneratedQuery, QueryGenerator
+from repro.testgen.oracles import (
+    OracleViolation,
+    check_norec,
+    check_tlp,
+    multiset,
+)
+from repro.testgen.harness import AdversarialHarness, HarnessResult, replay_triple
+from repro.testgen.planted import kleene_not_bug, predicate_pushdown_bug
+
+__all__ = [
+    "ColumnSpec",
+    "TableSpec",
+    "GeneratedSchema",
+    "SchemaGenerator",
+    "GeneratedQuery",
+    "QueryGenerator",
+    "OracleViolation",
+    "multiset",
+    "check_tlp",
+    "check_norec",
+    "AdversarialHarness",
+    "HarnessResult",
+    "replay_triple",
+    "kleene_not_bug",
+    "predicate_pushdown_bug",
+]

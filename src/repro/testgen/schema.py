@@ -1,0 +1,179 @@
+"""Seeded schema generation: typed columns with NULL fractions.
+
+One integer seed deterministically yields a handful of tables, each with
+an ``INT PRIMARY KEY`` plus a random mix of INT / DOUBLE / VARCHAR
+columns, a per-column NULL fraction, zero or more secondary indexes, and
+a seeded initial row load.  Value domains are deliberately tiny so that
+generated predicates and join conditions actually select rows — a
+generator whose WHERE clauses never match tests nothing.
+"""
+
+import random
+
+#: Words used for VARCHAR values; short and collision-prone on purpose
+#: (LIKE patterns and equality joins should hit).
+WORDS = ("ash", "birch", "cedar", "elm", "fir", "oak", "pine", "yew")
+
+#: Per-column NULL fractions drawn for nullable columns.  Zero is
+#: included so some columns are incidentally never NULL even without a
+#: NOT NULL constraint.
+NULL_FRACTIONS = (0.0, 0.1, 0.25, 0.5)
+
+INT_LOW, INT_HIGH = -5, 20
+
+
+class ColumnSpec:
+    """One generated column: a name, a normalized type, a NULL fraction."""
+
+    def __init__(self, name, type_name, null_fraction=0.0, length=None):
+        self.name = name
+        self.type_name = type_name  # 'INT' | 'DOUBLE' | 'VARCHAR'
+        self.null_fraction = null_fraction
+        self.length = length
+
+    def ddl(self):
+        if self.type_name == "VARCHAR":
+            return "%s VARCHAR(%d)" % (self.name, self.length or 16)
+        return "%s %s" % (self.name, self.type_name)
+
+    def random_value(self, rng):
+        """A random in-domain value (or None per the NULL fraction)."""
+        if self.null_fraction and rng.random() < self.null_fraction:
+            return None
+        if self.type_name == "INT":
+            return rng.randrange(INT_LOW, INT_HIGH + 1)
+        if self.type_name == "DOUBLE":
+            # Halves only: exactly representable, so cross-plan equality
+            # comparisons can never pick up rounding noise.
+            return rng.randrange(2 * INT_LOW, 2 * INT_HIGH + 1) / 2.0
+        return rng.choice(WORDS)
+
+
+class TableSpec:
+    """One generated table: ``pk INT PRIMARY KEY`` + data columns."""
+
+    def __init__(self, name, columns, indexes=(), initial_rows=0):
+        self.name = name
+        self.columns = list(columns)  # data columns, pk excluded
+        self.indexes = list(indexes)  # [(index_name, column_name)]
+        self.initial_rows = initial_rows
+        self.next_pk = 0
+
+    def all_column_names(self):
+        return ["pk"] + [column.name for column in self.columns]
+
+    def columns_of_type(self, type_name):
+        return [c for c in self.columns if c.type_name == type_name]
+
+    def create_sql(self):
+        parts = ["pk INT PRIMARY KEY"]
+        parts.extend(column.ddl() for column in self.columns)
+        return "CREATE TABLE %s (%s)" % (self.name, ", ".join(parts))
+
+    def index_sql(self):
+        return [
+            "CREATE INDEX %s ON %s (%s)" % (index_name, self.name, column)
+            for index_name, column in self.indexes
+        ]
+
+    def insert_sql(self, rng):
+        """One INSERT with a fresh pk and seeded column values."""
+        pk = self.next_pk
+        self.next_pk += 1
+        values = [str(pk)]
+        for column in self.columns:
+            values.append(render_literal(column.random_value(rng)))
+        return "INSERT INTO %s VALUES (%s)" % (self.name, ", ".join(values))
+
+
+class GeneratedSchema:
+    """The full generated database: tables + their DDL/load statements."""
+
+    def __init__(self, schema_seed, tables):
+        self.schema_seed = schema_seed
+        self.tables = list(tables)
+
+    def ddl_statements(self):
+        statements = []
+        for table in self.tables:
+            statements.append(table.create_sql())
+            statements.extend(table.index_sql())
+        return statements
+
+    def load_statements(self, rng):
+        statements = []
+        for table in self.tables:
+            for __ in range(table.initial_rows):
+                statements.append(table.insert_sql(rng))
+        return statements
+
+
+class SchemaGenerator:
+    """Derives a :class:`GeneratedSchema` from one integer seed."""
+
+    def __init__(self, schema_seed, max_tables=3, max_columns=4,
+                 max_rows=48):
+        self.schema_seed = schema_seed
+        self.max_tables = max_tables
+        self.max_columns = max_columns
+        self.max_rows = max_rows
+
+    def generate(self):
+        # String seeds hash via sha512 inside random.seed(): stable
+        # across processes, unlike tuple seeds (salted ``hash()``).
+        rng = random.Random("schema:%d" % self.schema_seed)
+        tables = []
+        n_tables = rng.randrange(2, self.max_tables + 1)
+        for t in range(n_tables):
+            columns = []
+            n_columns = rng.randrange(2, self.max_columns + 1)
+            for c in range(n_columns):
+                type_name = rng.choice(("INT", "INT", "DOUBLE", "VARCHAR"))
+                columns.append(ColumnSpec(
+                    "c%d" % c, type_name,
+                    null_fraction=rng.choice(NULL_FRACTIONS),
+                    length=16 if type_name == "VARCHAR" else None,
+                ))
+            indexes = []
+            for k in range(rng.randrange(0, 3)):
+                column = rng.choice(columns)
+                name = "ix_t%d_%d_%s" % (t, k, column.name)
+                if any(existing == column.name for __, existing in indexes):
+                    continue
+                indexes.append((name, column.name))
+            rows = rng.randrange(self.max_rows // 2, self.max_rows + 1)
+            tables.append(TableSpec("t%d" % t, columns, indexes, rows))
+        return GeneratedSchema(self.schema_seed, tables)
+
+
+def render_literal(value):
+    """Render a Python value as a SQL literal of this dialect."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return "'%s'" % str(value).replace("'", "''")
+
+
+def random_dml(rng, table):
+    """One seeded DML statement (INSERT / UPDATE / DELETE) for ``table``.
+
+    Updates and deletes key off small pk / value ranges so they touch
+    rows that actually exist; inserts always use a fresh pk.
+    """
+    roll = rng.random()
+    if roll < 0.5 or not table.columns:
+        return table.insert_sql(rng)
+    column = rng.choice(table.columns)
+    if roll < 0.8:
+        value = render_literal(column.random_value(rng))
+        low = rng.randrange(0, max(1, table.next_pk))
+        return "UPDATE %s SET %s = %s WHERE pk BETWEEN %d AND %d" % (
+            table.name, column.name, value, low, low + rng.randrange(1, 4)
+        )
+    victim = rng.randrange(0, max(1, table.next_pk))
+    return "DELETE FROM %s WHERE pk = %d" % (table.name, victim)

@@ -5,9 +5,15 @@
 * :mod:`~repro.workloads.star` — a star schema (fact + dimensions) for
   join and parallelism experiments;
 * :mod:`~repro.workloads.chains` — N-table FK chains for the join
-  enumeration experiments (the paper's 100-way join anecdote).
+  enumeration experiments (the paper's 100-way join anecdote);
+* :mod:`~repro.workloads.adversarial` — seeded DML sessions over
+  :mod:`repro.testgen` generated schemas, for the metamorphic soak.
 """
 
+from repro.workloads.adversarial import (
+    adversarial_dml_statements,
+    adversarial_sessions,
+)
 from repro.workloads.oltp import (
     load_kv_table,
     point_query_stream,
@@ -18,6 +24,8 @@ from repro.workloads.star import load_star_schema, star_join_sql
 from repro.workloads.chains import chain_join_sql, load_chain_schema
 
 __all__ = [
+    "adversarial_dml_statements",
+    "adversarial_sessions",
     "load_kv_table",
     "point_query_stream",
     "range_query_stream",

@@ -1,0 +1,37 @@
+"""Adversarial scheduler sessions over a generated schema.
+
+Bridges :mod:`repro.testgen` and the workload scheduler: seeded DML
+statement lists over a :class:`~repro.testgen.schema.GeneratedSchema`,
+packaged as session sources for :class:`~repro.engine.WorkloadScheduler`.
+
+Statements are **pre-generated** from the caller's rng before any
+session runs: pk allocation and value choice must not depend on how the
+scheduler interleaves the sessions, or the run log stops being a pure
+function of the seeds.
+"""
+
+from repro.testgen.schema import random_dml
+
+
+def adversarial_dml_statements(rng, schema, count):
+    """``count`` seeded DML statements across the schema's tables."""
+    return [
+        random_dml(rng, rng.choice(schema.tables))
+        for __ in range(count)
+    ]
+
+
+def adversarial_sessions(rng, schema, n_sessions, statements_per_session):
+    """[(name, source)] session specs with pre-generated statements."""
+    sessions = []
+    for k in range(n_sessions):
+        statements = adversarial_dml_statements(
+            rng, schema, statements_per_session
+        )
+
+        def source(connection, statements=statements):
+            for sql in statements:
+                yield sql
+
+        sessions.append(("adv%d" % k, source))
+    return sessions

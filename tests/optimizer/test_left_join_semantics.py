@@ -1,0 +1,113 @@
+"""Minimal reproductions of engine bugs the query generator exposed.
+
+Each test is the hand-shrunk form of a metamorphic-soak catch (the
+seeded streams themselves are replayed by
+``tests/testgen/test_regression_triples.py``):
+
+* WHERE conjuncts on a LEFT JOIN's nullable side must filter *after*
+  the join — folding them into the join condition (or pushing them into
+  the inner scan) resurrects NULL-extended rows that the predicate
+  rejected.
+* A NULL index key (or NULL bound) can never satisfy a sarg; the
+  snapshot-path bounds re-check used to compare ``None`` against floats
+  and crash.
+* The hash-join alternate must find *the* equi conjunct; it used to
+  assume the first conjunct was one and crashed on ``NOT (...)``.
+"""
+
+import pytest
+
+from repro import Server, ServerConfig, StatementOverrides
+
+
+@pytest.fixture()
+def connection():
+    server = Server(ServerConfig(start_buffer_governor=False))
+    connection = server.connect()
+    connection.execute(
+        "CREATE TABLE parent (pk INT PRIMARY KEY, label VARCHAR(8))"
+    )
+    connection.execute(
+        "CREATE TABLE child (pk INT PRIMARY KEY, ref INT, w INT)"
+    )
+    for pk, label in ((1, "one"), (2, "two"), (3, "three")):
+        connection.execute(
+            "INSERT INTO parent VALUES (%d, '%s')" % (pk, label)
+        )
+    # parent 1 matches with w=100, parent 2 matches with w=10,
+    # parent 3 is unmatched (NULL-extended by the LEFT JOIN).
+    connection.execute("INSERT INTO child VALUES (1, 1, 100)")
+    connection.execute("INSERT INTO child VALUES (2, 2, 10)")
+    return connection
+
+
+def test_left_join_where_on_nullable_side_filters_after_join(connection):
+    rows = connection.execute(
+        "SELECT parent.pk, child.w FROM parent "
+        "LEFT JOIN child ON parent.pk = child.ref "
+        "WHERE child.w > 50 ORDER BY parent.pk"
+    ).rows
+    # The NULL-extended parent 3 row (and parent 2, w=10) must NOT
+    # survive: w > 50 is unknown/false for them.
+    assert rows == [(1, 100)]
+
+
+def test_left_join_where_is_null_keeps_antijoin_semantics(connection):
+    rows = connection.execute(
+        "SELECT parent.pk FROM parent "
+        "LEFT JOIN child ON parent.pk = child.ref "
+        "WHERE child.ref IS NULL ORDER BY parent.pk"
+    ).rows
+    assert rows == [(3,)]
+
+
+def test_left_join_on_conjunct_still_drives_matching(connection):
+    # The extra ON conjunct restricts *matching*, not the output: every
+    # parent row survives, parent 2 and 3 NULL-extended.
+    rows = connection.execute(
+        "SELECT parent.pk, child.w FROM parent "
+        "LEFT JOIN child ON parent.pk = child.ref AND child.w > 50 "
+        "ORDER BY parent.pk"
+    ).rows
+    assert rows == [(1, 100), (2, None), (3, None)]
+
+
+def test_left_join_matches_heap_scan_plan(connection):
+    sql = (
+        "SELECT parent.pk, child.w FROM parent "
+        "LEFT JOIN child ON parent.pk = child.ref "
+        "WHERE child.w > 50 ORDER BY parent.pk"
+    )
+    indexed = connection.execute(sql).rows
+    heap = connection.execute(
+        sql, overrides=StatementOverrides(force_heap_scan=True)
+    ).rows
+    assert indexed == heap
+
+
+def test_null_index_keys_never_satisfy_a_sarg():
+    server = Server(ServerConfig(start_buffer_governor=False))
+    connection = server.connect()
+    connection.execute("CREATE TABLE t (pk INT PRIMARY KEY, v DOUBLE)")
+    connection.execute("CREATE INDEX ix_v ON t (v)")
+    for pk, v in ((0, "NULL"), (1, "1.5"), (2, "NULL"), (3, "7.0")):
+        connection.execute("INSERT INTO t VALUES (%d, %s)" % (pk, v))
+    sql = "SELECT pk FROM t WHERE v > 1.0 ORDER BY pk"
+    for overrides in (
+        None,
+        StatementOverrides(snapshot_reads=True),
+        StatementOverrides(force_heap_scan=True),
+    ):
+        rows = connection.execute(sql, overrides=overrides).rows
+        assert rows == [(1,), (3,)]
+
+
+def test_hash_join_alternate_survives_unary_first_conjunct(connection):
+    # The UnaryOp conjunct binds first; the equi conjunct that feeds the
+    # hash-join alternate is second.  This used to crash plan build.
+    rows = connection.execute(
+        "SELECT parent.pk, child.w FROM parent, child "
+        "WHERE NOT (child.w < 50) AND parent.pk = child.ref "
+        "ORDER BY parent.pk"
+    ).rows
+    assert rows == [(1, 100)]

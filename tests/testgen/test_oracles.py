@@ -1,0 +1,73 @@
+"""Oracle mechanics: multisets, TLP recombination, NoREC variants."""
+
+import random
+
+import pytest
+
+from repro import Server, ServerConfig
+from repro.testgen import (
+    QueryGenerator, SchemaGenerator, check_norec, check_tlp, multiset,
+)
+from repro.testgen.oracles import multiset_diff, result_digest
+
+SEED = 23
+
+
+@pytest.fixture()
+def loaded():
+    schema = SchemaGenerator(SEED).generate()
+    server = Server(ServerConfig(start_buffer_governor=False))
+    connection = server.connect()
+    for sql in schema.ddl_statements():
+        connection.execute(sql)
+    for sql in schema.load_statements(random.Random("load:%d" % SEED)):
+        connection.execute(sql)
+    return connection, schema
+
+
+def test_multiset_counts_duplicates():
+    assert multiset([(1,), (1,), (2,)]) != multiset([(1,), (2,)])
+    assert multiset([(1,), (2,)]) == multiset([(2,), (1,)])
+
+
+def test_multiset_diff_names_both_sides():
+    diff = multiset_diff(multiset([(1,), (1,)]), multiset([(1,), (2,)]))
+    assert diff["missing"] == ["(1,)"]
+    assert diff["extra"] == ["(2,)"]
+    assert diff["expected_rows"] == 2
+    assert diff["actual_rows"] == 2
+
+
+def test_result_digest_is_order_insensitive():
+    assert result_digest([(1,), (2,)]) == result_digest([(2,), (1,)])
+    assert result_digest([(1,)]) != result_digest([(2,)])
+
+
+def test_tlp_clean_on_correct_engine(loaded):
+    connection, schema = loaded
+    generator = QueryGenerator(random.Random("oracle:1"), schema)
+    kinds = set()
+    for __ in range(60):
+        query = generator.tlp_query()
+        kinds.add(query.kind)
+        outcome = check_tlp(connection, query)
+        assert outcome["violation"] is None, outcome["violation"]
+    assert {"plain", "distinct", "aggregate"} <= kinds
+
+
+def test_norec_clean_on_correct_engine(loaded):
+    connection, schema = loaded
+    generator = QueryGenerator(random.Random("oracle:2"), schema)
+    for __ in range(25):
+        query = generator.norec_query()
+        outcome = check_norec(connection, query)
+        assert outcome["violation"] is None, outcome["violation"]
+
+
+def test_tlp_outcome_digest_is_stable(loaded):
+    connection, schema = loaded
+    generator = QueryGenerator(random.Random("oracle:3"), schema)
+    query = generator.tlp_query()
+    first = check_tlp(connection, query)
+    second = check_tlp(connection, query)
+    assert first == second

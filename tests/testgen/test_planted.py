@@ -1,0 +1,73 @@
+"""Negative controls: planted NULL-semantics bugs must trip TLP.
+
+An oracle that never fires is indistinguishable from one that cannot
+fire.  Each planted bug runs the same seeded harness stream; TLP must
+catch it, the shrunken triple must reproduce it, and the clean engine
+must replay the very same triple without a violation.
+"""
+
+import pytest
+
+from repro.testgen import (
+    AdversarialHarness,
+    OracleViolation,
+    kleene_not_bug,
+    predicate_pushdown_bug,
+    replay_triple,
+)
+
+SEED, SCHEMA_SEED, STATEMENTS = 101, 3, 60
+
+#: The first TLP violation both plants produce on the stream above —
+#: pinned so the shrink address itself is regression-tested.
+PINNED_TRIPLE = (101, 3, 2)
+
+BUGS = (
+    ("pushdown", predicate_pushdown_bug),
+    ("kleene", kleene_not_bug),
+)
+
+
+@pytest.mark.parametrize("name,bug", BUGS, ids=[n for n, __ in BUGS])
+def test_planted_bug_is_caught_by_tlp(name, bug):
+    with bug():
+        result = AdversarialHarness(SEED, SCHEMA_SEED,
+                                    statements=STATEMENTS).run()
+    tlp = [v for v in result.violations if v.oracle == "tlp"]
+    assert tlp, "TLP is blind to the planted %s bug" % name
+    assert tlp[0].shrink_triple() == PINNED_TRIPLE
+
+
+@pytest.mark.parametrize("name,bug", BUGS, ids=[n for n, __ in BUGS])
+def test_pinned_triple_reproduces_and_raises(name, bug):
+    with bug():
+        violation = replay_triple(*PINNED_TRIPLE)
+        assert isinstance(violation, OracleViolation)
+        assert violation.oracle == "tlp"
+        assert violation.trace  # the statement trace rides along
+        with pytest.raises(OracleViolation):
+            replay_triple(*PINNED_TRIPLE, raise_on_violation=True)
+
+
+def test_pinned_triple_is_clean_without_the_plants():
+    assert replay_triple(*PINNED_TRIPLE) is None
+
+
+def test_violation_artifact_round_trips():
+    with predicate_pushdown_bug():
+        violation = replay_triple(*PINNED_TRIPLE)
+    payload = violation.to_dict()
+    assert payload["oracle"] == "tlp"
+    assert (payload["seed"], payload["schema_seed"],
+            payload["statement_index"]) == PINNED_TRIPLE
+    assert "replay_triple(101, 3, 2)" in payload["replay"]
+    assert payload["trace"]
+
+
+def test_plants_fully_unwind():
+    """After the context managers exit, the engine is whole again."""
+    for __, bug in BUGS:
+        with bug():
+            pass
+    result = AdversarialHarness(SEED, SCHEMA_SEED, statements=30).run()
+    assert result.violations == []

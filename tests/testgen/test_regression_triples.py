@@ -1,0 +1,32 @@
+"""Pinned shrink triples: past oracle catches replayed as assertions.
+
+Each triple below addresses a statement stream that once exposed a real
+engine bug during generator bring-up; the fixes live in the optimizer
+and executor (see ``tests/optimizer/test_left_join_semantics.py`` for
+the minimal forms).  Replaying the triples keeps the *original* seeded
+reproductions green, exactly as the CI lane replays violations it
+uploads.
+
+To add a triple: paste the ``(seed, schema_seed, statement_index)``
+from a metamorphic-soak artifact once the underlying bug is fixed.
+"""
+
+import pytest
+
+from repro.testgen import replay_triple
+
+#: (triple, note) — the note names the bug the stream once exposed.
+PINNED = (
+    ((101, 3, 2), "left-join WHERE placement / NULL-sarg era stream"),
+    ((101, 101, 40), "quiescent soak stream, seed 101"),
+    ((202, 219, 25), "chaos-era soak stream, seed 202"),
+    ((303, 303, 35), "quiescent soak stream, seed 303"),
+)
+
+
+@pytest.mark.parametrize(
+    "triple,note", PINNED, ids=[note for __, note in PINNED]
+)
+def test_pinned_triple_replays_clean(triple, note):
+    violation = replay_triple(*triple)
+    assert violation is None, "%s regressed: %s" % (note, violation)
